@@ -1,0 +1,111 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* combined-similarity ablation: Average vs Dice inside the hybrid matchers
+  (Section 7.2 reports a small degradation with Dice),
+* MatchCompose composition ablation: Average vs multiplication (Section 5.1's
+  argument that products degrade too quickly),
+* leaf-matcher ablation for the Leaves matcher: TypeName (default) vs Name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.combination.aggregation import AVERAGE
+from repro.combination.direction import BOTH
+from repro.combination.selection import CombinedSelection, MaxDelta, Threshold
+from repro.core.match_operation import build_context
+from repro.datasets.gold_standard import load_task
+from repro.evaluation.grid import SeriesSpec
+from repro.evaluation.metrics import evaluate_mapping
+from repro.evaluation.report import format_table
+from repro.matchers.hybrid import LeavesMatcher, NameMatcher
+from repro.matchers.reuse.compose import match_compose
+from repro.matchers.reuse.provider import StoredMapping
+from repro.model.mapping import Correspondence, MatchResult
+
+
+def _default_selection():
+    return CombinedSelection([Threshold(0.5), MaxDelta(0.02)])
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_combined_similarity_average_vs_dice(benchmark, campaign):
+    """Average vs Dice as the hybrid-internal combined similarity (Section 7.2)."""
+    matchers = ("Name", "NamePath", "TypeName", "Children", "Leaves")
+
+    def evaluate():
+        results = {}
+        for variant in ("Average", "Dice"):
+            spec = SeriesSpec(matchers=matchers, aggregation=AVERAGE, direction=BOTH,
+                              selection=_default_selection(), combined_similarity=variant)
+            results[variant] = campaign.evaluate_series(spec).average
+        return results
+
+    results = benchmark.pedantic(evaluate, iterations=1, rounds=1)
+    rows = [
+        {"combined_similarity": variant, "precision": quality.precision,
+         "recall": quality.recall, "overall": quality.overall}
+        for variant, quality in results.items()
+    ]
+    print()
+    print(format_table(rows, title="Ablation: hybrid-internal combined similarity (All matchers)"))
+    # the paper observes some degradation of match quality using Dice compared to Average
+    assert results["Average"].overall >= results["Dice"].overall - 0.05
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_matchcompose_average_vs_product(benchmark):
+    """Average vs multiplicative composition in MatchCompose (Section 5.1)."""
+    first = StoredMapping("A", "B", (("A.contactFirstName", "B.Name", 0.5),))
+    second = StoredMapping("B", "C", (("B.Name", "C.firstName", 0.7),))
+
+    def compose_both():
+        return (
+            match_compose(first, second, "average").rows[0][2],
+            match_compose(first, second, "product").rows[0][2],
+        )
+
+    average_value, product_value = benchmark(compose_both)
+    print()
+    print(format_table(
+        [{"composition": "Average", "similarity": average_value},
+         {"composition": "Product", "similarity": product_value}],
+        title="Ablation: MatchCompose composition function (paper's 0.5 / 0.7 example)",
+    ))
+    assert average_value == pytest.approx(0.6)
+    assert product_value == pytest.approx(0.35)
+    assert average_value > product_value
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_leaves_leaf_matcher(benchmark):
+    """Leaves with the default TypeName leaf matcher vs a Name leaf matcher."""
+    task = load_task(1, 2)
+    context = build_context(task.source, task.target)
+    selection = _default_selection()
+
+    def evaluate(leaf_matcher):
+        matcher = LeavesMatcher(leaf_matcher=leaf_matcher)
+        matrix = matcher.compute(task.source.paths(), task.target.paths(), context)
+        pairs = BOTH.select_pairs(matrix, selection)
+        predicted = MatchResult(task.source, task.target)
+        for source, target, similarity in pairs:
+            predicted.add(Correspondence(source, target, similarity))
+        return evaluate_mapping(predicted, task.reference)
+
+    def run():
+        return {
+            "TypeName (default)": evaluate(None),
+            "Name": evaluate(NameMatcher()),
+        }
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        {"leaf_matcher": label, "precision": q.precision, "recall": q.recall, "overall": q.overall}
+        for label, q in results.items()
+    ]
+    print()
+    print(format_table(rows, title="Ablation: leaf-level matcher used by Leaves (task 1<->2)"))
+    # TypeName incorporates data-type evidence; it should not be worse than Name alone.
+    assert results["TypeName (default)"].overall >= results["Name"].overall - 0.05

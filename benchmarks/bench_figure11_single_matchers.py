@@ -1,0 +1,58 @@
+"""Figure 11: quality of the single matchers (no-reuse and reuse).
+
+Regenerates the average Precision / Recall / Overall of the five hybrid
+matchers and the two Schema reuse variants under the default combination
+strategy, sorted by Overall as in the paper's figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.combination.aggregation import AVERAGE
+from repro.combination.direction import BOTH
+from repro.combination.selection import CombinedSelection, MaxDelta, Threshold
+from repro.evaluation.analysis import single_matcher_quality
+from repro.evaluation.grid import SeriesSpec
+from repro.evaluation.report import format_table
+
+_SINGLE_MATCHERS = ("NamePath", "TypeName", "Leaves", "Children", "Name", "SchemaM", "SchemaA")
+
+
+def _default_spec(matcher: str) -> SeriesSpec:
+    return SeriesSpec(
+        matchers=(matcher,),
+        aggregation=AVERAGE,
+        direction=BOTH,
+        selection=CombinedSelection([Threshold(0.5), MaxDelta(0.02)]),
+    )
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_figure11_single_matcher_quality(benchmark, campaign):
+    rows = benchmark.pedantic(
+        lambda: single_matcher_quality(campaign, _SINGLE_MATCHERS, _default_spec),
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table(
+        [row.as_row() for row in rows],
+        title="Figure 11: quality of single matchers (avg Precision / Recall / Overall)",
+    ))
+
+    by_name = {row.label: row.quality for row in rows}
+    hybrid_overalls = {name: by_name[name].overall for name in
+                       ("Name", "NamePath", "TypeName", "Children", "Leaves")}
+    # NamePath is the best no-reuse single matcher (paper: best Precision and Overall).
+    assert max(hybrid_overalls, key=hybrid_overalls.get) == "NamePath"
+    assert by_name["NamePath"].precision == max(
+        by_name[n].precision for n in hybrid_overalls
+    )
+    # Context-blind matchers produce many false positives -> low or negative Overall.
+    assert by_name["Name"].overall < by_name["NamePath"].overall
+    assert by_name["Leaves"].overall < by_name["NamePath"].overall
+    # The Schema reuse matchers are the best single matchers, and manual reuse
+    # beats reuse of automatically derived mappings.
+    assert by_name["SchemaM"].overall > max(hybrid_overalls.values())
+    assert by_name["SchemaM"].overall > by_name["SchemaA"].overall
+    assert by_name["SchemaM"].precision >= 0.8

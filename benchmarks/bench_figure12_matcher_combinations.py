@@ -1,0 +1,64 @@
+"""Figure 12: quality of the best matcher combinations (no-reuse and reuse).
+
+For every matcher combination (pair-wise, All, Schema combinations) the best
+series over the evaluated grid is selected and its average Precision / Recall /
+Overall reported, sorted by Overall as in the paper.  Also reproduces the
+Section 7.2 vote that selects the default combination strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.analysis import best_combination_quality, default_strategy_selection
+from repro.evaluation.report import format_key_values, format_table
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_figure12_best_matcher_combinations(benchmark, no_reuse_results, reuse_results):
+    rows = benchmark(lambda: best_combination_quality(list(no_reuse_results) + list(reuse_results)))
+    print()
+    print(format_table(
+        [{**row.as_row(), "strategy": row.spec.label()} for row in rows],
+        title="Figure 12: quality of best matcher combinations",
+    ))
+
+    by_label = {row.label: row.quality for row in rows}
+    # The combination of all five hybrid matchers is among the evaluated combinations.
+    assert "All" in by_label
+    # Reuse combinations beat the no-reuse combinations (paper Section 7.3).
+    no_reuse_best = max(q.overall for label, q in by_label.items() if "Schema" not in label)
+    reuse_best = max(q.overall for label, q in by_label.items() if "Schema" in label)
+    assert reuse_best > no_reuse_best
+    # Combinations with NamePath achieve high precision (paper: > 0.9 for reuse combos).
+    name_path_combos = [q for label, q in by_label.items() if "NamePath" in label]
+    assert max(q.precision for q in name_path_combos) >= 0.7
+    # The best no-reuse combination clearly beats the weakest one.
+    no_reuse_overalls = [q.overall for label, q in by_label.items() if "Schema" not in label]
+    assert max(no_reuse_overalls) - min(no_reuse_overalls) > 0.1
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_section72_default_strategy_vote(benchmark, no_reuse_results):
+    choice = benchmark(lambda: default_strategy_selection(no_reuse_results))
+    print()
+    print(format_key_values(
+        [
+            ("best combination", choice.best_label),
+            ("best average Overall", choice.best_overall),
+            ("aggregation votes", str(choice.aggregation_votes)),
+            ("direction votes", str(choice.direction_votes)),
+            ("selection votes", str(choice.selection_votes)),
+            ("combined-similarity votes", str(choice.combined_votes)),
+        ],
+        title="Section 7.2: default-strategy vote over the best combination series",
+    ))
+    # The paper's conclusion: Average aggregation and Both direction dominate the
+    # best series of the matcher combinations.
+    assert choice.aggregation_votes.get("Average", 0) >= max(
+        choice.aggregation_votes.get("Max", 0), choice.aggregation_votes.get("Min", 0)
+    )
+    assert choice.direction_votes.get("Both", 0) >= max(
+        choice.direction_votes.get("LargeSmall", 0), choice.direction_votes.get("SmallLarge", 0)
+    )
+    assert choice.best_overall > 0

@@ -1,0 +1,41 @@
+"""Figure 13: impact of schema characteristics (size, similarity) on match quality.
+
+For every task the best per-task Overall achieved by any no-reuse series and by
+any (manual) reuse series is reported next to the task's total path count and
+schema similarity.  The paper's observations are asserted as shape checks:
+reuse beats no-reuse per task, and quality tends to degrade for the largest
+match problems.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.analysis import sensitivity_by_task
+from repro.evaluation.report import format_table
+
+
+@pytest.mark.benchmark(group="figure13")
+def test_figure13_match_sensitivity(benchmark, campaign, no_reuse_results, reuse_results):
+    manual_reuse = [r for r in reuse_results if "SchemaM" in r.spec.matchers]
+    rows = benchmark(
+        lambda: sensitivity_by_task(campaign, no_reuse_results, manual_reuse)
+    )
+    print()
+    print(format_table(
+        [row.as_row() for row in rows],
+        title="Figure 13: best Overall per task vs schema size and similarity",
+    ))
+
+    assert len(rows) == 10
+    # Reuse beats (or at least matches) the no-reuse approaches on every task.
+    for row in rows:
+        assert row.best_reuse_overall is not None
+        assert row.best_reuse_overall >= row.best_no_reuse_overall - 1e-9
+    # Quality degrades with problem size: the largest tasks do not beat the smallest
+    # task's best no-reuse Overall.
+    smallest = min(rows, key=lambda r: r.total_paths)
+    largest = max(rows, key=lambda r: r.total_paths)
+    assert largest.best_no_reuse_overall <= smallest.best_no_reuse_overall + 0.1
+    # Every per-task best is a usable result (positive Overall) for the no-reuse case.
+    assert all(row.best_no_reuse_overall > 0 for row in rows)

@@ -1,0 +1,43 @@
+"""Figure 8: problem size of the 10 match tasks (matches, paths, schema similarity).
+
+Regenerates the per-task series the paper plots: the number of real
+correspondences, the number of matched paths, the total number of paths and the
+Dice schema similarity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.report import format_table
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_problem_size(benchmark, tasks):
+    def regenerate():
+        return [
+            {
+                "task": task.name,
+                "matches": task.match_count,
+                "matched_paths": task.matched_path_count,
+                "all_paths": task.total_paths,
+                "schema_similarity": task.schema_similarity,
+            }
+            for task in tasks
+        ]
+
+    rows = benchmark(regenerate)
+    print()
+    print(format_table(rows, title="Figure 8: problem size in schema matching tasks"))
+
+    assert len(rows) == 10
+    # the paper: schema similarity is moderate (mostly around 0.5) and the number
+    # of paths grows from the smallest task (1<->2) to the largest (4<->5)
+    similarities = [row["schema_similarity"] for row in rows]
+    assert all(0.3 <= value <= 0.85 for value in similarities)
+    by_task = {row["task"]: row for row in rows}
+    assert by_task["4<->5"]["all_paths"] == max(row["all_paths"] for row in rows)
+    assert by_task["1<->2"]["all_paths"] == min(row["all_paths"] for row in rows)
+    # matched paths never exceed all paths, matches never exceed matched paths pairs
+    for row in rows:
+        assert row["matched_paths"] <= row["all_paths"]

@@ -1,0 +1,62 @@
+"""Figures 9 and 10: distribution of no-reuse series over Overall ranges.
+
+Figure 9 is the histogram of series per average-Overall range; Figure 10 shows,
+per combination-strategy dimension (aggregation, direction, selection), the
+share of series in each range.  Both are regenerated from the evaluated grid
+of no-reuse series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.analysis import overall_distribution, strategy_shares
+from repro.evaluation.report import format_bar_chart, format_grouped_bars
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_overall_distribution(benchmark, no_reuse_results):
+    distribution = benchmark(lambda: overall_distribution(no_reuse_results))
+    print()
+    print(format_bar_chart(
+        [(label, float(count)) for label, count in distribution],
+        title=f"Figure 9: distribution of {len(no_reuse_results)} no-reuse series over Overall ranges",
+        value_format="{:.0f}",
+    ))
+
+    counts = dict(distribution)
+    assert sum(counts.values()) == len(no_reuse_results)
+    # the paper: the bulk of the series performs poorly (negative Overall), only
+    # a small fraction reaches the top ranges
+    assert counts["Min-0.0"] == max(counts.values())
+    top = counts.get("0.6-0.7", 0) + counts.get("0.7-0.8", 0) + counts.get("0.8-1.0", 0)
+    assert top < sum(counts.values()) * 0.25
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_strategy_shares(benchmark, no_reuse_results):
+    def regenerate():
+        return {
+            "aggregation": strategy_shares(no_reuse_results, lambda spec: str(spec.aggregation)),
+            "direction": strategy_shares(no_reuse_results, lambda spec: str(spec.direction)),
+            "selection": strategy_shares(no_reuse_results, lambda spec: str(spec.selection)),
+        }
+
+    shares = benchmark(regenerate)
+    for dimension, series in shares.items():
+        print()
+        print(format_grouped_bars(series, title=f"Figure 10 ({dimension}): share of series per Overall range"))
+
+    def best_bucket(series):
+        """Index of the highest Overall range in which the strategy still appears."""
+        populated = [i for i, (_, share) in enumerate(series) if share > 0]
+        return max(populated) if populated else -1
+
+    aggregation = shares["aggregation"]
+    direction = shares["direction"]
+    # Figure 10a: Max is confined to low Overall ranges; Average reaches the highest ranges.
+    assert best_bucket(aggregation["Average"]) >= best_bucket(aggregation["Max"])
+    # Figure 10b: Both reaches at least as high as the directional strategies,
+    # and SmallLarge never beats LargeSmall's reach.
+    assert best_bucket(direction["Both"]) >= best_bucket(direction["LargeSmall"])
+    assert best_bucket(direction["Both"]) >= best_bucket(direction["SmallLarge"])

@@ -1,0 +1,96 @@
+"""Tables 3 and 4: the matcher library inventory and the hybrid matcher defaults.
+
+Table 3 lists the implemented matchers with the schema / auxiliary information
+they exploit; Table 4 lists the default constituents and combination strategies
+of the hybrid matchers.  Both are regenerated from the live registry and the
+hybrid matcher defaults so the documentation can never drift from the code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.report import format_table
+from repro.matchers.hybrid import (
+    ChildrenMatcher,
+    LeavesMatcher,
+    NameMatcher,
+    NamePathMatcher,
+    TypeNameMatcher,
+)
+from repro.matchers.registry import default_library
+
+
+@pytest.mark.benchmark(group="table3-4")
+def test_table3_matcher_library(benchmark):
+    def regenerate():
+        library = default_library()
+        return [
+            {
+                "matcher_type": info.kind,
+                "matcher": info.name,
+                "schema_info": info.schema_info or "-",
+                "auxiliary_info": info.auxiliary_info or "-",
+            }
+            for info in library.entries()
+        ]
+
+    rows = benchmark(regenerate)
+    print()
+    print(format_table(rows, title="Table 3: implemented matchers in the matcher library"))
+    names = {row["matcher"] for row in rows}
+    # every matcher named in the paper's Table 3 is present
+    for expected in ("Affix", "Soundex", "EditDistance", "Synonym", "DataType", "UserFeedback",
+                     "Name", "NamePath", "TypeName", "Children", "Leaves", "Schema"):
+        assert expected in names
+    kinds = {row["matcher"]: row["matcher_type"] for row in rows}
+    assert kinds["Name"] == "hybrid" and kinds["Schema"] == "reuse" and kinds["Affix"] == "simple"
+
+
+@pytest.mark.benchmark(group="table3-4")
+def test_table4_hybrid_matcher_defaults(benchmark):
+    def regenerate():
+        name = NameMatcher()
+        type_name = TypeNameMatcher()
+        children = ChildrenMatcher()
+        leaves = LeavesMatcher()
+        return [
+            {
+                "hybrid_matcher": "Name",
+                "default_matchers": "+".join(str(c) for c in name.constituents),
+                "aggregation": str(name.aggregation),
+                "direction_selection": "Both, Max1",
+                "comb_similarity": str(name.combined_similarity),
+            },
+            {
+                "hybrid_matcher": "TypeName",
+                "default_matchers": "DataType+Name",
+                "aggregation": f"Weighted{type_name.weights}",
+                "direction_selection": "-",
+                "comb_similarity": "-",
+            },
+            {
+                "hybrid_matcher": "Children",
+                "default_matchers": children.leaf_matcher.name,
+                "aggregation": "-",
+                "direction_selection": "Both, Max1",
+                "comb_similarity": str(children.combined_similarity),
+            },
+            {
+                "hybrid_matcher": "Leaves",
+                "default_matchers": leaves.leaf_matcher.name,
+                "aggregation": "-",
+                "direction_selection": "Both, Max1",
+                "comb_similarity": str(leaves.combined_similarity),
+            },
+        ]
+
+    rows = benchmark(regenerate)
+    print()
+    print(format_table(rows, title="Table 4: construction of hybrid matchers (defaults)"))
+    by_name = {row["hybrid_matcher"]: row for row in rows}
+    assert by_name["Name"]["default_matchers"] == "Trigram+Synonym"
+    assert by_name["Name"]["aggregation"] == "Max"
+    assert by_name["TypeName"]["aggregation"].startswith("Weighted(0.7")
+    assert by_name["Children"]["default_matchers"] == "TypeName"
+    assert by_name["Leaves"]["comb_similarity"] == "Average"

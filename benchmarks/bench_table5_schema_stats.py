@@ -1,0 +1,57 @@
+"""Table 5: characteristics of the five purchase-order test schemas.
+
+Regenerates max depth, node / path counts and the inner / leaf breakdown for
+the bundled test schemas and compares the *relative* structure against the
+paper's Table 5 (the schemas are substitutions, so absolute counts differ; the
+ordering, fragment-sharing behaviour and rough magnitudes must hold).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.purchase_orders import load_all_schemas, schema_names
+from repro.evaluation.report import format_table
+
+#: The paper's Table 5 values, for side-by-side reporting.
+_PAPER_TABLE5 = {
+    "CIDX": {"max_depth": 4, "nodes": 40, "paths": 40},
+    "Excel": {"max_depth": 4, "nodes": 35, "paths": 54},
+    "Noris": {"max_depth": 4, "nodes": 46, "paths": 65},
+    "Paragon": {"max_depth": 6, "nodes": 74, "paths": 80},
+    "Apertum": {"max_depth": 5, "nodes": 80, "paths": 145},
+}
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_schema_characteristics(benchmark):
+    def regenerate():
+        rows = []
+        for name, schema in load_all_schemas().items():
+            statistics = schema.statistics()
+            row = statistics.as_row()
+            row["paper_nodes"] = _PAPER_TABLE5[name]["nodes"]
+            row["paper_paths"] = _PAPER_TABLE5[name]["paths"]
+            rows.append(row)
+        return rows
+
+    rows = benchmark(regenerate)
+    print()
+    print(format_table(rows, title="Table 5: characteristics of test schemas (measured vs paper)"))
+
+    by_name = {row["schema"]: row for row in rows}
+    order = schema_names()
+    # CIDX is the smallest schema, Apertum has the most paths (as in the paper).
+    assert by_name["CIDX"]["paths"] == min(by_name[n]["paths"] for n in order)
+    assert by_name["Apertum"]["paths"] == max(by_name[n]["paths"] for n in order)
+    # Schemas with shared fragments have more paths than nodes (all but CIDX).
+    assert by_name["CIDX"]["paths"] == by_name["CIDX"]["nodes"]
+    for name in ("Excel", "Noris", "Apertum"):
+        assert by_name[name]["paths"] > by_name[name]["nodes"]
+    # Paragon is the deepest schema, as in the paper.
+    assert by_name["Paragon"]["max_depth"] == max(by_name[n]["max_depth"] for n in order)
+    # Sizes stay in the paper's ballpark (within a factor of ~1.5).
+    for name in order:
+        measured = by_name[name]["paths"]
+        paper = _PAPER_TABLE5[name]["paths"]
+        assert 0.6 * paper <= measured <= 1.5 * paper

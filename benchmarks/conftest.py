@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive work -- executing every matcher over the 10 match tasks and
+evaluating the strategy grid -- happens once per session in these fixtures;
+the individual benchmarks then regenerate their table or figure from the
+cached results and time the (cheap, repeatable) analysis step.
+
+Set ``COMA_FULL_GRID=1`` to evaluate the paper's full Table 6 selection grid
+instead of the representative reduced grid (slower by roughly an order of
+magnitude).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.gold_standard import load_all_tasks
+from repro.evaluation.campaign import EvaluationCampaign
+from repro.evaluation.grid import (
+    enumerate_series,
+    no_reuse_matcher_usages,
+    reuse_matcher_usages,
+    selection_strategies,
+)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "benchmark: benchmark harness tests")
+
+
+@pytest.fixture(scope="session")
+def tasks():
+    """The 10 evaluation match tasks."""
+    return load_all_tasks()
+
+
+@pytest.fixture(scope="session")
+def campaign(tasks):
+    """The prepared evaluation campaign over all 10 tasks (matchers run once)."""
+    return EvaluationCampaign(tasks=tasks).prepare()
+
+
+@pytest.fixture(scope="session")
+def no_reuse_results(campaign):
+    """All no-reuse series of the (reduced or full) grid, evaluated once."""
+    series = list(
+        enumerate_series(no_reuse_matcher_usages(), selections=selection_strategies())
+    )
+    return campaign.evaluate_many(series)
+
+
+@pytest.fixture(scope="session")
+def reuse_results(campaign):
+    """Reuse series (SchemaM / SchemaA usages) of the grid, evaluated once.
+
+    By default the reuse usages are swept over a focused selection sub-grid
+    (the strategies the paper identifies as relevant for reuse combinations);
+    ``COMA_FULL_GRID=1`` switches to the full selection dimension.
+    """
+    import os
+
+    from repro.combination.selection import CombinedSelection, MaxDelta, MaxN, Threshold
+
+    if os.environ.get("COMA_FULL_GRID", "") == "1":
+        selections = selection_strategies(full=True)
+    else:
+        selections = [
+            MaxN(1),
+            MaxDelta(0.1),
+            CombinedSelection([Threshold(0.5), MaxN(1)]),
+            CombinedSelection([Threshold(0.5), MaxDelta(0.02)]),
+        ]
+    series = list(enumerate_series(reuse_matcher_usages(), selections=selections))
+    return campaign.evaluate_many(series)

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no ``wheel`` package available
+offline, so PEP 660 editable installs (which build a wheel) fail.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``; this file only triggers setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""COMA: flexible combination of schema matching approaches (Do & Rahm, VLDB 2002).
+
+This package is a full reproduction of the COMA schema matching system:
+
+* a schema graph model with path-level match granularity (:mod:`repro.model`),
+* importers for relational DDL, XSD and dict specifications (:mod:`repro.importers`),
+* the matcher library -- simple, hybrid and reuse-oriented matchers
+  (:mod:`repro.matchers`),
+* the combination framework: similarity cubes, aggregation, direction,
+  selection and combined similarity (:mod:`repro.combination`),
+* the match operation and the iterative/interactive processor (:mod:`repro.core`),
+* a SQLite-backed repository for schemas, cubes and mappings (:mod:`repro.repository`),
+* the evaluation harness reproducing the paper's experiments (:mod:`repro.evaluation`),
+* the bundled purchase-order test schemas and gold standards (:mod:`repro.datasets`).
+
+Quickstart::
+
+    from repro import match
+    from repro.datasets import load_po1, load_po2
+
+    outcome = match(load_po1(), load_po2())
+    for correspondence in outcome.result:
+        print(correspondence)
+"""
+
+from repro.combination import (
+    CombinationStrategy,
+    MaxDelta,
+    MaxN,
+    SimilarityCube,
+    SimilarityMatrix,
+    Threshold,
+    default_combination,
+    parse_combination,
+)
+from repro.core import (
+    MatchOutcome,
+    MatchProcessor,
+    MatchStrategy,
+    UserFeedbackStore,
+    default_strategy,
+    match,
+    match_with_strategy,
+    schema_similarity,
+)
+from repro.importers import DEFAULT_IMPORTERS
+from repro.matchers import DEFAULT_LIBRARY, MatchContext, Matcher, MatcherLibrary
+from repro.model import (
+    Correspondence,
+    ElementKind,
+    GenericType,
+    MatchResult,
+    Schema,
+    SchemaBuilder,
+    SchemaElement,
+    SchemaPath,
+)
+from repro.repository import Repository
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CombinationStrategy",
+    "Correspondence",
+    "DEFAULT_IMPORTERS",
+    "DEFAULT_LIBRARY",
+    "ElementKind",
+    "GenericType",
+    "MatchContext",
+    "MatchOutcome",
+    "MatchProcessor",
+    "MatchResult",
+    "MatchStrategy",
+    "Matcher",
+    "MatcherLibrary",
+    "MaxDelta",
+    "MaxN",
+    "Repository",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaElement",
+    "SchemaPath",
+    "SimilarityCube",
+    "SimilarityMatrix",
+    "Threshold",
+    "UserFeedbackStore",
+    "__version__",
+    "default_combination",
+    "default_strategy",
+    "match",
+    "match_with_strategy",
+    "parse_combination",
+    "schema_similarity",
+]

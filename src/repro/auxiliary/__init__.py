@@ -1,0 +1,15 @@
+"""Auxiliary information sources: synonym dictionaries and related tables."""
+
+from repro.auxiliary.synonyms import (
+    DEFAULT_RELATIONSHIP_SIMILARITY,
+    SynonymDictionary,
+    TermRelationship,
+    default_purchase_order_synonyms,
+)
+
+__all__ = [
+    "DEFAULT_RELATIONSHIP_SIMILARITY",
+    "SynonymDictionary",
+    "TermRelationship",
+    "default_purchase_order_synonyms",
+]

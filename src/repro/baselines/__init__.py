@@ -1,0 +1,5 @@
+"""Baseline matchers used for comparison (Similarity Flooding)."""
+
+from repro.baselines.similarity_flooding import SimilarityFloodingMatcher
+
+__all__ = ["SimilarityFloodingMatcher"]

@@ -1,0 +1,121 @@
+"""Command-line interface: match two schema files and print the mapping.
+
+Usage examples::
+
+    coma match po1.sql po2.xsd
+    coma match a.xsd b.xsd --matchers NamePath Leaves --selection "Thr(0.5)+Delta(0.02)"
+    coma stats po.xsd
+    coma tasks            # list the bundled evaluation tasks and their sizes
+
+The CLI is intentionally thin: everything it does is a few calls into the
+public API, so it doubles as a usage example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.combination.strategy import parse_combination
+from repro.core.match_operation import match
+from repro.datasets.gold_standard import load_all_tasks
+from repro.evaluation.metrics import evaluate_mapping
+from repro.evaluation.report import format_table
+from repro.importers.registry import DEFAULT_IMPORTERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coma",
+        description="COMA schema matching (Do & Rahm, VLDB 2002) - reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    match_parser = subparsers.add_parser("match", help="match two schema files")
+    match_parser.add_argument("source", help="source schema file (.sql, .xsd, .json)")
+    match_parser.add_argument("target", help="target schema file (.sql, .xsd, .json)")
+    match_parser.add_argument(
+        "--matchers", nargs="+", default=None,
+        help="matcher names from the library (default: the five hybrid matchers)",
+    )
+    match_parser.add_argument("--aggregation", default="Average",
+                              help="aggregation strategy: Max, Min or Average")
+    match_parser.add_argument("--direction", default="Both",
+                              help="direction strategy: Both, LargeSmall or SmallLarge")
+    match_parser.add_argument("--selection", default="Thr(0.5)+Delta(0.02)",
+                              help='selection strategy, e.g. "MaxN(1)" or "Thr(0.5)+Delta(0.02)"')
+    match_parser.add_argument("--min-similarity", type=float, default=0.0,
+                              help="only print correspondences at or above this similarity")
+
+    stats_parser = subparsers.add_parser("stats", help="print the Table 5 statistics of a schema file")
+    stats_parser.add_argument("schema", help="schema file (.sql, .xsd, .json)")
+
+    subparsers.add_parser("tasks", help="list the bundled evaluation tasks (Figure 8 data)")
+    return parser
+
+
+def _command_match(arguments: argparse.Namespace) -> int:
+    source = DEFAULT_IMPORTERS.import_file(arguments.source)
+    target = DEFAULT_IMPORTERS.import_file(arguments.target)
+    combination = parse_combination(
+        aggregation=arguments.aggregation,
+        direction=arguments.direction,
+        selection=arguments.selection,
+    )
+    outcome = match(source, target, matchers=arguments.matchers, combination=combination)
+    rows = [
+        {
+            "source": correspondence.source.dotted(),
+            "target": correspondence.target.dotted(),
+            "similarity": correspondence.similarity,
+        }
+        for correspondence in outcome.result
+        if correspondence.similarity >= arguments.min_similarity
+    ]
+    print(format_table(rows, title=f"Mapping {source.name} <-> {target.name}"))
+    print(f"\nschema similarity: {outcome.schema_similarity:.3f}")
+    print(f"correspondences:   {len(rows)}")
+    return 0
+
+
+def _command_stats(arguments: argparse.Namespace) -> int:
+    schema = DEFAULT_IMPORTERS.import_file(arguments.schema)
+    statistics = schema.statistics()
+    print(format_table([statistics.as_row()], title="Schema statistics (cf. Table 5)"))
+    return 0
+
+
+def _command_tasks() -> int:
+    rows = []
+    for task in load_all_tasks():
+        rows.append(
+            {
+                "task": task.name,
+                "schemas": f"{task.source.name}<->{task.target.name}",
+                "matches": task.match_count,
+                "matched_paths": task.matched_path_count,
+                "all_paths": task.total_paths,
+                "schema_similarity": task.schema_similarity,
+            }
+        )
+    print(format_table(rows, title="Evaluation match tasks (cf. Figure 8)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    parser = _build_parser()
+    arguments = parser.parse_args(list(argv) if argv is not None else None)
+    if arguments.command == "match":
+        return _command_match(arguments)
+    if arguments.command == "stats":
+        return _command_stats(arguments)
+    if arguments.command == "tasks":
+        return _command_tasks()
+    parser.error(f"unknown command {arguments.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

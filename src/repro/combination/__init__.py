@@ -1,0 +1,87 @@
+"""Combination of similarity values: cubes, matrices and the strategy pipeline."""
+
+from repro.combination.aggregation import (
+    AVERAGE,
+    MAX,
+    MIN,
+    AggregationStrategy,
+    AverageAggregation,
+    MaxAggregation,
+    MinAggregation,
+    WeightedAggregation,
+    aggregation_by_name,
+)
+from repro.combination.combined import (
+    AVERAGE_COMBINED,
+    DICE_COMBINED,
+    AverageCombined,
+    CombinedSimilarityStrategy,
+    DiceCombined,
+    combined_similarity_by_name,
+)
+from repro.combination.cube import SimilarityCube
+from repro.combination.direction import (
+    BOTH,
+    LARGE_SMALL,
+    SMALL_LARGE,
+    Both,
+    DirectionStrategy,
+    LargeSmall,
+    SelectedPair,
+    SmallLarge,
+    direction_by_name,
+)
+from repro.combination.matrix import SimilarityMatrix
+from repro.combination.selection import (
+    CombinedSelection,
+    MaxDelta,
+    MaxN,
+    SelectionStrategy,
+    Threshold,
+    default_selection,
+)
+from repro.combination.strategy import (
+    CombinationStrategy,
+    default_combination,
+    parse_combination,
+    parse_selection,
+)
+
+__all__ = [
+    "AVERAGE",
+    "AVERAGE_COMBINED",
+    "BOTH",
+    "DICE_COMBINED",
+    "LARGE_SMALL",
+    "MAX",
+    "MIN",
+    "SMALL_LARGE",
+    "AggregationStrategy",
+    "AverageAggregation",
+    "AverageCombined",
+    "Both",
+    "CombinationStrategy",
+    "CombinedSelection",
+    "CombinedSimilarityStrategy",
+    "DiceCombined",
+    "DirectionStrategy",
+    "LargeSmall",
+    "MaxAggregation",
+    "MaxDelta",
+    "MaxN",
+    "MinAggregation",
+    "SelectedPair",
+    "SelectionStrategy",
+    "SimilarityCube",
+    "SimilarityMatrix",
+    "SmallLarge",
+    "Threshold",
+    "WeightedAggregation",
+    "aggregation_by_name",
+    "combined_similarity_by_name",
+    "default_combination",
+    "default_selection",
+    "direction_by_name",
+    "parse_combination",
+    "parse_selection",
+]

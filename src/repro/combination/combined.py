@@ -1,0 +1,162 @@
+"""Computation of combined similarity for element/component sets (Section 6.3).
+
+Hybrid matchers need a third step: turning the list of selected match
+candidates between two *sets* (token sets, child sets, leaf sets) into one
+combined similarity value for the pair of schema objects that own those sets.
+The same computation also produces the *schema similarity* used by Figure 8.
+
+Two strategies are supported:
+
+* ``Average`` -- the sum of the similarities of all match candidates of both
+  sets divided by the total number of set elements ``|S1| + |S2|``,
+* ``Dice`` -- the ratio of the number of matched elements over the total
+  number of set elements (the similarity values themselves do not matter),
+  based on the Dice coefficient.
+
+Both follow Figure 7: the pair lists passed in are the directional match
+results ``S1 -> S2`` and ``S2 -> S1`` produced by step 2 with direction
+``Both``; Dice is more optimistic than Average whenever individual similarities
+are below 1.0, and both coincide when every similarity equals 1.0.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Tuple
+
+from repro.exceptions import CombinationError
+from repro.combination.direction import SelectedPair
+
+
+class CombinedSimilarityStrategy(abc.ABC):
+    """Base class for combined-similarity (set similarity) strategies."""
+
+    name: str = "combined-similarity"
+
+    @abc.abstractmethod
+    def combine(
+        self,
+        selected_pairs: Sequence[SelectedPair],
+        source_size: int,
+        target_size: int,
+    ) -> float:
+        """Combine selected pairs between two sets into one similarity value.
+
+        Parameters
+        ----------
+        selected_pairs:
+            The selected ``(source, target, similarity)`` triples (undirected,
+            i.e. each matched pair appears once).
+        source_size / target_size:
+            The total number of elements in the two sets (``|S1|`` / ``|S2|``).
+        """
+
+    def __call__(
+        self,
+        selected_pairs: Sequence[SelectedPair],
+        source_size: int,
+        target_size: int,
+    ) -> float:
+        return self.combine(selected_pairs, source_size, target_size)
+
+    @staticmethod
+    def _validate_sizes(source_size: int, target_size: int) -> None:
+        if source_size <= 0 or target_size <= 0:
+            raise CombinationError(
+                f"set sizes must be positive, got |S1|={source_size}, |S2|={target_size}"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CombinedSimilarityStrategy) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+def _per_side_counts_and_sums(
+    selected_pairs: Sequence[SelectedPair],
+) -> Tuple[int, int, float, float]:
+    """Matched-element counts and similarity sums per side.
+
+    Figure 7 counts the match candidates of *both* sets: a source element with
+    one candidate contributes its similarity once for the S1 -> S2 direction
+    and the target element contributes once for S2 -> S1.  With at most one
+    candidate per element (the usual case after Max1/Delta selection) this is
+    equivalent to counting each matched element once per side.
+    """
+    matched_sources = {}
+    matched_targets = {}
+    for source, target, similarity in selected_pairs:
+        matched_sources[source] = max(matched_sources.get(source, 0.0), similarity)
+        matched_targets[target] = max(matched_targets.get(target, 0.0), similarity)
+    return (
+        len(matched_sources),
+        len(matched_targets),
+        sum(matched_sources.values()),
+        sum(matched_targets.values()),
+    )
+
+
+class AverageCombined(CombinedSimilarityStrategy):
+    """Sum of candidate similarities of both sets over the total number of elements."""
+
+    name = "Average"
+
+    def combine(
+        self,
+        selected_pairs: Sequence[SelectedPair],
+        source_size: int,
+        target_size: int,
+    ) -> float:
+        self._validate_sizes(source_size, target_size)
+        if not selected_pairs:
+            return 0.0
+        _, _, source_sum, target_sum = _per_side_counts_and_sums(selected_pairs)
+        value = (source_sum + target_sum) / (source_size + target_size)
+        return min(1.0, max(0.0, value))
+
+
+class DiceCombined(CombinedSimilarityStrategy):
+    """Number of matched elements of both sets over the total number of elements."""
+
+    name = "Dice"
+
+    def combine(
+        self,
+        selected_pairs: Sequence[SelectedPair],
+        source_size: int,
+        target_size: int,
+    ) -> float:
+        self._validate_sizes(source_size, target_size)
+        if not selected_pairs:
+            return 0.0
+        source_count, target_count, _, _ = _per_side_counts_and_sums(selected_pairs)
+        value = (source_count + target_count) / (source_size + target_size)
+        return min(1.0, max(0.0, value))
+
+
+#: Canonical instances.
+AVERAGE_COMBINED = AverageCombined()
+DICE_COMBINED = DiceCombined()
+
+_BY_NAME = {
+    "average": AVERAGE_COMBINED,
+    "avg": AVERAGE_COMBINED,
+    "dice": DICE_COMBINED,
+}
+
+
+def combined_similarity_by_name(name: str) -> CombinedSimilarityStrategy:
+    """Resolve a combined-similarity strategy from its name."""
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError:
+        raise CombinationError(
+            f"unknown combined-similarity strategy {name!r}; expected one of {sorted(set(_BY_NAME))}"
+        ) from None

@@ -1,0 +1,159 @@
+"""Match direction and the direction-aware application of selection (Section 6.2).
+
+COMA distinguishes directional and undirectional matching.  Given two schemas
+S1 and S2 with ``|S2| <= |S1|`` (S1 the larger schema):
+
+* ``LargeSmall`` -- elements from the larger schema S1 are ranked and selected
+  with respect to each element of the smaller target S2,
+* ``SmallLarge`` -- elements of the smaller schema S2 are ranked and selected
+  for each S1 element,
+* ``Both`` -- both directions are evaluated and a pair is only accepted if it
+  is selected in both directions (the undirectional match of Section 3).
+
+The direction strategy consumes the aggregated similarity matrix (rows = S1
+paths, columns = S2 paths, in *input* order, regardless of size) together with
+a :class:`~repro.combination.selection.SelectionStrategy` and produces the set
+of selected ``(source path, target path, similarity)`` triples.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Set, Tuple
+
+from repro.exceptions import CombinationError
+from repro.combination.matrix import SimilarityMatrix
+from repro.combination.selection import SelectionStrategy
+from repro.model.path import SchemaPath
+
+#: One selected correspondence: source path (S1), target path (S2), similarity.
+SelectedPair = Tuple[SchemaPath, SchemaPath, float]
+
+
+def _select_source_to_target(
+    matrix: SimilarityMatrix, selection: SelectionStrategy
+) -> Set[SelectedPair]:
+    """For each source (row) element, select candidates among the targets."""
+    pairs: Set[SelectedPair] = set()
+    for source in matrix.source_paths:
+        ranked = matrix.ranked_targets(source)
+        for target, similarity in selection.select(ranked):
+            pairs.add((source, target, similarity))
+    return pairs
+
+
+def _select_target_to_source(
+    matrix: SimilarityMatrix, selection: SelectionStrategy
+) -> Set[SelectedPair]:
+    """For each target (column) element, select candidates among the sources."""
+    pairs: Set[SelectedPair] = set()
+    for target in matrix.target_paths:
+        ranked = matrix.ranked_sources(target)
+        for source, similarity in selection.select(ranked):
+            pairs.add((source, target, similarity))
+    return pairs
+
+
+class DirectionStrategy(abc.ABC):
+    """Base class for match direction strategies."""
+
+    name: str = "direction"
+
+    @abc.abstractmethod
+    def select_pairs(
+        self, matrix: SimilarityMatrix, selection: SelectionStrategy
+    ) -> List[SelectedPair]:
+        """Apply ``selection`` in the configured direction(s) over ``matrix``."""
+
+    @staticmethod
+    def _source_is_larger(matrix: SimilarityMatrix) -> bool:
+        rows, columns = matrix.shape
+        return rows >= columns
+
+    def __call__(
+        self, matrix: SimilarityMatrix, selection: SelectionStrategy
+    ) -> List[SelectedPair]:
+        return self.select_pairs(matrix, selection)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DirectionStrategy) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    @staticmethod
+    def _sorted(pairs: Set[SelectedPair]) -> List[SelectedPair]:
+        return sorted(pairs, key=lambda p: (p[0].names, p[1].names))
+
+
+class LargeSmall(DirectionStrategy):
+    """Rank and select elements of the larger schema for each smaller-schema element."""
+
+    name = "LargeSmall"
+
+    def select_pairs(
+        self, matrix: SimilarityMatrix, selection: SelectionStrategy
+    ) -> List[SelectedPair]:
+        if self._source_is_larger(matrix):
+            # S1 (rows) is larger: select S1 candidates for each S2 element.
+            pairs = _select_target_to_source(matrix, selection)
+        else:
+            # S2 (columns) is larger: select S2 candidates for each S1 element.
+            pairs = _select_source_to_target(matrix, selection)
+        return self._sorted(pairs)
+
+
+class SmallLarge(DirectionStrategy):
+    """Rank and select elements of the smaller schema for each larger-schema element."""
+
+    name = "SmallLarge"
+
+    def select_pairs(
+        self, matrix: SimilarityMatrix, selection: SelectionStrategy
+    ) -> List[SelectedPair]:
+        if self._source_is_larger(matrix):
+            pairs = _select_source_to_target(matrix, selection)
+        else:
+            pairs = _select_target_to_source(matrix, selection)
+        return self._sorted(pairs)
+
+
+class Both(DirectionStrategy):
+    """Undirectional matching: a pair must be selected in both directions."""
+
+    name = "Both"
+
+    def select_pairs(
+        self, matrix: SimilarityMatrix, selection: SelectionStrategy
+    ) -> List[SelectedPair]:
+        forward = _select_source_to_target(matrix, selection)
+        backward = _select_target_to_source(matrix, selection)
+        return self._sorted(forward & backward)
+
+
+#: Canonical instances.
+LARGE_SMALL = LargeSmall()
+SMALL_LARGE = SmallLarge()
+BOTH = Both()
+
+_BY_NAME = {
+    "largesmall": LARGE_SMALL,
+    "smalllarge": SMALL_LARGE,
+    "both": BOTH,
+}
+
+
+def direction_by_name(name: str) -> DirectionStrategy:
+    """Resolve a direction strategy from its name."""
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError:
+        raise CombinationError(
+            f"unknown direction strategy {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,180 @@
+"""The full combination pipeline (Figure 6): aggregation -> direction/selection -> combined sim.
+
+A :class:`CombinationStrategy` bundles the tuple of sub-strategies the paper
+uses to describe combinations, e.g. ``(Max, Both, Max1, Average)``:
+
+1. an :class:`~repro.combination.aggregation.AggregationStrategy` collapsing
+   the matcher axis of the similarity cube,
+2. a :class:`~repro.combination.direction.DirectionStrategy` together with a
+   :class:`~repro.combination.selection.SelectionStrategy` choosing the match
+   candidates from the aggregated matrix,
+3. optionally a
+   :class:`~repro.combination.combined.CombinedSimilarityStrategy` collapsing
+   the selected pairs into one similarity value (required inside hybrid
+   matchers, optional — the "schema similarity" — for complete match results).
+
+The same pipeline is used for combining independent matchers at the end of a
+match iteration and, inside hybrid matchers, for combining component (token /
+child / leaf) similarities.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.combination.aggregation import AVERAGE, AggregationStrategy, aggregation_by_name
+from repro.combination.combined import (
+    AVERAGE_COMBINED,
+    CombinedSimilarityStrategy,
+    combined_similarity_by_name,
+)
+from repro.combination.cube import SimilarityCube
+from repro.combination.direction import BOTH, DirectionStrategy, SelectedPair, direction_by_name
+from repro.combination.matrix import SimilarityMatrix
+from repro.combination.selection import (
+    CombinedSelection,
+    MaxDelta,
+    MaxN,
+    SelectionStrategy,
+    Threshold,
+    default_selection,
+)
+from repro.exceptions import StrategyError
+
+
+@dataclasses.dataclass(frozen=True)
+class CombinationStrategy:
+    """The 4-tuple of sub-strategies controlling how similarities are combined."""
+
+    aggregation: AggregationStrategy = AVERAGE
+    direction: DirectionStrategy = BOTH
+    selection: SelectionStrategy = dataclasses.field(default_factory=default_selection)
+    combined_similarity: CombinedSimilarityStrategy = AVERAGE_COMBINED
+
+    # -- pipeline steps --------------------------------------------------------
+
+    def aggregate(self, cube: SimilarityCube) -> SimilarityMatrix:
+        """Step 1: collapse the matcher axis of the cube."""
+        return self.aggregation.aggregate(cube)
+
+    def select(self, matrix: SimilarityMatrix) -> List[SelectedPair]:
+        """Step 2: choose match candidates from the aggregated matrix."""
+        return self.direction.select_pairs(matrix, self.selection)
+
+    def combine_pairs(
+        self,
+        selected_pairs: Sequence[SelectedPair],
+        source_size: int,
+        target_size: int,
+    ) -> float:
+        """Step 3: collapse selected pairs into one combined similarity value."""
+        return self.combined_similarity.combine(selected_pairs, source_size, target_size)
+
+    def run(self, cube: SimilarityCube) -> List[SelectedPair]:
+        """Run steps 1 and 2 over a cube, returning the selected pairs."""
+        return self.select(self.aggregate(cube))
+
+    def run_with_similarity(self, cube: SimilarityCube) -> tuple[List[SelectedPair], float]:
+        """Run all three steps, returning the pairs and the combined (schema) similarity."""
+        pairs = self.run(cube)
+        similarity = self.combine_pairs(
+            pairs, len(cube.source_paths), len(cube.target_paths)
+        )
+        return pairs, similarity
+
+    # -- naming / parsing ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """The paper-style tuple notation, e.g. ``(Average, Both, Thr(0.5)+Delta(0.02), Average)``."""
+        return (
+            f"({self.aggregation}, {self.direction}, {self.selection}, "
+            f"{self.combined_similarity})"
+        )
+
+    def replaced(
+        self,
+        aggregation: Optional[AggregationStrategy] = None,
+        direction: Optional[DirectionStrategy] = None,
+        selection: Optional[SelectionStrategy] = None,
+        combined_similarity: Optional[CombinedSimilarityStrategy] = None,
+    ) -> "CombinationStrategy":
+        """A copy with some sub-strategies replaced."""
+        return CombinationStrategy(
+            aggregation=aggregation or self.aggregation,
+            direction=direction or self.direction,
+            selection=selection or self.selection,
+            combined_similarity=combined_similarity or self.combined_similarity,
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def default_combination() -> CombinationStrategy:
+    """The paper's default: ``(Average, Both, Threshold(0.5)+Delta(0.02), Average)``.
+
+    Section 7.2 identifies this combination as the most effective default for
+    no-reuse matchers and adopts it for the remaining experiments.
+    """
+    return CombinationStrategy(
+        aggregation=AVERAGE,
+        direction=BOTH,
+        selection=CombinedSelection([Threshold(0.5), MaxDelta(0.02)]),
+        combined_similarity=AVERAGE_COMBINED,
+    )
+
+
+def parse_selection(spec: str) -> SelectionStrategy:
+    """Parse a selection specification such as ``"Thr(0.5)+Delta(0.02)"`` or ``"MaxN(2)"``.
+
+    The accepted grammar mirrors the names used in the paper's Table 6:
+    ``MaxN(n)``, ``Delta(d)``, ``Thr(t)`` and ``+``-separated combinations.
+    """
+    parts = [part.strip() for part in spec.split("+") if part.strip()]
+    if not parts:
+        raise StrategyError(f"empty selection specification: {spec!r}")
+    strategies: List[SelectionStrategy] = []
+    for part in parts:
+        lowered = part.lower()
+        try:
+            if lowered.startswith("maxn"):
+                n = int(_argument(part, default="1"))
+                strategies.append(MaxN(n))
+            elif lowered.startswith("max"):
+                n = int(_argument(part, default="1"))
+                strategies.append(MaxN(n))
+            elif lowered.startswith("delta") or lowered.startswith("maxdelta"):
+                strategies.append(MaxDelta(float(_argument(part, default="0.02"))))
+            elif lowered.startswith("thr"):
+                strategies.append(Threshold(float(_argument(part, default="0.5"))))
+            else:
+                raise StrategyError(f"unknown selection strategy {part!r} in {spec!r}")
+        except ValueError as error:
+            raise StrategyError(f"invalid argument in selection {part!r}: {error}") from error
+    if len(strategies) == 1:
+        return strategies[0]
+    return CombinedSelection(strategies)
+
+
+def _argument(part: str, default: str) -> str:
+    if "(" not in part:
+        return default
+    inner = part[part.index("(") + 1:]
+    inner = inner.rstrip(")").strip()
+    return inner or default
+
+
+def parse_combination(
+    aggregation: str = "Average",
+    direction: str = "Both",
+    selection: str = "Thr(0.5)+Delta(0.02)",
+    combined_similarity: str = "Average",
+) -> CombinationStrategy:
+    """Build a :class:`CombinationStrategy` from the four textual sub-strategy names."""
+    return CombinationStrategy(
+        aggregation=aggregation_by_name(aggregation),
+        direction=direction_by_name(direction),
+        selection=parse_selection(selection),
+        combined_similarity=combined_similarity_by_name(combined_similarity),
+    )

@@ -1,0 +1,189 @@
+"""The match operation: execute matchers, combine results, derive the mapping.
+
+This module implements the per-iteration pipeline of Figure 2:
+
+1. build the :class:`~repro.matchers.base.MatchContext`,
+2. execute the selected matchers, producing a
+   :class:`~repro.combination.cube.SimilarityCube`,
+3. aggregate the cube, apply user-feedback overrides, select match candidates
+   with the configured direction and selection strategies,
+4. assemble a :class:`~repro.model.mapping.MatchResult` and (optionally) the
+   overall *schema similarity*.
+
+The top-level convenience function :func:`match` is the library's primary
+entry point: ``match(schema_a, schema_b)`` runs the paper's default strategy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.auxiliary.synonyms import SynonymDictionary, default_purchase_order_synonyms
+from repro.combination.cube import SimilarityCube
+from repro.combination.matrix import SimilarityMatrix
+from repro.combination.strategy import CombinationStrategy
+from repro.core.strategy import MatchStrategy, default_strategy
+from repro.linguistic.tokenizer import NameTokenizer
+from repro.matchers.base import MatchContext, Matcher
+from repro.matchers.registry import MatcherLibrary
+from repro.matchers.simple.user_feedback import UserFeedbackMatcher, UserFeedbackStore
+from repro.model.datatypes import DEFAULT_TYPE_COMPATIBILITY, TypeCompatibilityTable
+from repro.model.mapping import Correspondence, MatchResult
+from repro.model.schema import Schema
+
+try:  # pragma: no cover - the repository is optional at match time
+    from repro.repository.repository import Repository
+except Exception:  # pragma: no cover - defensive; repository has no heavy deps
+    Repository = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class MatchOutcome:
+    """Everything produced by one match operation."""
+
+    result: MatchResult
+    cube: SimilarityCube
+    aggregated: SimilarityMatrix
+    schema_similarity: float
+    strategy: MatchStrategy
+    context: MatchContext
+
+    @property
+    def correspondences(self):
+        """Shortcut to the correspondences of the final mapping."""
+        return self.result.correspondences
+
+
+def build_context(
+    source: Schema,
+    target: Schema,
+    tokenizer: Optional[NameTokenizer] = None,
+    synonyms: Optional[SynonymDictionary] = None,
+    type_compatibility: Optional[TypeCompatibilityTable] = None,
+    feedback: Optional[UserFeedbackStore] = None,
+    repository: Optional["Repository"] = None,
+) -> MatchContext:
+    """Assemble the match context shared by all matchers of one operation."""
+    return MatchContext(
+        source_schema=source,
+        target_schema=target,
+        tokenizer=tokenizer if tokenizer is not None else NameTokenizer(),
+        synonyms=synonyms if synonyms is not None else default_purchase_order_synonyms(),
+        type_compatibility=(
+            type_compatibility if type_compatibility is not None else DEFAULT_TYPE_COMPATIBILITY
+        ),
+        feedback=feedback,
+        repository=repository,
+    )
+
+
+def execute_matchers(matchers: Sequence[Matcher], context: MatchContext) -> SimilarityCube:
+    """Run every matcher over all paths of the context's schemas, stacking the results."""
+    source_paths = context.source_schema.paths()
+    target_paths = context.target_schema.paths()
+    cube = SimilarityCube(source_paths, target_paths)
+    for matcher in matchers:
+        cube.add_layer(matcher.name, matcher.compute(source_paths, target_paths, context))
+    return cube
+
+
+def combine_cube(
+    cube: SimilarityCube,
+    combination: CombinationStrategy,
+    context: MatchContext,
+    apply_feedback_overrides: bool = True,
+) -> tuple[MatchResult, SimilarityMatrix, float]:
+    """Aggregate, apply feedback overrides, select candidates and build the mapping."""
+    aggregated = combination.aggregate(cube)
+    if apply_feedback_overrides and context.feedback:
+        aggregated = UserFeedbackMatcher().apply_overrides(aggregated, context)
+    selected = combination.select(aggregated)
+    result = MatchResult(context.source_schema, context.target_schema)
+    for source, target, similarity in selected:
+        result.add(Correspondence(source, target, similarity))
+    schema_similarity = combination.combine_pairs(
+        selected, len(cube.source_paths), len(cube.target_paths)
+    )
+    return result, aggregated, schema_similarity
+
+
+def match_with_strategy(
+    source: Schema,
+    target: Schema,
+    strategy: MatchStrategy,
+    context: Optional[MatchContext] = None,
+    library: Optional[MatcherLibrary] = None,
+) -> MatchOutcome:
+    """Run one automatic match operation with an explicit strategy."""
+    active_context = context if context is not None else build_context(source, target)
+    matchers = strategy.resolve_matchers(library)
+    cube = execute_matchers(matchers, active_context)
+    result, aggregated, schema_similarity = combine_cube(
+        cube,
+        strategy.combination,
+        active_context,
+        apply_feedback_overrides=strategy.apply_feedback_overrides,
+    )
+    return MatchOutcome(
+        result=result,
+        cube=cube,
+        aggregated=aggregated,
+        schema_similarity=schema_similarity,
+        strategy=strategy,
+        context=active_context,
+    )
+
+
+def match(
+    source: Schema,
+    target: Schema,
+    matchers: Optional[Sequence] = None,
+    combination: Optional[CombinationStrategy] = None,
+    synonyms: Optional[SynonymDictionary] = None,
+    feedback: Optional[UserFeedbackStore] = None,
+    repository: Optional["Repository"] = None,
+    library: Optional[MatcherLibrary] = None,
+) -> MatchOutcome:
+    """Match two schemas with the default strategy (or selected overrides).
+
+    This is the primary public entry point:
+
+    >>> outcome = match(po1, po2)
+    >>> for correspondence in outcome.result:
+    ...     print(correspondence)
+    """
+    strategy = default_strategy()
+    if matchers is not None:
+        strategy = strategy.replaced(matchers=list(matchers), name="")
+    if combination is not None:
+        strategy = strategy.replaced(combination=combination)
+    context = build_context(
+        source, target, synonyms=synonyms, feedback=feedback, repository=repository
+    )
+    return match_with_strategy(source, target, strategy, context=context, library=library)
+
+
+def schema_similarity(
+    source: Schema,
+    target: Schema,
+    reference: Optional[MatchResult] = None,
+    combination: Optional[CombinationStrategy] = None,
+) -> float:
+    """The Dice/Average schema similarity of two schemas (Section 6.3 / Figure 8).
+
+    When ``reference`` is given (e.g. a manually derived mapping) the schema
+    similarity is computed from it directly, as in Figure 8 where the ratio of
+    matched paths to all paths is reported; otherwise the default automatic
+    match is run first.
+    """
+    from repro.combination.combined import DICE_COMBINED
+
+    total = len(source.paths()) + len(target.paths())
+    if reference is not None:
+        pairs = [(c.source, c.target, c.similarity) for c in reference.correspondences]
+        return DICE_COMBINED.combine(pairs, len(source.paths()), len(target.paths())) if pairs else 0.0
+    outcome = match(source, target, combination=combination)
+    if total == 0:
+        return 0.0
+    return outcome.schema_similarity

@@ -1,0 +1,151 @@
+"""Iterative / interactive match processing (Section 3, Figure 2).
+
+The :class:`MatchProcessor` drives one match task through one or more
+iterations.  Each iteration consists of
+
+1. an optional user-feedback phase (accepting / rejecting candidates proposed
+   by the previous iteration, or asserting correspondences up front),
+2. the execution of the configured matchers,
+3. the combination of the individual match results.
+
+In *automatic* mode a single iteration with the default (or a supplied)
+strategy is performed.  In *interactive* mode the caller inspects the proposed
+candidates, records feedback through :meth:`accept` / :meth:`reject`, possibly
+adjusts the strategy, and calls :meth:`run_iteration` again; accepted and
+rejected pairs keep their maximal / minimal similarity in all later iterations
+because the feedback store overrides the aggregated matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.match_operation import MatchOutcome, build_context, match_with_strategy
+from repro.core.strategy import MatchStrategy, default_strategy
+from repro.exceptions import ComaError
+from repro.matchers.registry import MatcherLibrary
+from repro.matchers.simple.user_feedback import UserFeedbackStore
+from repro.model.mapping import Correspondence, MatchResult
+from repro.model.path import SchemaPath
+from repro.model.schema import Schema
+
+
+class MatchProcessor:
+    """Drives the iterative match process for one pair of schemas."""
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        strategy: Optional[MatchStrategy] = None,
+        library: Optional[MatcherLibrary] = None,
+        repository=None,
+        synonyms=None,
+    ):
+        self._source = source
+        self._target = target
+        self._strategy = strategy if strategy is not None else default_strategy()
+        self._library = library
+        self._feedback = UserFeedbackStore()
+        self._context = build_context(
+            source, target, synonyms=synonyms, feedback=self._feedback, repository=repository
+        )
+        self._iterations: List[MatchOutcome] = []
+
+    # -- configuration ----------------------------------------------------------------
+
+    @property
+    def strategy(self) -> MatchStrategy:
+        """The strategy used by the next iteration."""
+        return self._strategy
+
+    def set_strategy(self, strategy: MatchStrategy) -> None:
+        """Change the match strategy for subsequent iterations."""
+        self._strategy = strategy
+
+    @property
+    def feedback(self) -> UserFeedbackStore:
+        """The store of user-provided (mis-)match decisions."""
+        return self._feedback
+
+    # -- user feedback phase ---------------------------------------------------------------
+
+    def accept(self, source: SchemaPath | str, target: SchemaPath | str) -> None:
+        """Confirm a correspondence; it will be kept with similarity 1.0 from now on."""
+        self._feedback.accept(self._resolve_source(source), self._resolve_target(target))
+
+    def reject(self, source: SchemaPath | str, target: SchemaPath | str) -> None:
+        """Reject a correspondence; it will be suppressed from now on."""
+        self._feedback.reject(self._resolve_source(source), self._resolve_target(target))
+
+    def accept_all(self, result: MatchResult) -> None:
+        """Confirm every correspondence of ``result`` (e.g. after a manual review)."""
+        for correspondence in result.correspondences:
+            self._feedback.accept(correspondence.source, correspondence.target)
+
+    def _resolve_source(self, path: SchemaPath | str) -> SchemaPath:
+        return path if isinstance(path, SchemaPath) else self._source.find_path(path)
+
+    def _resolve_target(self, path: SchemaPath | str) -> SchemaPath:
+        return path if isinstance(path, SchemaPath) else self._target.find_path(path)
+
+    # -- iterations -------------------------------------------------------------------------
+
+    def run_iteration(self, strategy: Optional[MatchStrategy] = None) -> MatchOutcome:
+        """Execute one match iteration and record its outcome."""
+        if strategy is not None:
+            self._strategy = strategy
+        outcome = match_with_strategy(
+            self._source,
+            self._target,
+            self._strategy,
+            context=self._context,
+            library=self._library,
+        )
+        self._iterations.append(outcome)
+        return outcome
+
+    run = run_iteration
+
+    @property
+    def iterations(self) -> List[MatchOutcome]:
+        """Outcomes of all iterations run so far, in order."""
+        return list(self._iterations)
+
+    @property
+    def last_outcome(self) -> MatchOutcome:
+        """The outcome of the most recent iteration."""
+        if not self._iterations:
+            raise ComaError("no match iteration has been run yet")
+        return self._iterations[-1]
+
+    def current_result(self) -> MatchResult:
+        """The latest proposed mapping with user feedback folded in.
+
+        Accepted pairs are added with similarity 1.0 even if the matchers did
+        not propose them; rejected pairs are removed.
+        """
+        result = MatchResult(self._source, self._target)
+        if self._iterations:
+            for correspondence in self.last_outcome.result.correspondences:
+                if self._feedback.is_rejected(correspondence.source, correspondence.target):
+                    continue
+                result.add(correspondence)
+        for source_str, target_str in self._feedback.accepted_pairs:
+            try:
+                source = self._source.find_path(source_str)
+                target = self._target.find_path(target_str)
+            except ComaError:
+                continue
+            result.add(Correspondence(source, target, 1.0))
+        return result
+
+    def pending_candidates(self) -> List[Correspondence]:
+        """Proposed correspondences the user has not yet accepted or rejected."""
+        if not self._iterations:
+            return []
+        pending = []
+        for correspondence in self.last_outcome.result.correspondences:
+            if self._feedback.decision(correspondence.source, correspondence.target) is None:
+                pending.append(correspondence)
+        return pending

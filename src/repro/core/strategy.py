@@ -1,0 +1,100 @@
+"""Match strategies: which matchers to run and how to combine their results.
+
+A :class:`MatchStrategy` is the user-facing knob of COMA's automatic mode: it
+names the matchers to execute (resolved through the matcher library) and the
+:class:`~repro.combination.strategy.CombinationStrategy` applied to the
+resulting similarity cube.  :func:`default_strategy` reproduces the paper's
+default match operation -- the combination of all five hybrid matchers
+(``All``) with ``(Average, Both, Threshold(0.5)+Delta(0.02))`` -- identified
+as the most effective no-reuse configuration in Section 7.2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.combination.strategy import CombinationStrategy, default_combination
+from repro.exceptions import StrategyError
+from repro.matchers.base import Matcher
+from repro.matchers.registry import DEFAULT_LIBRARY, EVALUATION_HYBRID_MATCHERS, MatcherLibrary
+
+#: A matcher reference: either an instance or a library name.
+MatcherReference = Union[Matcher, str]
+
+
+@dataclasses.dataclass
+class MatchStrategy:
+    """The configuration of one automatic match operation."""
+
+    matchers: Sequence[MatcherReference] = dataclasses.field(
+        default_factory=lambda: list(EVALUATION_HYBRID_MATCHERS)
+    )
+    combination: CombinationStrategy = dataclasses.field(default_factory=default_combination)
+    #: Enforce user feedback (accepted -> 1.0, rejected -> 0.0) after aggregation.
+    apply_feedback_overrides: bool = True
+    #: Optional human-readable name shown in reports.
+    name: str = ""
+
+    def resolve_matchers(self, library: Optional[MatcherLibrary] = None) -> List[Matcher]:
+        """Instantiate all referenced matchers through ``library`` (default library)."""
+        resolved: List[Matcher] = []
+        registry = library if library is not None else DEFAULT_LIBRARY
+        for reference in self.matchers:
+            if isinstance(reference, Matcher):
+                resolved.append(reference)
+            elif isinstance(reference, str):
+                resolved.append(registry.create(reference))
+            else:
+                raise StrategyError(
+                    f"matcher references must be Matcher instances or names, got {reference!r}"
+                )
+        if not resolved:
+            raise StrategyError("a match strategy must reference at least one matcher")
+        return resolved
+
+    def matcher_names(self) -> Tuple[str, ...]:
+        """The names of the referenced matchers (for display and labelling)."""
+        names = []
+        for reference in self.matchers:
+            names.append(reference.name if isinstance(reference, Matcher) else str(reference))
+        return tuple(names)
+
+    def describe(self) -> str:
+        """A human-readable description of the strategy."""
+        label = self.name or "+".join(self.matcher_names())
+        return f"{label} with {self.combination.describe()}"
+
+    def replaced(
+        self,
+        matchers: Optional[Sequence[MatcherReference]] = None,
+        combination: Optional[CombinationStrategy] = None,
+        name: Optional[str] = None,
+    ) -> "MatchStrategy":
+        """A copy with some fields replaced."""
+        return MatchStrategy(
+            matchers=list(matchers) if matchers is not None else list(self.matchers),
+            combination=combination if combination is not None else self.combination,
+            apply_feedback_overrides=self.apply_feedback_overrides,
+            name=name if name is not None else self.name,
+        )
+
+
+def default_strategy() -> MatchStrategy:
+    """The paper's default match operation: ``All`` hybrid matchers, default combination."""
+    return MatchStrategy(
+        matchers=list(EVALUATION_HYBRID_MATCHERS),
+        combination=default_combination(),
+        name="All",
+    )
+
+
+def single_matcher_strategy(matcher: MatcherReference,
+                            combination: Optional[CombinationStrategy] = None) -> MatchStrategy:
+    """A strategy running one matcher with the default (or a given) combination."""
+    name = matcher.name if isinstance(matcher, Matcher) else str(matcher)
+    return MatchStrategy(
+        matchers=[matcher],
+        combination=combination if combination is not None else default_combination(),
+        name=name,
+    )

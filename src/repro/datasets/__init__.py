@@ -1,0 +1,54 @@
+"""Bundled datasets: Figure 1 example schemas, the five PO test schemas and gold standards."""
+
+from repro.datasets.figure1 import (
+    PO1_DDL,
+    PO2_XSD,
+    figure1_reference_mapping,
+    load_figure1_schemas,
+    load_po1,
+    load_po2,
+)
+from repro.datasets.generators import GeneratedPair, generate_pair, generate_schema, generate_size_sweep
+from repro.datasets.gold_standard import (
+    MatchTask,
+    TASK_PAIRS,
+    build_reference_mapping,
+    load_all_tasks,
+    load_task,
+    manual_mappings_for_reuse,
+    task_by_name,
+)
+from repro.datasets.purchase_orders import (
+    SCHEMA_ALIASES,
+    load_all_schemas,
+    load_all_with_concepts,
+    load_schema,
+    load_schema_with_concepts,
+    schema_names,
+)
+
+__all__ = [
+    "GeneratedPair",
+    "MatchTask",
+    "PO1_DDL",
+    "PO2_XSD",
+    "SCHEMA_ALIASES",
+    "TASK_PAIRS",
+    "build_reference_mapping",
+    "figure1_reference_mapping",
+    "generate_pair",
+    "generate_schema",
+    "generate_size_sweep",
+    "load_all_schemas",
+    "load_all_tasks",
+    "load_all_with_concepts",
+    "load_figure1_schemas",
+    "load_po1",
+    "load_po2",
+    "load_schema",
+    "load_schema_with_concepts",
+    "load_task",
+    "manual_mappings_for_reuse",
+    "schema_names",
+    "task_by_name",
+]

@@ -1,0 +1,89 @@
+"""The running example of the paper: the PO1 / PO2 schemas of Figure 1.
+
+PO1 is a relational purchase-order schema (two tables, a foreign key), PO2 an
+XML schema with a shared ``Address`` complex type.  Both are reproduced as the
+original external texts and imported through the regular importers, so the
+example also exercises the import pipeline end to end.  The expected
+correspondences used by the quickstart example and the Table 1/2 benchmark are
+provided by :func:`figure1_reference_mapping`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.importers.relational import RelationalImporter
+from repro.importers.xsd import XsdImporter
+from repro.model.mapping import MatchResult
+from repro.model.schema import Schema
+
+#: The relational DDL of Figure 1a (left-hand side).
+PO1_DDL = """
+CREATE TABLE ShipTo (
+    poNo INT,
+    custNo INT REFERENCES Customer,
+    shipToStreet VARCHAR(200),
+    shipToCity VARCHAR(200),
+    shipToZip VARCHAR(20),
+    PRIMARY KEY (poNo)
+);
+CREATE TABLE Customer (
+    custNo INT,
+    custName VARCHAR(200),
+    custStreet VARCHAR(200),
+    custCity VARCHAR(200),
+    custZip VARCHAR(20),
+    PRIMARY KEY (custNo)
+);
+"""
+
+#: The XML schema of Figure 1a (right-hand side), with the shared Address type.
+PO2_XSD = """<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="PO2">
+    <xsd:sequence>
+      <xsd:element name="DeliverTo" type="Address"/>
+      <xsd:element name="BillTo" type="Address"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="Street" type="xsd:string"/>
+      <xsd:element name="City" type="xsd:string"/>
+      <xsd:element name="Zip" type="xsd:decimal"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+def load_po1() -> Schema:
+    """The relational PO1 schema imported into the internal graph representation."""
+    return RelationalImporter().import_text(PO1_DDL, "PO1")
+
+
+def load_po2() -> Schema:
+    """The XML PO2 schema imported into the internal graph representation."""
+    return XsdImporter().import_text(PO2_XSD, "PO2")
+
+
+def load_figure1_schemas() -> Tuple[Schema, Schema]:
+    """Both Figure 1 schemas, ``(PO1, PO2)``."""
+    return load_po1(), load_po2()
+
+
+def figure1_reference_mapping(po1: Schema | None = None, po2: Schema | None = None) -> MatchResult:
+    """The intended correspondences between PO1 and PO2 (all similarities 1.0)."""
+    first = po1 if po1 is not None else load_po1()
+    second = po2 if po2 is not None else load_po2()
+    rows = [
+        ("PO1.ShipTo", "PO2.PO2.DeliverTo"),
+        ("PO1.ShipTo.shipToStreet", "PO2.PO2.DeliverTo.Address.Street"),
+        ("PO1.ShipTo.shipToCity", "PO2.PO2.DeliverTo.Address.City"),
+        ("PO1.ShipTo.shipToZip", "PO2.PO2.DeliverTo.Address.Zip"),
+        ("PO1.Customer", "PO2.PO2.BillTo"),
+        ("PO1.Customer.custStreet", "PO2.PO2.BillTo.Address.Street"),
+        ("PO1.Customer.custCity", "PO2.PO2.BillTo.Address.City"),
+        ("PO1.Customer.custZip", "PO2.PO2.BillTo.Address.Zip"),
+    ]
+    return MatchResult.from_tuples(first, second, rows, name="PO1<->PO2 (reference)")

@@ -1,0 +1,561 @@
+"""The five purchase-order test schemas of the evaluation (Section 7.1, Table 5).
+
+The paper evaluated COMA on five XML purchase-order schemas from
+www.biztalk.org (CIDX, Excel, Noris, Paragon, Apertum).  Those schemas are no
+longer publicly available, so this module provides a faithful *substitution*
+(documented in DESIGN.md): five hand-written purchase-order schemas that
+
+* reproduce the structural characteristics of Table 5 closely (relative sizes,
+  shared fragments causing path counts to exceed node counts, nesting depth),
+* exhibit the same heterogeneity devices the paper describes -- abbreviation
+  heavy vs. spelled-out names, ship/deliver and bill/invoice synonym
+  conflicts, flat vs. deeply nested structure, shared ``Address`` / ``Contact``
+  / ``Amount`` fragments,
+* carry a *concept annotation* per path from which the manually-determined
+  gold standard mappings of the 10 match tasks are derived
+  (:mod:`repro.datasets.gold_standard`).
+
+Schemas are referred to by their paper aliases 1..5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import SchemaError
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+#: Mapping from the paper's numeric aliases to schema names.
+SCHEMA_ALIASES: Dict[int, str] = {
+    1: "CIDX",
+    2: "Excel",
+    3: "Noris",
+    4: "Paragon",
+    5: "Apertum",
+}
+
+#: A concept identifier (shared vocabulary across all five schemas) or None.
+Concept = Optional[str]
+
+
+@dataclasses.dataclass(frozen=True)
+class Frag:
+    """A reference to a schema-local shared fragment within a schema spec."""
+
+    fragment: str
+
+
+#: Spec node forms:
+#:   leaf:       (name, concept, source_type_or_None)
+#:   inner:      (name, concept, [child specs])
+#:   fragment:   (name, concept, Frag("FragmentName"))  - wrapper element containing the fragment
+SpecNode = Tuple[str, Concept, Union[Optional[str], List, Frag]]
+
+#: A fragment spec: (fragment root name, root-relative concept, [child specs]).
+FragmentSpec = Tuple[str, Concept, List]
+
+
+def _build_schema(
+    name: str,
+    elements: Sequence[SpecNode],
+    fragments: Optional[Dict[str, FragmentSpec]] = None,
+) -> Tuple[Schema, Dict[str, Concept]]:
+    """Interpret a declarative spec into a schema graph plus per-path concepts."""
+    schema = Schema(name)
+    concepts: Dict[str, Concept] = {}
+    fragment_specs = fragments or {}
+    built_fragments: Dict[str, Tuple[SchemaElement, List[Tuple[Tuple[str, ...], Concept]]]] = {}
+
+    def record(path_names: Tuple[str, ...], concept: Concept) -> None:
+        concepts[".".join(path_names)] = concept
+
+    def build_fragment(fragment_name: str):
+        if fragment_name in built_fragments:
+            return built_fragments[fragment_name]
+        if fragment_name not in fragment_specs:
+            raise SchemaError(f"schema {name!r} references unknown fragment {fragment_name!r}")
+        root_name, root_concept, children = fragment_specs[fragment_name]
+        fragment_root = schema.add_detached_element(root_name, kind=ElementKind.TYPE)
+        relative: List[Tuple[Tuple[str, ...], Concept]] = [((root_name,), root_concept)]
+
+        def build_relative(parent: SchemaElement, prefix: Tuple[str, ...],
+                           prefix_concept: Concept, nodes: Sequence[SpecNode]) -> None:
+            for node_name, node_concept, payload in nodes:
+                names = prefix + (node_name,)
+                if isinstance(payload, list):
+                    element = schema.add_element(node_name, parent=parent, kind=ElementKind.ELEMENT)
+                    relative.append((names, node_concept))
+                    build_relative(element, names, node_concept, payload)
+                elif isinstance(payload, Frag):
+                    raise SchemaError("nested fragment references inside fragments are not supported")
+                else:
+                    schema.add_element(node_name, parent=parent, kind=ElementKind.ELEMENT,
+                                       source_type=payload)
+                    relative.append((names, node_concept))
+
+        build_relative(fragment_root, (root_name,), root_concept, children)
+        built_fragments[fragment_name] = (fragment_root, relative)
+        return built_fragments[fragment_name]
+
+    def combine_concept(prefix: Concept, relative: Concept) -> Concept:
+        if relative is None or prefix is None:
+            return None
+        if relative == "":
+            return prefix
+        return f"{prefix}.{relative}"
+
+    def build(parent: SchemaElement, parent_names: Tuple[str, ...],
+              nodes: Sequence[SpecNode]) -> None:
+        for node_name, node_concept, payload in nodes:
+            names = parent_names + (node_name,)
+            if isinstance(payload, Frag):
+                # The wrapper element is an artefact of fragment reuse; its
+                # concept prefix applies to the fragment's paths, while the
+                # wrapper path itself stays unannotated to avoid duplicating
+                # the enclosing section's concept.
+                wrapper = schema.add_element(node_name, parent=parent, kind=ElementKind.ELEMENT)
+                record(names, None)
+                fragment_root, relative = build_fragment(payload.fragment)
+                schema.add_link(wrapper, fragment_root)
+                for relative_names, relative_concept in relative:
+                    record(names + relative_names,
+                           combine_concept(node_concept, relative_concept))
+            elif isinstance(payload, list):
+                element = schema.add_element(node_name, parent=parent, kind=ElementKind.ELEMENT)
+                record(names, node_concept)
+                build(element, names, payload)
+            else:
+                schema.add_element(node_name, parent=parent, kind=ElementKind.ELEMENT,
+                                   source_type=payload)
+                record(names, node_concept)
+
+    build(schema.root, (name,), elements)
+    return schema, concepts
+
+
+# ---------------------------------------------------------------------------
+# Schema 1 - CIDX: flat, abbreviation-heavy, no shared fragments.
+# ---------------------------------------------------------------------------
+
+def build_cidx() -> Tuple[Schema, Dict[str, Concept]]:
+    """Schema 1 (CIDX): flat structure, heavily abbreviated element names."""
+    elements: List[SpecNode] = [
+        ("OrderHeader", "header", [
+            ("poNo", "order.number", "string"),
+            ("poDate", "order.date", "date"),
+            ("poTypeCode", None, "string"),
+            ("currCode", "order.currency", "string"),
+            ("pmtTerms", "payment.terms", "string"),
+            ("taxAmt", "summary.tax", "decimal"),
+        ]),
+        ("Contact", "buyer.contact", [
+            ("contactName", "buyer.contact.name", "string"),
+            ("contactPhone", "buyer.contact.phone", "string"),
+            ("contactEmail", "buyer.contact.email", "string"),
+            ("contactFax", None, "string"),
+        ]),
+        ("BillTo", "bill", [
+            ("billToName", "bill.name", "string"),
+            ("billToStr", "bill.address.street", "string"),
+            ("billToCity", "bill.address.city", "string"),
+            ("billToSt", "bill.address.state", "string"),
+            ("billToZip", "bill.address.zip", "string"),
+            ("billToCtry", "bill.address.country", "string"),
+        ]),
+        ("ShipTo", "ship", [
+            ("shipToName", "ship.name", "string"),
+            ("shipToStr", "ship.address.street", "string"),
+            ("shipToCity", "ship.address.city", "string"),
+            ("shipToSt", "ship.address.state", "string"),
+            ("shipToZip", "ship.address.zip", "string"),
+            ("shipToCtry", "ship.address.country", "string"),
+        ]),
+        ("ItemList", "items", [
+            ("Item", "item", [
+                ("itemNo", "item.number", "string"),
+                ("partNo", "item.part", "string"),
+                ("itemDesc", "item.description", "string"),
+                ("qty", "item.quantity", "decimal"),
+                ("uom", "item.uom", "string"),
+                ("unitPrice", "item.price", "decimal"),
+                ("lineTot", "item.total", "decimal"),
+                ("reqDelivDate", "item.deliverydate", "date"),
+            ]),
+        ]),
+        ("Summary", "summary", [
+            ("itemCnt", "summary.itemcount", "integer"),
+            ("subTot", "summary.subtotal", "decimal"),
+            ("freightAmt", "summary.freight", "decimal"),
+            ("totAmt", "summary.total", "decimal"),
+        ]),
+    ]
+    return _build_schema("CIDX", elements)
+
+
+# ---------------------------------------------------------------------------
+# Schema 2 - Excel: spelled-out names, shared Address and Contact fragments.
+# ---------------------------------------------------------------------------
+
+def build_excel() -> Tuple[Schema, Dict[str, Concept]]:
+    """Schema 2 (Excel): fully spelled-out names, shared Address/Contact fragments."""
+    fragments: Dict[str, FragmentSpec] = {
+        "Address": ("Address", "address", [
+            ("Street", "address.street", "string"),
+            ("City", "address.city", "string"),
+            ("State", "address.state", "string"),
+            ("PostalCode", "address.zip", "string"),
+            ("Country", "address.country", "string"),
+        ]),
+        "ContactPerson": ("ContactPerson", "contact", [
+            ("Name", "contact.name", "string"),
+            ("Telephone", "contact.phone", "string"),
+            ("Email", "contact.email", "string"),
+        ]),
+    }
+    elements: List[SpecNode] = [
+        ("Header", "header", [
+            ("OrderNumber", "order.number", "string"),
+            ("OrderDate", "order.date", "date"),
+            ("Currency", "order.currency", "string"),
+            ("PaymentTerms", "payment.terms", "string"),
+        ]),
+        ("Buyer", "buyer", [
+            ("CompanyName", "buyer.name", "string"),
+            ("BuyerAddress", "buyer", Frag("Address")),
+            ("BuyerContact", "buyer", Frag("ContactPerson")),
+        ]),
+        ("Seller", "supplier", [
+            ("CompanyName", "supplier.name", "string"),
+            ("SellerAddress", "supplier", Frag("Address")),
+        ]),
+        ("ShippingInformation", "ship", [
+            ("ShipToAddress", "ship", Frag("Address")),
+            ("ShipToContact", "ship", Frag("ContactPerson")),
+            ("ShipDate", "ship.date", "date"),
+            ("Carrier", None, "string"),
+        ]),
+        ("Items", "items", [
+            ("LineItem", "item", [
+                ("ItemNumber", "item.number", "string"),
+                ("Description", "item.description", "string"),
+                ("Quantity", "item.quantity", "decimal"),
+                ("UnitOfMeasure", "item.uom", "string"),
+                ("UnitPrice", "item.price", "decimal"),
+                ("ExtendedPrice", "item.total", "decimal"),
+            ]),
+        ]),
+        ("Total", "summary", [
+            ("SubTotal", "summary.subtotal", "decimal"),
+            ("Tax", "summary.tax", "decimal"),
+            ("Freight", "summary.freight", "decimal"),
+            ("GrandTotal", "summary.total", "decimal"),
+        ]),
+    ]
+    return _build_schema("Excel", elements, fragments)
+
+
+# ---------------------------------------------------------------------------
+# Schema 3 - Noris: delivery/invoice vocabulary, shared Location/Person fragments.
+# ---------------------------------------------------------------------------
+
+def build_noris() -> Tuple[Schema, Dict[str, Concept]]:
+    """Schema 3 (Noris): deliver/invoice terminology, shared Location/Person fragments."""
+    fragments: Dict[str, FragmentSpec] = {
+        "Location": ("Location", "address", [
+            ("Street", "address.street", "string"),
+            ("City", "address.city", "string"),
+            ("District", None, "string"),
+            ("PostCode", "address.zip", "string"),
+            ("CountryCode", "address.country", "string"),
+        ]),
+        "Person": ("Person", "contact", [
+            ("FullName", "contact.name", "string"),
+            ("Phone", "contact.phone", "string"),
+            ("Fax", None, "string"),
+            ("Mail", "contact.email", "string"),
+            ("Department", None, "string"),
+            ("Title", None, "string"),
+        ]),
+    }
+    elements: List[SpecNode] = [
+        ("DocumentHeader", "header", [
+            ("OrderNo", "order.number", "string"),
+            ("OrderDate", "order.date", "date"),
+            ("CurrencyCode", "order.currency", "string"),
+            ("DocumentType", None, "string"),
+            ("SalesOrderRef", "order.reference", "string"),
+            ("TermsOfPayment", "payment.terms", "string"),
+        ]),
+        ("Purchaser", "buyer", [
+            ("Name1", "buyer.name", "string"),
+            ("CustomerNumber", "buyer.number", "string"),
+            ("VATNumber", None, "string"),
+            ("PurchaserLocation", "buyer", Frag("Location")),
+            ("PurchaserPerson", "buyer", Frag("Person")),
+        ]),
+        ("DeliveryAddress", "ship", [
+            ("DeliveryLocation", "ship", Frag("Location")),
+            ("DeliveryPerson", "ship", Frag("Person")),
+            ("DeliveryDate", "ship.date", "date"),
+        ]),
+        ("InvoiceAddress", "bill", [
+            ("InvoiceName", "bill.name", "string"),
+            ("InvoiceLocation", "bill", Frag("Location")),
+        ]),
+        ("OrderLines", "items", [
+            ("Line", "item", [
+                ("Position", None, "integer"),
+                ("ArticleNumber", "item.number", "string"),
+                ("ArticleDescription", "item.description", "string"),
+                ("OrderQuantity", "item.quantity", "decimal"),
+                ("QuantityUnit", "item.uom", "string"),
+                ("Price", "item.price", "decimal"),
+                ("LineValue", "item.total", "decimal"),
+                ("LineDeliveryDate", "item.deliverydate", "date"),
+                ("TaxRate", "item.tax", "decimal"),
+            ]),
+        ]),
+        ("Totals", "summary", [
+            ("NetValue", "summary.subtotal", "decimal"),
+            ("TaxValue", "summary.tax", "decimal"),
+            ("FreightValue", "summary.freight", "decimal"),
+            ("GrossValue", "summary.total", "decimal"),
+        ]),
+        ("Remarks", None, "string"),
+    ]
+    return _build_schema("Noris", elements, fragments)
+
+
+# ---------------------------------------------------------------------------
+# Schema 4 - Paragon: deep nesting, party sub-structures, small Money fragment.
+# ---------------------------------------------------------------------------
+
+def build_paragon() -> Tuple[Schema, Dict[str, Concept]]:
+    """Schema 4 (Paragon): deeply nested party structures with a shared Money fragment."""
+    fragments: Dict[str, FragmentSpec] = {
+        "Money": ("MonetaryAmount", "amount", [
+            ("Value", "amount.value", "decimal"),
+            ("Currency", "amount.currency", "string"),
+        ]),
+    }
+
+    def party(concept: str, with_contact: bool, extra: Optional[List[SpecNode]] = None) -> List[SpecNode]:
+        children: List[SpecNode] = [
+            ("PartyID", f"{concept}.number", "string"),
+            ("PartyName", f"{concept}.name", "string"),
+            ("PartyAddress", f"{concept}.address", [
+                ("AddressLine", f"{concept}.address.street", "string"),
+                ("CityName", f"{concept}.address.city", "string"),
+                ("Region", f"{concept}.address.state", "string"),
+                ("PostalCode", f"{concept}.address.zip", "string"),
+                ("CountryCode", f"{concept}.address.country", "string"),
+            ]),
+        ]
+        if with_contact:
+            children.append(
+                ("PartyContact", f"{concept}.contact", [
+                    ("ContactName", f"{concept}.contact.name", "string"),
+                    ("ContactTelephone", f"{concept}.contact.phone", "string"),
+                    ("ContactEmail", f"{concept}.contact.email", "string"),
+                ])
+            )
+        if extra:
+            children.extend(extra)
+        return children
+
+    elements: List[SpecNode] = [
+        ("PurchaseOrder", "order", [
+            ("OrderHeader", "header", [
+                ("OrderNumber", "order.number", "string"),
+                ("OrderIssueDate", "order.date", "date"),
+                ("OrderReference", "order.reference", "string"),
+                ("OrderType", None, "string"),
+                ("PaymentMethod", "payment.method", "string"),
+                ("PaymentTerms", "payment.terms", "string"),
+                ("ContractReference", None, "string"),
+                ("RequisitionNumber", None, "string"),
+                ("BlanketOrderFlag", None, "boolean"),
+                ("BuyerParty", "buyer", party("buyer", with_contact=True)),
+                ("SupplierParty", "supplier", party("supplier", with_contact=False)),
+                ("ShipToParty", "ship", party("ship", with_contact=True, extra=[
+                    ("ShipmentDate", "ship.date", "date"),
+                    ("TransportMode", None, "string"),
+                ])),
+                ("BillToParty", "bill", party("bill", with_contact=False)),
+            ]),
+            ("OrderDetail", "items", [
+                ("ItemDetail", "item", [
+                    ("LineNumber", None, "integer"),
+                    ("ItemIdentifier", "item.number", "string"),
+                    ("ManufacturerPartNumber", "item.part", "string"),
+                    ("ItemDescription", "item.description", "string"),
+                    ("OrderedQuantity", "item.quantity", "decimal"),
+                    ("UnitOfMeasurement", "item.uom", "string"),
+                    ("UnitPrice", "item.price", Frag("Money")),
+                    ("LineItemTotal", "item.total", Frag("Money")),
+                    ("RequestedDeliveryDate", "item.deliverydate", "date"),
+                    ("TaxCategory", "item.tax", "string"),
+                    ("HazardCode", None, "string"),
+                    ("CountryOfOrigin", None, "string"),
+                ]),
+            ]),
+            ("TransportInformation", None, [
+                ("CarrierName", None, "string"),
+                ("ServiceLevel", None, "string"),
+                ("Incoterms", None, "string"),
+                ("TrackingReference", None, "string"),
+            ]),
+            ("OrderSummary", "summary", [
+                ("NumberOfLines", "summary.itemcount", "integer"),
+                ("TotalAmount", "summary.total", Frag("Money")),
+                ("TotalTax", "summary.tax", "decimal"),
+            ]),
+        ]),
+    ]
+    return _build_schema("Paragon", elements, fragments)
+
+
+# ---------------------------------------------------------------------------
+# Schema 5 - Apertum: largest schema, heavily shared Party and Amount fragments.
+# ---------------------------------------------------------------------------
+
+def build_apertum() -> Tuple[Schema, Dict[str, Concept]]:
+    """Schema 5 (Apertum): largest schema with heavily shared Party/Amount fragments."""
+    fragments: Dict[str, FragmentSpec] = {
+        "PartyInfo": ("PartyInfo", "party", [
+            ("Name", "name", "string"),
+            ("ID", "number", "string"),
+            ("Address", "address", [
+                ("Street", "address.street", "string"),
+                ("City", "address.city", "string"),
+                ("State", "address.state", "string"),
+                ("Zip", "address.zip", "string"),
+                ("Country", "address.country", "string"),
+            ]),
+            ("Contact", "contact", [
+                ("ContactName", "contact.name", "string"),
+                ("Phone", "contact.phone", "string"),
+                ("Email", "contact.email", "string"),
+                ("Fax", None, "string"),
+            ]),
+        ]),
+        "Amount": ("Amount", "amount", [
+            ("Value", "amount.value", "decimal"),
+            ("CurrencyCode", "amount.currency", "string"),
+        ]),
+    }
+    elements: List[SpecNode] = [
+        ("POHeader", "header", [
+            ("Number", "order.number", "string"),
+            ("IssueDate", "order.date", "date"),
+            ("Currency", "order.currency", "string"),
+            ("Language", None, "string"),
+            ("PaymentTermsText", "payment.terms", "string"),
+            ("PaymentMeansCode", "payment.method", "string"),
+            ("OrderReference", "order.reference", "string"),
+            ("ProfileID", None, "string"),
+            ("TestIndicator", None, "boolean"),
+        ]),
+        ("BuyerParty", "buyer", [
+            ("BuyerInfo", "buyer", Frag("PartyInfo")),
+        ]),
+        ("SupplierParty", "supplier", [
+            ("SupplierInfo", "supplier", Frag("PartyInfo")),
+        ]),
+        ("DeliveryParty", "ship", [
+            ("DeliveryInfo", "ship", Frag("PartyInfo")),
+            ("DeliveryDate", "ship.date", "date"),
+            ("DeliveryInstructions", None, "string"),
+        ]),
+        ("InvoiceParty", "bill", [
+            ("InvoiceInfo", "bill", Frag("PartyInfo")),
+        ]),
+        ("ItemList", "items", [
+            ("ItemLine", "item", [
+                ("LineNo", None, "integer"),
+                ("ArticleID", "item.number", "string"),
+                ("SupplierArticleID", "item.part", "string"),
+                ("Description", "item.description", "string"),
+                ("Quantity", "item.quantity", "decimal"),
+                ("QuantityUnit", "item.uom", "string"),
+                ("UnitPrice", "item.price", Frag("Amount")),
+                ("LineAmount", "item.total", Frag("Amount")),
+                ("RequestedDelivery", "item.deliverydate", "date"),
+                ("TaxRate", "item.tax", "decimal"),
+                ("AccountingCostCode", None, "string"),
+                ("InspectionRequired", None, "boolean"),
+            ]),
+        ]),
+        ("Routing", None, [
+            ("RouteID", None, "string"),
+            ("TransportModeCode", None, "string"),
+            ("CarrierCode", None, "string"),
+            ("ServiceLevelCode", None, "string"),
+            ("SpecialHandlingNote", None, "string"),
+        ]),
+        ("Summary", "summary", [
+            ("LineCount", "summary.itemcount", "integer"),
+            ("TotalNet", "summary.subtotal", Frag("Amount")),
+            ("TotalTax", "summary.tax", Frag("Amount")),
+            ("TotalFreight", "summary.freight", Frag("Amount")),
+            ("TotalDue", "summary.total", Frag("Amount")),
+        ]),
+        ("Attachments", None, [
+            ("Attachment", None, [
+                ("FileName", None, "string"),
+                ("MimeType", None, "string"),
+            ]),
+        ]),
+    ]
+    return _build_schema("Apertum", elements, fragments)
+
+
+# ---------------------------------------------------------------------------
+# Public access helpers
+# ---------------------------------------------------------------------------
+
+_BUILDERS = {
+    "CIDX": build_cidx,
+    "Excel": build_excel,
+    "Noris": build_noris,
+    "Paragon": build_paragon,
+    "Apertum": build_apertum,
+}
+
+
+def schema_names() -> Tuple[str, ...]:
+    """The names of the five test schemas in paper order (aliases 1..5)."""
+    return tuple(SCHEMA_ALIASES[i] for i in sorted(SCHEMA_ALIASES))
+
+
+def load_schema(name_or_alias: str | int) -> Schema:
+    """Load one test schema by name (``"Noris"``) or paper alias (``3``)."""
+    schema, _ = load_schema_with_concepts(name_or_alias)
+    return schema
+
+
+def load_schema_with_concepts(name_or_alias: str | int) -> Tuple[Schema, Dict[str, Concept]]:
+    """Load one test schema together with its per-path concept annotation."""
+    if isinstance(name_or_alias, int):
+        if name_or_alias not in SCHEMA_ALIASES:
+            raise SchemaError(f"unknown schema alias {name_or_alias}; expected 1..5")
+        name = SCHEMA_ALIASES[name_or_alias]
+    else:
+        name = name_or_alias
+    if name not in _BUILDERS:
+        raise SchemaError(
+            f"unknown test schema {name!r}; expected one of {', '.join(schema_names())}"
+        )
+    return _BUILDERS[name]()
+
+
+def load_all_schemas() -> Dict[str, Schema]:
+    """All five test schemas keyed by name, in paper order."""
+    return {name: load_schema(name) for name in schema_names()}
+
+
+def load_all_with_concepts() -> Dict[str, Tuple[Schema, Dict[str, Concept]]]:
+    """All five test schemas with their concept annotations, keyed by name."""
+    return {name: load_schema_with_concepts(name) for name in schema_names()}

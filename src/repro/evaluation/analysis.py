@@ -1,0 +1,227 @@
+"""Analysis helpers turning series results into the paper's figures and tables.
+
+Each function corresponds to one evaluation artefact:
+
+* :func:`overall_distribution` -- Figure 9 (histogram of series per Overall range),
+* :func:`strategy_shares` -- Figure 10 (per-strategy share of series per range),
+* :func:`single_matcher_quality` -- Figure 11 (avg P/R/Overall of single matchers),
+* :func:`best_combination_quality` -- Figure 12 (quality of best matcher combinations),
+* :func:`sensitivity_by_task` -- Figure 13 (per-task best Overall vs schema size/similarity),
+* :func:`default_strategy_selection` -- the Section 7.2 reasoning that picks the
+  default combination strategy from the best series per matcher combination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.evaluation.campaign import EvaluationCampaign, SeriesResult
+from repro.evaluation.grid import SeriesSpec
+from repro.evaluation.metrics import AverageQuality
+
+#: The Overall ranges of Figure 9 / 10: the negative bucket plus [0.0, 0.1) ... [0.7, 0.8).
+OVERALL_RANGES: Tuple[Tuple[float, float], ...] = (
+    (float("-inf"), 0.0),
+    (0.0, 0.1), (0.1, 0.2), (0.2, 0.3), (0.3, 0.4),
+    (0.4, 0.5), (0.5, 0.6), (0.6, 0.7), (0.7, 0.8),
+    (0.8, 1.01),
+)
+
+
+def range_label(bounds: Tuple[float, float]) -> str:
+    """A human-readable label for one Overall range."""
+    low, high = bounds
+    if low == float("-inf"):
+        return "Min-0.0"
+    return f"{low:.1f}-{high if high <= 1.0 else 1.0:.1f}"
+
+
+def bucket_of(overall: float) -> int:
+    """The index of the Overall range containing ``overall``."""
+    for index, (low, high) in enumerate(OVERALL_RANGES):
+        if low <= overall < high:
+            return index
+    return len(OVERALL_RANGES) - 1
+
+
+def overall_distribution(results: Sequence[SeriesResult]) -> List[Tuple[str, int]]:
+    """Figure 9: the number of series falling into each average-Overall range."""
+    counts = [0] * len(OVERALL_RANGES)
+    for result in results:
+        counts[bucket_of(result.average.overall)] += 1
+    return [(range_label(bounds), counts[i]) for i, bounds in enumerate(OVERALL_RANGES)]
+
+
+def strategy_shares(
+    results: Sequence[SeriesResult],
+    dimension: Callable[[SeriesSpec], str],
+) -> Dict[str, List[Tuple[str, float]]]:
+    """Figure 10: per strategy value, the share of series in each Overall range.
+
+    ``dimension`` extracts the strategy value of interest from a series spec,
+    e.g. ``lambda spec: str(spec.aggregation)`` for Figure 10a.
+    """
+    totals = [0] * len(OVERALL_RANGES)
+    per_value: Dict[str, List[int]] = {}
+    for result in results:
+        bucket = bucket_of(result.average.overall)
+        totals[bucket] += 1
+        value = dimension(result.spec)
+        per_value.setdefault(value, [0] * len(OVERALL_RANGES))[bucket] += 1
+    shares: Dict[str, List[Tuple[str, float]]] = {}
+    for value, counts in sorted(per_value.items()):
+        shares[value] = [
+            (range_label(bounds), counts[i] / totals[i] if totals[i] else 0.0)
+            for i, bounds in enumerate(OVERALL_RANGES)
+        ]
+    return shares
+
+
+@dataclasses.dataclass(frozen=True)
+class MatcherQuality:
+    """The averaged quality of one matcher usage (a bar group of Figure 11 / 12)."""
+
+    label: str
+    quality: AverageQuality
+    spec: SeriesSpec
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dict row for tabular reports."""
+        return {
+            "matcher": self.label,
+            "precision": self.quality.precision,
+            "recall": self.quality.recall,
+            "overall": self.quality.overall,
+        }
+
+
+def single_matcher_quality(
+    campaign: EvaluationCampaign,
+    matcher_names: Sequence[str],
+    spec_builder: Callable[[str], SeriesSpec],
+) -> List[MatcherQuality]:
+    """Figure 11: evaluate each single matcher with its designated combination strategy."""
+    rows: List[MatcherQuality] = []
+    for name in matcher_names:
+        spec = spec_builder(name)
+        result = campaign.evaluate_series(spec)
+        rows.append(MatcherQuality(label=name, quality=result.average, spec=spec))
+    return sorted(rows, key=lambda r: r.quality.overall)
+
+
+def best_series_per_matcher(
+    results: Sequence[SeriesResult],
+) -> Dict[str, SeriesResult]:
+    """The best (highest average Overall) series for every matcher-usage label."""
+    best: Dict[str, SeriesResult] = {}
+    for result in results:
+        label = result.matcher_label
+        if label not in best or result.average.overall > best[label].average.overall:
+            best[label] = result
+    return best
+
+
+def best_combination_quality(results: Sequence[SeriesResult]) -> List[MatcherQuality]:
+    """Figure 12: the quality of the best series of each matcher combination."""
+    best = best_series_per_matcher(
+        [r for r in results if len(r.spec.matchers) > 1]
+    )
+    rows = [
+        MatcherQuality(label=label, quality=result.average, spec=result.spec)
+        for label, result in best.items()
+    ]
+    return sorted(rows, key=lambda r: -r.quality.overall)
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSensitivity:
+    """One Figure 13 data point: problem size vs best achievable Overall."""
+
+    task_name: str
+    total_paths: int
+    schema_similarity: float
+    best_no_reuse_overall: float
+    best_reuse_overall: Optional[float]
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dict row for tabular reports."""
+        return {
+            "task": self.task_name,
+            "all_paths": self.total_paths,
+            "schema_similarity": self.schema_similarity,
+            "overall_no_reuse": self.best_no_reuse_overall,
+            "overall_reuse": self.best_reuse_overall,
+        }
+
+
+def sensitivity_by_task(
+    campaign: EvaluationCampaign,
+    no_reuse_results: Sequence[SeriesResult],
+    reuse_results: Sequence[SeriesResult] = (),
+) -> List[TaskSensitivity]:
+    """Figure 13: for each task, the best per-task Overall across all series."""
+    best_no_reuse: Dict[str, float] = {}
+    for result in no_reuse_results:
+        for task_name, quality in result.per_task:
+            if task_name not in best_no_reuse or quality.overall > best_no_reuse[task_name]:
+                best_no_reuse[task_name] = quality.overall
+    best_reuse: Dict[str, float] = {}
+    for result in reuse_results:
+        for task_name, quality in result.per_task:
+            if task_name not in best_reuse or quality.overall > best_reuse[task_name]:
+                best_reuse[task_name] = quality.overall
+
+    rows: List[TaskSensitivity] = []
+    for task in campaign.tasks:
+        rows.append(
+            TaskSensitivity(
+                task_name=task.name,
+                total_paths=task.total_paths,
+                schema_similarity=task.schema_similarity,
+                best_no_reuse_overall=best_no_reuse.get(task.name, float("nan")),
+                best_reuse_overall=best_reuse.get(task.name) if best_reuse else None,
+            )
+        )
+    return sorted(rows, key=lambda r: (r.total_paths, r.task_name))
+
+
+@dataclasses.dataclass(frozen=True)
+class DefaultStrategyChoice:
+    """The outcome of the Section 7.2 default-strategy selection procedure."""
+
+    aggregation_votes: Dict[str, int]
+    direction_votes: Dict[str, int]
+    selection_votes: Dict[str, int]
+    combined_votes: Dict[str, int]
+    best_label: str
+    best_overall: float
+
+
+def default_strategy_selection(results: Sequence[SeriesResult]) -> DefaultStrategyChoice:
+    """Reproduce the paper's default-strategy vote over the best combination series."""
+    best = best_series_per_matcher([r for r in results if len(r.spec.matchers) > 1])
+    positive = {label: r for label, r in best.items() if r.average.overall > 0}
+    aggregation_votes: Dict[str, int] = {}
+    direction_votes: Dict[str, int] = {}
+    selection_votes: Dict[str, int] = {}
+    combined_votes: Dict[str, int] = {}
+    best_label = ""
+    best_overall = float("-inf")
+    for label, result in positive.items():
+        spec = result.spec
+        aggregation_votes[str(spec.aggregation)] = aggregation_votes.get(str(spec.aggregation), 0) + 1
+        direction_votes[str(spec.direction)] = direction_votes.get(str(spec.direction), 0) + 1
+        selection_votes[str(spec.selection)] = selection_votes.get(str(spec.selection), 0) + 1
+        combined_votes[spec.combined_similarity] = combined_votes.get(spec.combined_similarity, 0) + 1
+        if result.average.overall > best_overall:
+            best_overall = result.average.overall
+            best_label = label
+    return DefaultStrategyChoice(
+        aggregation_votes=aggregation_votes,
+        direction_votes=direction_votes,
+        selection_votes=selection_votes,
+        combined_votes=combined_votes,
+        best_label=best_label,
+        best_overall=best_overall,
+    )

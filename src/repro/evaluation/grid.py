@@ -1,0 +1,207 @@
+"""The evaluation grid of Table 6: matchers and combination strategies tested.
+
+The paper exhaustively evaluated 12,312 series, each a choice of matcher (or
+matcher combination), aggregation, direction, selection and combined-similarity
+strategy over the 10 match tasks.  This module enumerates the same space:
+
+* matcher usages: the 5 single hybrid matchers, all 10 pair-wise combinations,
+  the combination of all 5 (``All``); and on the reuse side the SchemaM /
+  SchemaA single matchers, their pair-wise combinations with the 5 hybrid
+  matchers and ``All+SchemaM`` / ``All+SchemaA``;
+* aggregations: Max, Average, Min (Weighted is excluded, as in the paper);
+* directions: LargeSmall, SmallLarge, Both;
+* selections: MaxN(1-4), Delta(0.01-0.1), Threshold(0.3-1.0), and the
+  combinations Threshold(0.5)+MaxN(n) and Threshold(0.5)+Delta(d);
+* combined similarity: Average and Dice (hybrid-internal).
+
+Because the full grid is large, :func:`reduced_grid` provides a representative
+sub-grid (same strategy families, fewer parameter points) that the benchmark
+harness uses by default; set ``COMA_FULL_GRID=1`` to run the full grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import os
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.combination.aggregation import AVERAGE, MAX, MIN, AggregationStrategy
+from repro.combination.direction import BOTH, LARGE_SMALL, SMALL_LARGE, DirectionStrategy
+from repro.combination.selection import (
+    CombinedSelection,
+    MaxDelta,
+    MaxN,
+    SelectionStrategy,
+    Threshold,
+)
+from repro.matchers.registry import EVALUATION_HYBRID_MATCHERS
+
+#: The two combined-similarity variants of hybrid matchers tested in the paper.
+COMBINED_SIMILARITY_VARIANTS: Tuple[str, ...] = ("Average", "Dice")
+
+
+@dataclasses.dataclass(frozen=True)
+class SeriesSpec:
+    """One series: a matcher usage plus a full combination-strategy choice."""
+
+    matchers: Tuple[str, ...]
+    aggregation: AggregationStrategy
+    direction: DirectionStrategy
+    selection: SelectionStrategy
+    combined_similarity: str = "Average"
+
+    @property
+    def matcher_label(self) -> str:
+        """The matcher usage label, e.g. ``"NamePath+Leaves"`` or ``"All"``."""
+        if set(self.matchers) == set(EVALUATION_HYBRID_MATCHERS):
+            return "All"
+        if (
+            len(self.matchers) == len(EVALUATION_HYBRID_MATCHERS) + 1
+            and set(EVALUATION_HYBRID_MATCHERS) < set(self.matchers)
+        ):
+            extra = next(m for m in self.matchers if m not in EVALUATION_HYBRID_MATCHERS)
+            return f"All+{extra}"
+        return "+".join(self.matchers)
+
+    @property
+    def uses_reuse(self) -> bool:
+        """True if any reuse-oriented matcher participates."""
+        return any(m.startswith("Schema") or m == "Fragment" for m in self.matchers)
+
+    @property
+    def is_single(self) -> bool:
+        """True if the series runs exactly one matcher."""
+        return len(self.matchers) == 1
+
+    def label(self) -> str:
+        """A full human-readable series label."""
+        return (
+            f"{self.matcher_label} ({self.aggregation}, {self.direction}, "
+            f"{self.selection}, {self.combined_similarity})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Matcher usages
+# ---------------------------------------------------------------------------
+
+def no_reuse_matcher_usages() -> List[Tuple[str, ...]]:
+    """The 16 no-reuse usages: 5 singles, 10 pairs, and All."""
+    singles = [(name,) for name in EVALUATION_HYBRID_MATCHERS]
+    pairs = [tuple(pair) for pair in itertools.combinations(EVALUATION_HYBRID_MATCHERS, 2)]
+    return singles + pairs + [tuple(EVALUATION_HYBRID_MATCHERS)]
+
+
+def reuse_matcher_usages(reuse_matchers: Sequence[str] = ("SchemaM", "SchemaA")) -> List[Tuple[str, ...]]:
+    """The 14 reuse usages: 2 singles, 10 pair-wise with hybrids, 2 All+Schema."""
+    usages: List[Tuple[str, ...]] = [(name,) for name in reuse_matchers]
+    for reuse_matcher in reuse_matchers:
+        for hybrid in EVALUATION_HYBRID_MATCHERS:
+            usages.append((reuse_matcher, hybrid))
+    for reuse_matcher in reuse_matchers:
+        usages.append(tuple(EVALUATION_HYBRID_MATCHERS) + (reuse_matcher,))
+    return usages
+
+
+def all_matcher_usages() -> List[Tuple[str, ...]]:
+    """All 30 matcher usages of Table 6 (16 no-reuse + 14 reuse)."""
+    return no_reuse_matcher_usages() + reuse_matcher_usages()
+
+
+# ---------------------------------------------------------------------------
+# Strategy dimensions
+# ---------------------------------------------------------------------------
+
+AGGREGATIONS: Tuple[AggregationStrategy, ...] = (MAX, AVERAGE, MIN)
+DIRECTIONS: Tuple[DirectionStrategy, ...] = (LARGE_SMALL, SMALL_LARGE, BOTH)
+
+
+def full_selection_strategies() -> List[SelectionStrategy]:
+    """The full selection dimension of Table 6 (36 strategies)."""
+    strategies: List[SelectionStrategy] = []
+    strategies.extend(MaxN(n) for n in range(1, 5))
+    deltas = (0.01, 0.02, 0.03, 0.04, 0.06, 0.08, 0.1)
+    strategies.extend(MaxDelta(d) for d in deltas)
+    thresholds = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+    strategies.extend(Threshold(t) for t in thresholds)
+    strategies.extend(CombinedSelection([Threshold(0.5), MaxN(n)]) for n in range(1, 5))
+    strategies.extend(CombinedSelection([Threshold(0.5), MaxDelta(d)]) for d in deltas)
+    return strategies
+
+
+def reduced_selection_strategies() -> List[SelectionStrategy]:
+    """A representative sub-grid of selection strategies (used by default benches)."""
+    return [
+        MaxN(1),
+        MaxN(2),
+        MaxDelta(0.02),
+        MaxDelta(0.1),
+        Threshold(0.5),
+        Threshold(0.8),
+        CombinedSelection([Threshold(0.5), MaxN(1)]),
+        CombinedSelection([Threshold(0.5), MaxDelta(0.02)]),
+    ]
+
+
+def selection_strategies(full: bool | None = None) -> List[SelectionStrategy]:
+    """The selection dimension; full when requested or ``COMA_FULL_GRID=1`` is set."""
+    if full is None:
+        full = os.environ.get("COMA_FULL_GRID", "") == "1"
+    return full_selection_strategies() if full else reduced_selection_strategies()
+
+
+# ---------------------------------------------------------------------------
+# Series enumeration
+# ---------------------------------------------------------------------------
+
+def enumerate_series(
+    matcher_usages: Sequence[Tuple[str, ...]],
+    aggregations: Sequence[AggregationStrategy] = AGGREGATIONS,
+    directions: Sequence[DirectionStrategy] = DIRECTIONS,
+    selections: Sequence[SelectionStrategy] | None = None,
+    combined_similarities: Sequence[str] = COMBINED_SIMILARITY_VARIANTS,
+) -> Iterator[SeriesSpec]:
+    """Enumerate all series for the given dimension choices.
+
+    For single matchers the aggregation dimension is not relevant (there is
+    only one cube layer), and for single reuse matchers the hybrid-internal
+    combined-similarity dimension is not relevant either; redundant series are
+    skipped exactly as in the paper's accounting.
+    """
+    active_selections = selections if selections is not None else selection_strategies()
+    for matchers in matcher_usages:
+        single = len(matchers) == 1
+        single_reuse = single and (matchers[0].startswith("Schema") or matchers[0] == "Fragment")
+        usage_aggregations = (AVERAGE,) if single else tuple(aggregations)
+        usage_combined = ("Average",) if single_reuse else tuple(combined_similarities)
+        for aggregation in usage_aggregations:
+            for direction in directions:
+                for selection in active_selections:
+                    for combined in usage_combined:
+                        yield SeriesSpec(
+                            matchers=tuple(matchers),
+                            aggregation=aggregation,
+                            direction=direction,
+                            selection=selection,
+                            combined_similarity=combined,
+                        )
+
+
+def no_reuse_series(full: bool | None = None) -> List[SeriesSpec]:
+    """All no-reuse series (Figure 9 / Figure 10 population)."""
+    return list(
+        enumerate_series(no_reuse_matcher_usages(), selections=selection_strategies(full))
+    )
+
+
+def reuse_series(full: bool | None = None) -> List[SeriesSpec]:
+    """All reuse series (Section 7.3)."""
+    return list(
+        enumerate_series(reuse_matcher_usages(), selections=selection_strategies(full))
+    )
+
+
+def full_grid() -> List[SeriesSpec]:
+    """The complete Table 6 grid (both no-reuse and reuse series)."""
+    return no_reuse_series(full=True) + reuse_series(full=True)

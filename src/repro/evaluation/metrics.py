@@ -1,0 +1,145 @@
+"""Match quality measures: Precision, Recall, Overall, F-measure (Section 7.1).
+
+Given the manually determined real matches ``R`` and the matches ``P`` returned
+by automatic match processing, the true positives ``I = P ∩ R``, false
+positives ``F = P \\ I`` and false negatives ``M = R \\ I`` define:
+
+* ``Precision = |I| / |P|`` -- reliability of the predictions,
+* ``Recall = |I| / |R|`` -- share of real matches found,
+* ``Overall = 1 - (|F| + |M|) / |R| = Recall * (2 - 1/Precision)`` -- the
+  combined measure of [Melnik et al. 2002] accounting for the post-match
+  effort of removing false and adding missed matches.  Overall can be
+  negative when Precision < 0.5.
+* ``F-measure`` -- the harmonic mean of Precision and Recall (reported as an
+  additional reference measure; the paper itself uses Overall).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from repro.exceptions import EvaluationError
+from repro.model.mapping import MatchResult
+
+#: A correspondence key used for set comparison: (source dotted path, target dotted path).
+PairKey = Tuple[str, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchQuality:
+    """The quality measures of one match experiment."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def predicted(self) -> int:
+        """``|P|`` -- the number of proposed correspondences."""
+        return self.true_positives + self.false_positives
+
+    @property
+    def real(self) -> int:
+        """``|R|`` -- the number of real correspondences."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def precision(self) -> float:
+        """``|I| / |P|`` (1.0 when nothing was predicted and nothing was real)."""
+        if self.predicted == 0:
+            return 1.0 if self.real == 0 else 0.0
+        return self.true_positives / self.predicted
+
+    @property
+    def recall(self) -> float:
+        """``|I| / |R|`` (1.0 when there are no real matches)."""
+        if self.real == 0:
+            return 1.0
+        return self.true_positives / self.real
+
+    @property
+    def overall(self) -> float:
+        """``1 - (|F| + |M|) / |R|``; negative when false positives dominate."""
+        if self.real == 0:
+            return 1.0 if self.false_positives == 0 else -float(self.false_positives)
+        return 1.0 - (self.false_positives + self.false_negatives) / self.real
+
+    @property
+    def f_measure(self) -> float:
+        """The harmonic mean of Precision and Recall."""
+        precision = self.precision
+        recall = self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def as_dict(self) -> dict:
+        """All measures as a plain dict (for tabular reports)."""
+        return {
+            "predicted": self.predicted,
+            "real": self.real,
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "overall": self.overall,
+            "f_measure": self.f_measure,
+        }
+
+
+def _pair_keys(mapping: MatchResult | Iterable[PairKey]) -> FrozenSet[PairKey]:
+    if isinstance(mapping, MatchResult):
+        return mapping.pair_set()
+    return frozenset(mapping)
+
+
+def evaluate_mapping(
+    predicted: MatchResult | Iterable[PairKey],
+    reference: MatchResult | Iterable[PairKey],
+) -> MatchQuality:
+    """Compare a predicted mapping against the reference (gold) mapping."""
+    predicted_keys = _pair_keys(predicted)
+    reference_keys = _pair_keys(reference)
+    true_positives = len(predicted_keys & reference_keys)
+    return MatchQuality(
+        true_positives=true_positives,
+        false_positives=len(predicted_keys) - true_positives,
+        false_negatives=len(reference_keys) - true_positives,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class AverageQuality:
+    """Quality measures averaged over several experiments (one per match task)."""
+
+    precision: float
+    recall: float
+    overall: float
+    f_measure: float
+    experiment_count: int
+
+    def as_dict(self) -> dict:
+        """All averaged measures as a plain dict."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "overall": self.overall,
+            "f_measure": self.f_measure,
+            "experiments": self.experiment_count,
+        }
+
+
+def average_quality(qualities: Sequence[MatchQuality]) -> AverageQuality:
+    """Average the quality measures of several experiments (Section 7.1)."""
+    if not qualities:
+        raise EvaluationError("cannot average an empty list of match qualities")
+    count = len(qualities)
+    return AverageQuality(
+        precision=sum(q.precision for q in qualities) / count,
+        recall=sum(q.recall for q in qualities) / count,
+        overall=sum(q.overall for q in qualities) / count,
+        f_measure=sum(q.f_measure for q in qualities) / count,
+        experiment_count=count,
+    )

@@ -1,0 +1,115 @@
+"""Plain-text report formatting for tables and figure data series.
+
+The benchmark harness regenerates every table and figure of the paper as text:
+tables become aligned columns, figures become their underlying data series
+(plus a small ASCII bar rendering where that aids reading).  All functions
+return strings so benches can both print them and write them to files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    column_names = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        if value is None:
+            return "-"
+        return str(value)
+
+    rendered = [[cell(row.get(name)) for name in column_names] for row in rows]
+    widths = [
+        max(len(column_names[i]), max(len(r[i]) for r in rendered))
+        for i in range(len(column_names))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(column_names))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(column_names))))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    series: Sequence[Tuple[str, float]],
+    title: Optional[str] = None,
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render ``(label, value)`` pairs as a horizontal ASCII bar chart."""
+    if not series:
+        return (title + "\n" if title else "") + "(no data)"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(label) for label, _ in series)
+    maximum = max((abs(value) for _, value in series), default=1.0) or 1.0
+    for label, value in series:
+        bar_length = int(round(abs(value) / maximum * width))
+        bar = "#" * bar_length
+        sign = "-" if value < 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)}  {sign}{bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    groups: Mapping[str, Sequence[Tuple[str, float]]],
+    title: Optional[str] = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render several named series over the same x-axis as a compact text matrix."""
+    if not groups:
+        return (title + "\n" if title else "") + "(no data)"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    any_series = next(iter(groups.values()))
+    x_labels = [label for label, _ in any_series]
+    name_width = max(len(name) for name in groups)
+    column_width = max(max(len(label) for label in x_labels), 6)
+    header = " " * name_width + "  " + "  ".join(label.rjust(column_width) for label in x_labels)
+    lines.append(header)
+    for name, series in groups.items():
+        values = {label: value for label, value in series}
+        cells = [
+            value_format.format(values.get(label, 0.0)).rjust(column_width)
+            for label in x_labels
+        ]
+        lines.append(name.ljust(name_width) + "  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_key_values(pairs: Iterable[Tuple[str, object]], title: Optional[str] = None) -> str:
+    """Render key/value pairs as aligned lines (used for summary blocks)."""
+    items = list(pairs)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not items:
+        lines.append("(none)")
+        return "\n".join(lines)
+    key_width = max(len(key) for key, _ in items)
+    for key, value in items:
+        if isinstance(value, float):
+            rendered = f"{value:.3f}"
+        else:
+            rendered = str(value)
+        lines.append(f"{key.ljust(key_width)} : {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the COMA reproduction.
+
+All library-raised errors derive from :class:`ComaError` so applications can
+catch a single base class.  The hierarchy mirrors the major subsystems: schema
+model, importers, matchers, combination machinery, repository and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ComaError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SchemaError(ComaError):
+    """Raised when a schema graph is malformed or an operation on it is invalid."""
+
+
+class CycleError(SchemaError):
+    """Raised when containment links would form a cycle (schemas must be DAGs)."""
+
+
+class UnknownElementError(SchemaError):
+    """Raised when a node or path referenced by name does not exist in a schema."""
+
+
+class ImportError_(ComaError):
+    """Raised when an external schema definition (DDL, XSD, dict) cannot be parsed.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`ImportError`; exported publicly as ``SchemaImportError``.
+    """
+
+
+SchemaImportError = ImportError_
+
+
+class MatcherError(ComaError):
+    """Raised when a matcher is misconfigured or fails during execution."""
+
+
+class UnknownMatcherError(MatcherError):
+    """Raised when a matcher name cannot be resolved from the matcher registry."""
+
+
+class CombinationError(ComaError):
+    """Raised for invalid aggregation / direction / selection configurations."""
+
+
+class StrategyError(CombinationError):
+    """Raised when a match strategy is inconsistent (e.g. unknown sub-strategy name)."""
+
+
+class RepositoryError(ComaError):
+    """Raised when the persistent repository cannot store or retrieve an object."""
+
+
+class EvaluationError(ComaError):
+    """Raised by the evaluation harness (missing gold standard, empty task list, ...)."""

@@ -1,0 +1,18 @@
+"""Schema importers: relational DDL, XML Schema (XSD) and dict/JSON specifications."""
+
+from repro.importers.base import SchemaImporter, SchemaSource
+from repro.importers.dictspec import DictImporter
+from repro.importers.registry import DEFAULT_IMPORTERS, ImporterRegistry, default_registry
+from repro.importers.relational import RelationalImporter
+from repro.importers.xsd import XsdImporter
+
+__all__ = [
+    "DEFAULT_IMPORTERS",
+    "DictImporter",
+    "ImporterRegistry",
+    "RelationalImporter",
+    "SchemaImporter",
+    "SchemaSource",
+    "XsdImporter",
+    "default_registry",
+]

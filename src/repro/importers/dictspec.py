@@ -1,0 +1,101 @@
+"""Importer for dict / JSON schema specifications.
+
+A convenient programmatic format used by tests, examples and the bundled
+datasets.  A specification is a mapping::
+
+    {
+        "name": "PO2",
+        "elements": [
+            {"name": "DeliverTo", "children": [
+                {"name": "Address", "children": [
+                    {"name": "Street", "type": "xsd:string"},
+                    {"name": "City", "type": "xsd:string"},
+                ]},
+            ]},
+        ],
+    }
+
+Shared fragments can be expressed with ``"fragment": "<fragment name>"``
+entries referencing a top-level ``"fragments"`` section; each reference links
+the same underlying nodes under another parent, producing multiple paths.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ImportError_
+from repro.importers.base import SchemaImporter
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+
+class DictImporter(SchemaImporter):
+    """Builds schemas from nested dict specifications (or their JSON form)."""
+
+    format_name = "dict"
+    file_suffixes = (".json",)
+
+    def import_text(self, text: str, name: str) -> Schema:
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ImportError_(f"invalid JSON while importing {name!r}: {error}") from error
+        if not isinstance(spec, Mapping):
+            raise ImportError_(f"the JSON document for {name!r} must be an object")
+        return self.import_spec(spec, default_name=name)
+
+    def import_spec(self, spec: Mapping[str, Any], default_name: str = "schema") -> Schema:
+        """Build a schema from an in-memory dict specification."""
+        name = str(spec.get("name", default_name))
+        elements = spec.get("elements")
+        if not isinstance(elements, Sequence) or not elements:
+            raise ImportError_(f"schema spec {name!r} must contain a non-empty 'elements' list")
+
+        schema = Schema(name, namespace=spec.get("namespace"))
+        fragment_specs: Dict[str, Mapping[str, Any]] = {}
+        for fragment in spec.get("fragments", ()):  # type: ignore[union-attr]
+            if not isinstance(fragment, Mapping) or "name" not in fragment:
+                raise ImportError_(f"every fragment of {name!r} needs a 'name'")
+            fragment_specs[str(fragment["name"])] = fragment
+
+        built_fragments: Dict[str, SchemaElement] = {}
+
+        def build_fragment(fragment_name: str, parent: SchemaElement) -> None:
+            if fragment_name not in fragment_specs:
+                raise ImportError_(
+                    f"schema spec {name!r} references unknown fragment {fragment_name!r}"
+                )
+            if fragment_name in built_fragments:
+                schema.add_link(parent, built_fragments[fragment_name])
+                return
+            fragment_spec = fragment_specs[fragment_name]
+            fragment_root = schema.add_detached_element(fragment_name, kind=ElementKind.TYPE)
+            built_fragments[fragment_name] = fragment_root
+            schema.add_link(parent, fragment_root)
+            for child in fragment_spec.get("children", ()):
+                build_node(child, fragment_root)
+
+        def build_node(node: Any, parent: SchemaElement) -> None:
+            if not isinstance(node, Mapping):
+                raise ImportError_(f"schema spec {name!r} contains a non-object element: {node!r}")
+            if "fragment" in node:
+                build_fragment(str(node["fragment"]), parent)
+                return
+            if "name" not in node:
+                raise ImportError_(f"every element of {name!r} needs a 'name': {node!r}")
+            children = node.get("children")
+            element = schema.add_element(
+                str(node["name"]),
+                parent=parent,
+                kind=ElementKind.ELEMENT,
+                source_type=node.get("type"),
+                documentation=node.get("documentation"),
+            )
+            for child in children or ():
+                build_node(child, element)
+
+        for top_level in elements:
+            build_node(top_level, schema.root)
+        return schema

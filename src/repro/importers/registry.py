@@ -1,0 +1,68 @@
+"""Importer registry: choose the right importer by format name or file suffix."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ImportError_
+from repro.importers.base import SchemaImporter, SchemaSource
+from repro.importers.dictspec import DictImporter
+from repro.importers.relational import RelationalImporter
+from repro.importers.xsd import XsdImporter
+from repro.model.schema import Schema
+
+
+class ImporterRegistry:
+    """Maps format names and file suffixes to importer instances."""
+
+    def __init__(self) -> None:
+        self._by_format: Dict[str, SchemaImporter] = {}
+
+    def register(self, importer: SchemaImporter, replace: bool = False) -> None:
+        """Register an importer under its ``format_name``."""
+        key = importer.format_name.lower()
+        if key in self._by_format and not replace:
+            raise ValueError(f"an importer for format {key!r} is already registered")
+        self._by_format[key] = importer
+
+    def by_format(self, format_name: str) -> SchemaImporter:
+        """The importer registered for ``format_name``."""
+        key = format_name.strip().lower()
+        if key not in self._by_format:
+            raise ImportError_(
+                f"no importer for format {format_name!r}; known formats: "
+                f"{', '.join(sorted(self._by_format))}"
+            )
+        return self._by_format[key]
+
+    def for_file(self, path: SchemaSource) -> SchemaImporter:
+        """The importer claiming the suffix of ``path``."""
+        suffix = pathlib.Path(path).suffix.lower()
+        for importer in self._by_format.values():
+            if suffix in importer.file_suffixes:
+                return importer
+        raise ImportError_(f"no importer claims the file suffix {suffix!r} of {path}")
+
+    def import_file(self, path: SchemaSource, name: Optional[str] = None,
+                    format_name: Optional[str] = None) -> Schema:
+        """Import a schema file, auto-detecting the importer unless a format is given."""
+        importer = self.by_format(format_name) if format_name else self.for_file(path)
+        return importer.import_file(path, name)
+
+    def formats(self) -> Tuple[str, ...]:
+        """All registered format names."""
+        return tuple(sorted(self._by_format))
+
+
+def default_registry() -> ImporterRegistry:
+    """A registry with the built-in importers (SQL DDL, XSD, dict/JSON)."""
+    registry = ImporterRegistry()
+    registry.register(RelationalImporter())
+    registry.register(XsdImporter())
+    registry.register(DictImporter())
+    return registry
+
+
+#: Module-level default registry used by the high-level API and the CLI.
+DEFAULT_IMPORTERS = default_registry()

@@ -1,0 +1,147 @@
+"""Importer for relational schemas defined by SQL ``CREATE TABLE`` statements.
+
+The importer understands the subset of DDL used by the paper's running example
+(Figure 1a) and by typical schema dumps:
+
+* ``CREATE TABLE [schema.]name ( column type [constraints], ... )``,
+* column-level ``PRIMARY KEY``, ``NOT NULL``, ``DEFAULT ...``,
+* column-level ``REFERENCES other_table [(column)]`` foreign keys, which become
+  referential links in the graph,
+* table-level ``PRIMARY KEY (...)`` and ``FOREIGN KEY (...) REFERENCES ...``.
+
+Tables become inner elements under the schema root; columns become leaf
+elements carrying their SQL type as ``source_type``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ImportError_
+from repro.importers.base import SchemaImporter
+from repro.model.element import ElementKind, LinkKind, SchemaElement
+from repro.model.schema import Schema
+
+_CREATE_TABLE = re.compile(
+    r"CREATE\s+TABLE\s+(?P<name>[\w\.\"\[\]]+)\s*\((?P<body>.*?)\)\s*;",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_COLUMN_REFERENCES = re.compile(
+    r"REFERENCES\s+(?P<table>[\w\.\"\[\]]+)(\s*\((?P<column>[\w\",\s]+)\))?",
+    re.IGNORECASE,
+)
+
+_TABLE_CONSTRAINT_PREFIXES = (
+    "primary key", "foreign key", "unique", "check", "constraint", "key", "index",
+)
+
+#: SQL types that may carry a parenthesised argument list.
+_TYPE_PATTERN = re.compile(r"^(?P<type>[A-Za-z]+(\s+[A-Za-z]+)?(\s*\([\d\s,]*\))?)")
+
+
+def _strip_quotes(identifier: str) -> str:
+    return identifier.strip().strip('"').strip("[").strip("]")
+
+
+def _split_columns(body: str) -> List[str]:
+    """Split the body of a CREATE TABLE on top-level commas."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in parts if p]
+
+
+class RelationalImporter(SchemaImporter):
+    """Parses ``CREATE TABLE`` DDL into the internal schema graph."""
+
+    format_name = "sql"
+    file_suffixes = (".sql", ".ddl")
+
+    def import_text(self, text: str, name: str) -> Schema:
+        statements = list(_CREATE_TABLE.finditer(self._strip_comments(text)))
+        if not statements:
+            raise ImportError_(f"no CREATE TABLE statements found while importing {name!r}")
+
+        schema = Schema(name)
+        table_elements: Dict[str, SchemaElement] = {}
+        column_elements: Dict[Tuple[str, str], SchemaElement] = {}
+        pending_references: List[Tuple[SchemaElement, str, Optional[str]]] = []
+
+        for statement in statements:
+            raw_table_name = _strip_quotes(statement.group("name"))
+            table_name = raw_table_name.split(".")[-1]
+            table = schema.add_element(table_name, kind=ElementKind.TABLE)
+            table_elements[table_name.lower()] = table
+
+            for definition in _split_columns(statement.group("body")):
+                lowered = definition.lower()
+                if any(lowered.startswith(prefix) for prefix in _TABLE_CONSTRAINT_PREFIXES):
+                    continue
+                column = self._parse_column(definition)
+                if column is None:
+                    continue
+                column_name, column_type, reference = column
+                element = schema.add_element(
+                    column_name, parent=table, kind=ElementKind.COLUMN, source_type=column_type
+                )
+                column_elements[(table_name.lower(), column_name.lower())] = element
+                if reference is not None:
+                    pending_references.append((element, reference[0], reference[1]))
+
+        for source_element, referenced_table, referenced_column in pending_references:
+            target_table = table_elements.get(referenced_table.split(".")[-1].lower())
+            if target_table is None:
+                continue
+            target: SchemaElement = target_table
+            if referenced_column:
+                candidate = column_elements.get(
+                    (referenced_table.split(".")[-1].lower(), referenced_column.lower())
+                )
+                if candidate is not None:
+                    target = candidate
+            schema.add_link(source_element, target, LinkKind.REFERENCE)
+
+        return schema
+
+    @staticmethod
+    def _strip_comments(text: str) -> str:
+        without_line_comments = re.sub(r"--[^\n]*", "", text)
+        return re.sub(r"/\*.*?\*/", "", without_line_comments, flags=re.DOTALL)
+
+    @staticmethod
+    def _parse_column(definition: str) -> Optional[Tuple[str, str, Optional[Tuple[str, Optional[str]]]]]:
+        """Parse one column definition into (name, type, optional reference)."""
+        tokens = definition.strip().split(None, 1)
+        if len(tokens) < 2:
+            return None
+        column_name = _strip_quotes(tokens[0])
+        remainder = tokens[1].strip()
+        type_match = _TYPE_PATTERN.match(remainder)
+        if not type_match:
+            return None
+        column_type = type_match.group("type").strip()
+
+        reference: Optional[Tuple[str, Optional[str]]] = None
+        reference_match = _COLUMN_REFERENCES.search(remainder)
+        if reference_match:
+            referenced_table = _strip_quotes(reference_match.group("table"))
+            referenced_column = reference_match.group("column")
+            if referenced_column:
+                referenced_column = _strip_quotes(referenced_column.split(",")[0])
+            reference = (referenced_table, referenced_column)
+        return column_name, column_type, reference

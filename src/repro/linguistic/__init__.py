@@ -1,0 +1,12 @@
+"""Linguistic pre-processing: tokenization and abbreviation expansion."""
+
+from repro.linguistic.abbreviations import AbbreviationTable, default_abbreviations
+from repro.linguistic.tokenizer import DEFAULT_TOKENIZER, NameTokenizer, split_name
+
+__all__ = [
+    "AbbreviationTable",
+    "DEFAULT_TOKENIZER",
+    "NameTokenizer",
+    "default_abbreviations",
+    "split_name",
+]

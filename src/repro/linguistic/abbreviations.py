@@ -1,0 +1,117 @@
+"""Abbreviation and acronym expansion used during name tokenization.
+
+The Name matcher "expands abbreviations and acronyms, e.g.
+``PO -> {Purchase, Order}``" (Section 4.2).  The paper's evaluation used a
+small hand-built file with trivial abbreviations such as ``No`` / ``Num``;
+:func:`default_abbreviations` bundles an equivalent table for the purchase
+order domain plus generic database abbreviations, and applications can supply
+their own table or extend the default one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class AbbreviationTable:
+    """A case-insensitive mapping from abbreviations to their expansion tokens."""
+
+    def __init__(self, entries: Mapping[str, Iterable[str] | str] | None = None):
+        self._entries: Dict[str, Tuple[str, ...]] = {}
+        if entries:
+            for abbreviation, expansion in entries.items():
+                self.add(abbreviation, expansion)
+
+    def add(self, abbreviation: str, expansion: Iterable[str] | str) -> None:
+        """Register ``abbreviation`` to expand into one or more tokens."""
+        key = abbreviation.strip().lower()
+        if not key:
+            raise ValueError("abbreviation must be a non-empty string")
+        if isinstance(expansion, str):
+            tokens: Tuple[str, ...] = (expansion.strip().lower(),)
+        else:
+            tokens = tuple(token.strip().lower() for token in expansion if token.strip())
+        if not tokens:
+            raise ValueError(f"expansion for {abbreviation!r} must contain at least one token")
+        self._entries[key] = tokens
+
+    def remove(self, abbreviation: str) -> bool:
+        """Remove an abbreviation; returns True if it was present."""
+        return self._entries.pop(abbreviation.strip().lower(), None) is not None
+
+    def expand(self, token: str) -> Tuple[str, ...]:
+        """Expand a (lower-case) token; unknown tokens are returned unchanged."""
+        return self._entries.get(token.lower(), (token.lower(),))
+
+    def knows(self, token: str) -> bool:
+        """True if the table has an expansion for ``token``."""
+        return token.lower() in self._entries
+
+    def merged_with(self, other: "AbbreviationTable") -> "AbbreviationTable":
+        """A new table combining both; entries of ``other`` win on conflict."""
+        merged = AbbreviationTable()
+        merged._entries.update(self._entries)
+        merged._entries.update(other._entries)
+        return merged
+
+    def items(self) -> Iterable[Tuple[str, Tuple[str, ...]]]:
+        """Iterate over ``(abbreviation, expansion tokens)`` pairs."""
+        return self._entries.items()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, token: object) -> bool:
+        return isinstance(token, str) and self.knows(token)
+
+
+#: Generic + purchase-order-domain abbreviations, mirroring the paper's hand-built file.
+_DEFAULT_ENTRIES: Dict[str, Tuple[str, ...]] = {
+    # purchase-order domain acronyms
+    "po": ("purchase", "order"),
+    "qty": ("quantity",),
+    "amt": ("amount",),
+    "uom": ("unit", "of", "measure"),
+    # trivial abbreviations (the paper explicitly mentions No / Num)
+    "no": ("number",),
+    "num": ("number",),
+    "nr": ("number",),
+    "cust": ("customer",),
+    "addr": ("address",),
+    "tel": ("telephone",),
+    "phone": ("telephone",),
+    "fax": ("facsimile",),
+    "descr": ("description",),
+    "desc": ("description",),
+    "id": ("identifier",),
+    "ident": ("identifier",),
+    "ref": ("reference",),
+    "acct": ("account",),
+    "org": ("organization",),
+    "co": ("company",),
+    "st": ("state",),
+    "str": ("street",),
+    "ctry": ("country",),
+    "tot": ("total",),
+    "cnt": ("count",),
+    "deliv": ("delivery",),
+    "req": ("requested",),
+    "zip": ("postal", "code"),
+    "postcode": ("postal", "code"),
+    "dob": ("date", "of", "birth"),
+    "dt": ("date",),
+    "ts": ("timestamp",),
+    "min": ("minimum",),
+    "max": ("maximum",),
+    "avg": ("average",),
+    "msg": ("message",),
+    "info": ("information",),
+    "pmt": ("payment",),
+    "inv": ("invoice",),
+    "curr": ("currency",),
+}
+
+
+def default_abbreviations() -> AbbreviationTable:
+    """The default abbreviation table (a fresh, independently mutable copy)."""
+    return AbbreviationTable(_DEFAULT_ENTRIES)

@@ -1,0 +1,105 @@
+"""Name tokenization for the hybrid ``Name`` matcher.
+
+The Name matcher (Section 4.2) performs pre-processing steps before applying
+simple string matchers:
+
+* *tokenization*: a name is split into its components, e.g.
+  ``POShipTo -> {PO, Ship, To}``.  Splitting honours camelCase, PascalCase,
+  digit boundaries and explicit delimiters (``_``, ``-``, ``.``, whitespace);
+* *normalisation*: tokens are lower-cased and empty tokens dropped;
+* *expansion*: abbreviations and acronyms are expanded
+  (``PO -> {Purchase, Order}``), handled by
+  :class:`~repro.linguistic.abbreviations.AbbreviationTable`.
+
+Tokenization is deliberately deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.linguistic.abbreviations import AbbreviationTable, default_abbreviations
+
+#: Explicit delimiters that separate tokens in element names.
+_DELIMITERS = re.compile(r"[\s_\-./:#]+")
+
+#: Boundary between a lowercase/digit character and an uppercase character
+#: (camelCase boundary), and between an acronym and a following capitalised
+#: word (e.g. ``POShipTo`` -> ``PO | Ship | To``).
+_CAMEL_BOUNDARY = re.compile(
+    r"""
+    (?<=[a-z0-9])(?=[A-Z])          # fooBar -> foo | Bar
+    | (?<=[A-Z])(?=[A-Z][a-z])      # POShip -> PO | Ship
+    | (?<=[A-Za-z])(?=[0-9])        # addr1  -> addr | 1
+    | (?<=[0-9])(?=[A-Za-z])        # 2nd    -> 2 | nd
+    """,
+    re.VERBOSE,
+)
+
+
+def split_name(name: str) -> List[str]:
+    """Split a raw element name into case-preserving components.
+
+    >>> split_name("POShipTo")
+    ['PO', 'Ship', 'To']
+    >>> split_name("ship_to_street")
+    ['ship', 'to', 'street']
+    """
+    pieces: List[str] = []
+    for chunk in _DELIMITERS.split(name):
+        if not chunk:
+            continue
+        pieces.extend(p for p in _CAMEL_BOUNDARY.split(chunk) if p)
+    return pieces
+
+
+class NameTokenizer:
+    """Tokenizes element names into normalised, abbreviation-expanded token lists."""
+
+    def __init__(
+        self,
+        abbreviations: Optional[AbbreviationTable] = None,
+        expand_abbreviations: bool = True,
+        drop_digits: bool = False,
+    ):
+        self._abbreviations = abbreviations if abbreviations is not None else default_abbreviations()
+        self._expand = expand_abbreviations
+        self._drop_digits = drop_digits
+
+    @property
+    def abbreviations(self) -> AbbreviationTable:
+        """The abbreviation table used for token expansion."""
+        return self._abbreviations
+
+    def tokenize(self, name: str) -> Tuple[str, ...]:
+        """Tokenize a single name into lower-case tokens (abbreviations expanded)."""
+        tokens: List[str] = []
+        for raw in split_name(name):
+            lowered = raw.lower()
+            if self._drop_digits and lowered.isdigit():
+                continue
+            if self._expand:
+                tokens.extend(self._abbreviations.expand(lowered))
+            else:
+                tokens.append(lowered)
+        return tuple(tokens)
+
+    def tokenize_path(self, names: Sequence[str] | Iterable[str]) -> Tuple[str, ...]:
+        """Tokenize a whole path (a sequence of names), concatenating token lists.
+
+        This is the representation used by the ``NamePath`` matcher: the long
+        name built from all elements along a path contributes all its tokens.
+        """
+        tokens: List[str] = []
+        for name in names:
+            tokens.extend(self.tokenize(name))
+        return tuple(tokens)
+
+    def token_set(self, name: str) -> frozenset:
+        """The set of distinct tokens of a name."""
+        return frozenset(self.tokenize(name))
+
+
+#: Shared default tokenizer instance (immutable configuration).
+DEFAULT_TOKENIZER = NameTokenizer()

@@ -1,0 +1,184 @@
+"""Matcher base classes and the match context shared by all matchers.
+
+Two matcher granularities exist in COMA:
+
+* :class:`StringMatcher` -- computes a similarity between two *strings*
+  (names or name tokens).  The simple approximate string matchers (Affix,
+  n-gram, EditDistance, Soundex) and the Synonym matcher are string matchers.
+* :class:`Matcher` -- computes a full
+  :class:`~repro.combination.matrix.SimilarityMatrix` between the path sets of
+  two schemas.  Simple matchers are lifted to this level by
+  :class:`NameStringMatcher`; hybrid and reuse-oriented matchers implement it
+  directly.
+
+The :class:`MatchContext` carries everything a matcher may need beyond the two
+schemas: tokenizer, synonym dictionary, data-type compatibility table, user
+feedback, and the repository handle used by reuse-oriented matchers.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.auxiliary.synonyms import SynonymDictionary, default_purchase_order_synonyms
+from repro.combination.matrix import SimilarityMatrix
+from repro.linguistic.tokenizer import NameTokenizer
+from repro.model.datatypes import DEFAULT_TYPE_COMPATIBILITY, TypeCompatibilityTable
+from repro.model.path import SchemaPath
+from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.feedback import UserFeedbackStore
+    from repro.repository.repository import Repository
+
+
+@dataclasses.dataclass
+class MatchContext:
+    """Everything matchers need besides the two path sets.
+
+    The context is created once per match operation by the processor and
+    passed unchanged to every matcher, so matchers stay stateless and reusable
+    across match tasks.
+    """
+
+    source_schema: Schema
+    target_schema: Schema
+    tokenizer: NameTokenizer = dataclasses.field(default_factory=NameTokenizer)
+    synonyms: SynonymDictionary = dataclasses.field(
+        default_factory=default_purchase_order_synonyms
+    )
+    type_compatibility: TypeCompatibilityTable = DEFAULT_TYPE_COMPATIBILITY
+    feedback: Optional["UserFeedbackStore"] = None
+    repository: Optional["Repository"] = None
+
+    def swapped(self) -> "MatchContext":
+        """The same context with source and target schemas exchanged."""
+        return dataclasses.replace(
+            self, source_schema=self.target_schema, target_schema=self.source_schema
+        )
+
+
+class StringMatcher(abc.ABC):
+    """A matcher operating on two strings, returning a similarity in ``[0, 1]``."""
+
+    name: str = "string-matcher"
+
+    @abc.abstractmethod
+    def similarity(self, a: str, b: str) -> float:
+        """The similarity of two strings."""
+
+    def __call__(self, a: str, b: str) -> float:
+        return self.similarity(a, b)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class Matcher(abc.ABC):
+    """A matcher producing a similarity matrix over two path sets."""
+
+    name: str = "matcher"
+
+    #: Broad classification used by reports (Table 3): simple / hybrid / reuse.
+    kind: str = "simple"
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        """Compute the similarity of every source path against every target path."""
+
+    def match_schemas(self, context: MatchContext) -> SimilarityMatrix:
+        """Convenience: compute over all paths of the context's schemas."""
+        return self.compute(
+            context.source_schema.paths(), context.target_schema.paths(), context
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PairwiseMatcher(Matcher):
+    """A matcher defined by a per-pair similarity function.
+
+    Subclasses implement :meth:`pair_similarity`; the matrix is filled cell by
+    cell.  A per-call memo keyed by a subclass-provided cache key avoids
+    recomputing identical comparisons (e.g. equal leaf names appearing under
+    several parents).
+    """
+
+    def compute(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        matrix = SimilarityMatrix(source_paths, target_paths)
+        cache: Dict[Tuple[object, object], float] = {}
+        for source in source_paths:
+            source_key = self.cache_key(source, context)
+            for target in target_paths:
+                target_key = self.cache_key(target, context)
+                key = (source_key, target_key)
+                if key in cache:
+                    value = cache[key]
+                else:
+                    value = self.pair_similarity(source, target, context)
+                    value = min(1.0, max(0.0, float(value)))
+                    cache[key] = value
+                matrix.set(source, target, value)
+        return matrix
+
+    @abc.abstractmethod
+    def pair_similarity(
+        self, source: SchemaPath, target: SchemaPath, context: MatchContext
+    ) -> float:
+        """The similarity of one source path against one target path."""
+
+    def cache_key(self, path: SchemaPath, context: MatchContext) -> object:
+        """A hashable key identifying equivalent paths for this matcher.
+
+        The default key is the path itself (no sharing of results).  Matchers
+        that only look at the leaf name may return ``path.name`` to share
+        results between identically named elements.
+        """
+        return path
+
+
+class NameStringMatcher(PairwiseMatcher):
+    """Lifts a :class:`StringMatcher` to a schema matcher over element names.
+
+    This is how the simple matchers of Section 4.1 are applied on their own:
+    the string matcher compares the (raw, untokenized) leaf names of the two
+    paths.
+    """
+
+    kind = "simple"
+
+    def __init__(self, string_matcher: StringMatcher, name: Optional[str] = None):
+        self._string_matcher = string_matcher
+        self.name = name or string_matcher.name
+
+    @property
+    def string_matcher(self) -> StringMatcher:
+        """The wrapped string matcher."""
+        return self._string_matcher
+
+    def pair_similarity(
+        self, source: SchemaPath, target: SchemaPath, context: MatchContext
+    ) -> float:
+        return self._string_matcher.similarity(source.name, target.name)
+
+    def cache_key(self, path: SchemaPath, context: MatchContext) -> object:
+        return path.name

@@ -1,0 +1,20 @@
+"""Hybrid matchers: Name, NamePath, TypeName, Children, Leaves (Section 4.2)."""
+
+from repro.matchers.hybrid.name import NameMatcher, NamePathMatcher, default_name_constituents
+from repro.matchers.hybrid.structural import ChildrenMatcher, LeavesMatcher
+from repro.matchers.hybrid.type_name import (
+    DEFAULT_NAME_WEIGHT,
+    DEFAULT_TYPE_WEIGHT,
+    TypeNameMatcher,
+)
+
+__all__ = [
+    "ChildrenMatcher",
+    "DEFAULT_NAME_WEIGHT",
+    "DEFAULT_TYPE_WEIGHT",
+    "LeavesMatcher",
+    "NameMatcher",
+    "NamePathMatcher",
+    "TypeNameMatcher",
+    "default_name_constituents",
+]

@@ -1,0 +1,168 @@
+"""The hybrid Name and NamePath matchers (Section 4.2).
+
+``Name`` compares element names after tokenization and abbreviation expansion:
+it applies multiple simple string matchers (Trigram and Synonym by default) to
+the token sets of the two names and combines the obtained token similarities
+with the default strategy tuple of Table 4: (Max, Both, Max1, Average).
+
+``NamePath`` applies the same machinery to the *hierarchical* name of an
+element: the tokens of all names along the path contribute, which both adds
+evidence (tokens from ancestors) and distinguishes contexts of shared elements
+(``ShipTo.Street`` vs ``BillTo.Street``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.combination.aggregation import MAX, AggregationStrategy
+from repro.combination.combined import AVERAGE_COMBINED, CombinedSimilarityStrategy
+from repro.matchers.base import MatchContext, PairwiseMatcher, StringMatcher
+from repro.matchers.hybrid.set_similarity import set_similarity
+from repro.matchers.string.ngram import TrigramMatcher
+from repro.matchers.string.synonym import SynonymStringMatcher
+from repro.model.path import SchemaPath
+
+
+def default_name_constituents() -> List[StringMatcher]:
+    """The default constituent string matchers of the Name matcher (Table 4)."""
+    return [TrigramMatcher(), SynonymStringMatcher()]
+
+
+class NameMatcher(PairwiseMatcher):
+    """Token-set similarity of element names using several simple string matchers."""
+
+    name = "Name"
+    kind = "hybrid"
+
+    def __init__(
+        self,
+        constituents: Optional[Sequence[StringMatcher]] = None,
+        aggregation: AggregationStrategy = MAX,
+        combined_similarity: CombinedSimilarityStrategy = AVERAGE_COMBINED,
+    ):
+        self._constituents: Tuple[StringMatcher, ...] = tuple(
+            constituents if constituents is not None else default_name_constituents()
+        )
+        if not self._constituents:
+            raise ValueError("NameMatcher requires at least one constituent string matcher")
+        self._aggregation = aggregation
+        self._combined = combined_similarity
+
+    # -- configuration accessors -------------------------------------------------
+
+    @property
+    def constituents(self) -> Tuple[StringMatcher, ...]:
+        """The constituent string matchers applied to token pairs."""
+        return self._constituents
+
+    @property
+    def aggregation(self) -> AggregationStrategy:
+        """The aggregation strategy over the constituent matchers' token similarities."""
+        return self._aggregation
+
+    @property
+    def combined_similarity(self) -> CombinedSimilarityStrategy:
+        """The combined-similarity strategy collapsing token matches into a name similarity."""
+        return self._combined
+
+    def with_combined_similarity(
+        self, combined_similarity: CombinedSimilarityStrategy
+    ) -> "NameMatcher":
+        """A copy using a different combined-similarity strategy (Average vs Dice)."""
+        return type(self)(
+            constituents=self._constituents,
+            aggregation=self._aggregation,
+            combined_similarity=combined_similarity,
+        )
+
+    # -- token extraction ----------------------------------------------------------
+
+    def tokens_for(self, path: SchemaPath, context: MatchContext) -> Tuple[str, ...]:
+        """The token set representing ``path`` (the leaf name's tokens for Name)."""
+        return context.tokenizer.tokenize(path.name)
+
+    # -- similarity ------------------------------------------------------------------
+
+    def _bound_layers(self, context: MatchContext):
+        """Constituent similarity functions bound to the context, memoised per token pair.
+
+        Token vocabularies are small compared to the number of path pairs, so a
+        per-call cache of token-pair similarities removes the dominant cost of
+        matching large schemas (the same tokens recur on many paths).
+        """
+        layers = []
+        for constituent in self._constituents:
+            if isinstance(constituent, SynonymStringMatcher) and constituent.dictionary is None:
+                raw = constituent.bound_to(context.synonyms).similarity
+            else:
+                raw = constituent.similarity
+            cache: dict = {}
+
+            def memoised(a: str, b: str, _raw=raw, _cache=cache) -> float:
+                key = (a, b)
+                value = _cache.get(key)
+                if value is None:
+                    value = _raw(a, b)
+                    _cache[key] = value
+                return value
+
+            layers.append(memoised)
+        return layers
+
+    def compute(self, source_paths, target_paths, context: MatchContext):
+        # Bind (and memoise) the constituent layers once per compute() call so
+        # every pair comparison shares the same token-pair caches.
+        self._active_layers = self._bound_layers(context)
+        try:
+            return super().compute(source_paths, target_paths, context)
+        finally:
+            self._active_layers = None
+
+    def pair_similarity(
+        self, source: SchemaPath, target: SchemaPath, context: MatchContext
+    ) -> float:
+        layers = getattr(self, "_active_layers", None) or self._bound_layers(context)
+        tokens_a = self.tokens_for(source, context)
+        tokens_b = self.tokens_for(target, context)
+        return set_similarity(
+            tokens_a,
+            tokens_b,
+            layers,
+            self._aggregation,
+            self._combined,
+        )
+
+    def cache_key(self, path: SchemaPath, context: MatchContext) -> object:
+        return self.tokens_for(path, context)
+
+
+class NamePathMatcher(NameMatcher):
+    """Name matching over the hierarchical (path) name of an element."""
+
+    name = "NamePath"
+    kind = "hybrid"
+
+    def __init__(
+        self,
+        constituents: Optional[Sequence[StringMatcher]] = None,
+        aggregation: AggregationStrategy = MAX,
+        combined_similarity: CombinedSimilarityStrategy = AVERAGE_COMBINED,
+        include_schema_root: bool = False,
+    ):
+        super().__init__(constituents, aggregation, combined_similarity)
+        self._include_schema_root = bool(include_schema_root)
+
+    def with_combined_similarity(
+        self, combined_similarity: CombinedSimilarityStrategy
+    ) -> "NamePathMatcher":
+        return NamePathMatcher(
+            constituents=self.constituents,
+            aggregation=self.aggregation,
+            combined_similarity=combined_similarity,
+            include_schema_root=self._include_schema_root,
+        )
+
+    def tokens_for(self, path: SchemaPath, context: MatchContext) -> Tuple[str, ...]:
+        names = path.names if self._include_schema_root else path.names[1:] or path.names
+        return context.tokenizer.tokenize_path(names)

@@ -1,0 +1,125 @@
+"""Combined similarity between two sets of arbitrary items (tokens).
+
+Hybrid matchers apply the three combination steps of Section 6 not to schema
+elements but to *components* of schema elements -- most prominently the token
+sets produced by name tokenization.  Tokens are plain strings, so this module
+provides a light-weight, numpy-based implementation of the same pipeline
+(aggregation over several string matchers, Both/Max1 selection, Average or
+Dice combined similarity) that works on any item type.
+
+The path-level machinery in :mod:`repro.combination` is *not* reused here on
+purpose: its axes are :class:`~repro.model.path.SchemaPath` objects and
+wrapping tokens into fake paths would obscure rather than simplify the code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.combination.aggregation import (
+    AggregationStrategy,
+    AverageAggregation,
+    MaxAggregation,
+    MinAggregation,
+    WeightedAggregation,
+)
+from repro.combination.combined import CombinedSimilarityStrategy, DiceCombined
+from repro.exceptions import CombinationError
+
+#: A similarity function over two items (e.g. a bound string matcher).
+ItemSimilarity = Callable[[str, str], float]
+
+
+def _aggregate_layers(layers: np.ndarray, aggregation: AggregationStrategy) -> np.ndarray:
+    """Collapse the first (matcher) axis of a ``k x m x n`` array."""
+    if isinstance(aggregation, MaxAggregation):
+        return layers.max(axis=0)
+    if isinstance(aggregation, MinAggregation):
+        return layers.min(axis=0)
+    if isinstance(aggregation, AverageAggregation):
+        return layers.mean(axis=0)
+    if isinstance(aggregation, WeightedAggregation):
+        raise CombinationError(
+            "Weighted aggregation over token-set layers is not supported; "
+            "use Max, Min or Average inside hybrid name matchers"
+        )
+    raise CombinationError(f"unsupported aggregation strategy for token sets: {aggregation}")
+
+
+def _mutual_best_pairs(matrix: np.ndarray) -> List[Tuple[int, int, float]]:
+    """Max1 selection in both directions: pairs that are each other's best candidate.
+
+    Ties are broken by the lower index so the result is deterministic.  Cells
+    with similarity 0 are never selected.
+    """
+    if matrix.size == 0:
+        return []
+    rows, columns = matrix.shape
+    best_for_row = matrix.argmax(axis=1)
+    best_for_column = matrix.argmax(axis=0)
+    pairs: List[Tuple[int, int, float]] = []
+    for i in range(rows):
+        j = int(best_for_row[i])
+        value = float(matrix[i, j])
+        if value <= 0.0:
+            continue
+        if int(best_for_column[j]) == i:
+            pairs.append((i, j, value))
+    return pairs
+
+
+def set_similarity(
+    items_a: Sequence[str],
+    items_b: Sequence[str],
+    similarity_layers: Sequence[ItemSimilarity],
+    aggregation: AggregationStrategy,
+    combined: CombinedSimilarityStrategy,
+) -> float:
+    """The combined similarity of two item sets.
+
+    Parameters
+    ----------
+    items_a / items_b:
+        The two component sets (e.g. the token sets of two element names).
+    similarity_layers:
+        One similarity function per constituent matcher; each contributes one
+        layer of the token-level similarity cube.
+    aggregation:
+        How to aggregate the layers per item pair (Max by default in the Name
+        matcher, because tokens are typically similar according to only some
+        matchers).
+    combined:
+        Average or Dice, applied to the mutually-best (Both + Max1) pairs.
+    """
+    unique_a = list(dict.fromkeys(items_a))
+    unique_b = list(dict.fromkeys(items_b))
+    if not unique_a or not unique_b:
+        return 0.0
+    if not similarity_layers:
+        raise CombinationError("set_similarity requires at least one similarity layer")
+
+    layers = np.zeros((len(similarity_layers), len(unique_a), len(unique_b)), dtype=float)
+    for k, layer in enumerate(similarity_layers):
+        for i, item_a in enumerate(unique_a):
+            for j, item_b in enumerate(unique_b):
+                layers[k, i, j] = min(1.0, max(0.0, float(layer(item_a, item_b))))
+
+    aggregated = _aggregate_layers(layers, aggregation)
+    selected = _mutual_best_pairs(aggregated)
+    if not selected:
+        return 0.0
+
+    total_items = len(unique_a) + len(unique_b)
+    matched_rows: Dict[int, float] = {}
+    matched_columns: Dict[int, float] = {}
+    for i, j, value in selected:
+        matched_rows[i] = max(matched_rows.get(i, 0.0), value)
+        matched_columns[j] = max(matched_columns.get(j, 0.0), value)
+
+    if isinstance(combined, DiceCombined):
+        value = (len(matched_rows) + len(matched_columns)) / total_items
+    else:
+        value = (sum(matched_rows.values()) + sum(matched_columns.values())) / total_items
+    return min(1.0, max(0.0, value))

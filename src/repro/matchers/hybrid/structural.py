@@ -1,0 +1,179 @@
+"""The hybrid structural matchers Children and Leaves (Section 4.2, Table 4).
+
+Both matchers derive the similarity of two *inner* elements from the combined
+similarity of element sets beneath them, using a leaf-level matcher (TypeName
+by default) for the base similarities and the (Both, Max1, Average) pipeline
+of Table 4 for combining set matches:
+
+* ``Children`` compares the *child* sets of two inner elements.  Children may
+  themselves be inner elements, whose similarity is computed recursively.
+* ``Leaves`` compares the *leaf descendant* sets of two inner elements, which
+  is more stable under structural conflicts: in Figure 1, Children only finds
+  ``ShipTo <-> Address`` whereas Leaves also identifies ``ShipTo <-> DeliverTo``.
+
+Leaf-leaf pairs take their similarity directly from the leaf matcher; mixed
+pairs (a leaf against an inner element) treat the leaf as a singleton set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.combination.combined import (
+    AVERAGE_COMBINED,
+    CombinedSimilarityStrategy,
+)
+from repro.combination.direction import BOTH, DirectionStrategy
+from repro.combination.matrix import SimilarityMatrix
+from repro.combination.selection import MaxN, SelectionStrategy
+from repro.matchers.base import MatchContext, Matcher
+from repro.matchers.hybrid.type_name import TypeNameMatcher
+from repro.model.path import SchemaPath
+from repro.model.schema import Schema
+
+
+class _StructuralMatcherBase(Matcher):
+    """Shared implementation of the Children and Leaves matchers."""
+
+    kind = "hybrid"
+
+    def __init__(
+        self,
+        leaf_matcher: Optional[Matcher] = None,
+        direction: DirectionStrategy = BOTH,
+        selection: Optional[SelectionStrategy] = None,
+        combined_similarity: CombinedSimilarityStrategy = AVERAGE_COMBINED,
+    ):
+        self._leaf_matcher = leaf_matcher if leaf_matcher is not None else TypeNameMatcher()
+        self._direction = direction
+        self._selection = selection if selection is not None else MaxN(1)
+        self._combined = combined_similarity
+
+    # -- configuration accessors ----------------------------------------------------
+
+    @property
+    def leaf_matcher(self) -> Matcher:
+        """The matcher providing leaf-level similarities (TypeName by default)."""
+        return self._leaf_matcher
+
+    @property
+    def combined_similarity(self) -> CombinedSimilarityStrategy:
+        """The strategy collapsing set matches into one element similarity."""
+        return self._combined
+
+    def with_combined_similarity(
+        self, combined_similarity: CombinedSimilarityStrategy
+    ) -> "_StructuralMatcherBase":
+        """A copy using a different combined-similarity strategy (Average vs Dice)."""
+        leaf = self._leaf_matcher
+        if hasattr(leaf, "with_combined_similarity"):
+            leaf = leaf.with_combined_similarity(combined_similarity)  # type: ignore[attr-defined]
+        return type(self)(
+            leaf_matcher=leaf,
+            direction=self._direction,
+            selection=self._selection,
+            combined_similarity=combined_similarity,
+        )
+
+    # -- template methods -------------------------------------------------------------
+
+    def _component_paths(self, schema: Schema, path: SchemaPath) -> Tuple[SchemaPath, ...]:
+        """The component set of an inner path (children or leaf descendants)."""
+        raise NotImplementedError
+
+    def _recursive(self) -> bool:
+        """Whether component similarities are computed recursively (Children) or not."""
+        raise NotImplementedError
+
+    # -- computation ---------------------------------------------------------------------
+
+    def compute(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        source_schema = context.source_schema
+        target_schema = context.target_schema
+        # The leaf matcher is evaluated over the full path sets once, so that
+        # component paths outside the requested subsets are covered too.
+        all_source = source_schema.paths()
+        all_target = target_schema.paths()
+        leaf_matrix = self._leaf_matcher.compute(all_source, all_target, context)
+
+        memo: Dict[Tuple[SchemaPath, SchemaPath], float] = {}
+
+        def pair_similarity(source: SchemaPath, target: SchemaPath) -> float:
+            key = (source, target)
+            if key in memo:
+                return memo[key]
+            source_is_leaf = source_schema.is_leaf(source.leaf)
+            target_is_leaf = target_schema.is_leaf(target.leaf)
+            if source_is_leaf and target_is_leaf:
+                value = leaf_matrix.get(source, target)
+            else:
+                source_set = (
+                    (source,) if source_is_leaf else self._component_paths(source_schema, source)
+                )
+                target_set = (
+                    (target,) if target_is_leaf else self._component_paths(target_schema, target)
+                )
+                value = self._set_similarity(source_set, target_set, pair_similarity, leaf_matrix,
+                                             source_schema, target_schema)
+            memo[key] = value
+            return value
+
+        matrix = SimilarityMatrix(source_paths, target_paths)
+        for source in source_paths:
+            for target in target_paths:
+                matrix.set(source, target, pair_similarity(source, target))
+        return matrix
+
+    def _set_similarity(
+        self,
+        source_set: Sequence[SchemaPath],
+        target_set: Sequence[SchemaPath],
+        recursive_similarity,
+        leaf_matrix: SimilarityMatrix,
+        source_schema: Schema,
+        target_schema: Schema,
+    ) -> float:
+        if not source_set or not target_set:
+            return 0.0
+        component_matrix = SimilarityMatrix(source_set, target_set)
+        for source in source_set:
+            for target in target_set:
+                if self._recursive():
+                    value = recursive_similarity(source, target)
+                else:
+                    value = leaf_matrix.get(source, target)
+                component_matrix.set(source, target, value)
+        selected = self._direction.select_pairs(component_matrix, self._selection)
+        return self._combined.combine(selected, len(source_set), len(target_set))
+
+
+class ChildrenMatcher(_StructuralMatcherBase):
+    """Similarity of inner elements from the combined similarity of their children."""
+
+    name = "Children"
+
+    def _component_paths(self, schema: Schema, path: SchemaPath) -> Tuple[SchemaPath, ...]:
+        return schema.child_paths(path)
+
+    def _recursive(self) -> bool:
+        return True
+
+
+class LeavesMatcher(_StructuralMatcherBase):
+    """Similarity of inner elements from the combined similarity of their leaf sets."""
+
+    name = "Leaves"
+
+    def _component_paths(self, schema: Schema, path: SchemaPath) -> Tuple[SchemaPath, ...]:
+        leaves = schema.leaf_paths_under(path)
+        # An inner element whose subtree is (pathologically) empty of leaves
+        # falls back to its direct children to avoid an empty component set.
+        return leaves if leaves else schema.child_paths(path)
+
+    def _recursive(self) -> bool:
+        return False

@@ -1,0 +1,161 @@
+"""The matcher library: a registry of named matcher factories (Table 3).
+
+COMA "provides an extensible library of match algorithms"; the registry maps
+matcher names to factories so applications and the evaluation harness can
+select matchers by name and new matchers can be plugged in without touching
+library code.  Factories (rather than instances) are registered because some
+matchers carry per-use configuration (e.g. a mapping provider for the reuse
+matchers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import UnknownMatcherError
+from repro.matchers.base import Matcher, NameStringMatcher
+from repro.matchers.hybrid import (
+    ChildrenMatcher,
+    LeavesMatcher,
+    NameMatcher,
+    NamePathMatcher,
+    TypeNameMatcher,
+)
+from repro.matchers.reuse import FragmentReuseMatcher, SchemaReuseMatcher, schema_a, schema_m
+from repro.matchers.simple import (
+    DataTypeMatcher,
+    SynonymMatcher,
+    UserFeedbackMatcher,
+    affix_matcher,
+    digram_matcher,
+    edit_distance_matcher,
+    soundex_matcher,
+    trigram_matcher,
+)
+
+#: A factory producing a fresh matcher instance.
+MatcherFactory = Callable[[], Matcher]
+
+
+@dataclasses.dataclass(frozen=True)
+class MatcherInfo:
+    """Metadata describing one library entry (the columns of Table 3)."""
+
+    name: str
+    kind: str
+    schema_info: str
+    auxiliary_info: str
+    factory: MatcherFactory
+
+
+class MatcherLibrary:
+    """A registry of matcher factories keyed by matcher name (case-insensitive)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, MatcherInfo] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: MatcherFactory,
+        kind: str = "simple",
+        schema_info: str = "",
+        auxiliary_info: str = "",
+        replace: bool = False,
+    ) -> None:
+        """Register a matcher factory under ``name``."""
+        key = name.strip().lower()
+        if key in self._entries and not replace:
+            raise ValueError(f"matcher {name!r} is already registered; pass replace=True to override")
+        self._entries[key] = MatcherInfo(
+            name=name, kind=kind, schema_info=schema_info, auxiliary_info=auxiliary_info,
+            factory=factory,
+        )
+
+    def create(self, name: str) -> Matcher:
+        """Instantiate the matcher registered under ``name``."""
+        key = name.strip().lower()
+        if key not in self._entries:
+            raise UnknownMatcherError(
+                f"unknown matcher {name!r}; known matchers: {', '.join(sorted(self._entries))}"
+            )
+        return self._entries[key].factory()
+
+    def create_many(self, names: Iterable[str]) -> List[Matcher]:
+        """Instantiate several matchers by name, preserving order."""
+        return [self.create(name) for name in names]
+
+    def info(self, name: str) -> MatcherInfo:
+        """The metadata of one registered matcher."""
+        key = name.strip().lower()
+        if key not in self._entries:
+            raise UnknownMatcherError(f"unknown matcher {name!r}")
+        return self._entries[key]
+
+    def names(self, kind: Optional[str] = None) -> Tuple[str, ...]:
+        """All registered matcher names, optionally restricted to one kind."""
+        infos = sorted(self._entries.values(), key=lambda e: (e.kind, e.name))
+        return tuple(e.name for e in infos if kind is None or e.kind == kind)
+
+    def entries(self) -> Tuple[MatcherInfo, ...]:
+        """All registry entries, ordered by kind then name (the rows of Table 3)."""
+        return tuple(sorted(self._entries.values(), key=lambda e: (e.kind, e.name)))
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.strip().lower() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def default_library() -> MatcherLibrary:
+    """The matcher library of Table 3 with all matchers implemented here."""
+    library = MatcherLibrary()
+    # simple matchers
+    library.register("Affix", affix_matcher, kind="simple",
+                     schema_info="Element names")
+    library.register("Digram", digram_matcher, kind="simple",
+                     schema_info="Element names")
+    library.register("Trigram", trigram_matcher, kind="simple",
+                     schema_info="Element names")
+    library.register("EditDistance", edit_distance_matcher, kind="simple",
+                     schema_info="Element names")
+    library.register("Soundex", soundex_matcher, kind="simple",
+                     schema_info="Element names")
+    library.register("Synonym", SynonymMatcher, kind="simple",
+                     schema_info="Element names", auxiliary_info="External dictionaries")
+    library.register("DataType", DataTypeMatcher, kind="simple",
+                     schema_info="Data types", auxiliary_info="Data type compatibility table")
+    library.register("UserFeedback", UserFeedbackMatcher, kind="simple",
+                     auxiliary_info="User-specified (mis-)matches")
+    # hybrid matchers
+    library.register("Name", NameMatcher, kind="hybrid",
+                     schema_info="Element names")
+    library.register("NamePath", NamePathMatcher, kind="hybrid",
+                     schema_info="Names + Paths")
+    library.register("TypeName", TypeNameMatcher, kind="hybrid",
+                     schema_info="Data types + Names")
+    library.register("Children", ChildrenMatcher, kind="hybrid",
+                     schema_info="Child elements")
+    library.register("Leaves", LeavesMatcher, kind="hybrid",
+                     schema_info="Leaf elements")
+    # reuse-oriented matchers
+    library.register("Schema", SchemaReuseMatcher, kind="reuse",
+                     auxiliary_info="Existing schema-level match results")
+    library.register("SchemaM", schema_m, kind="reuse",
+                     auxiliary_info="Manually confirmed match results")
+    library.register("SchemaA", schema_a, kind="reuse",
+                     auxiliary_info="Automatically derived match results")
+    library.register("Fragment", FragmentReuseMatcher, kind="reuse",
+                     auxiliary_info="Existing fragment-level match results")
+    return library
+
+
+#: The module-level default library used by the high-level API.
+DEFAULT_LIBRARY = default_library()
+
+#: The five hybrid matchers used as "single matchers" throughout the evaluation.
+EVALUATION_HYBRID_MATCHERS: Tuple[str, ...] = (
+    "Name", "NamePath", "TypeName", "Children", "Leaves",
+)

@@ -1,0 +1,39 @@
+"""Reuse-oriented matchers: MatchCompose, the Schema matcher and the Fragment matcher."""
+
+from repro.matchers.reuse.compose import (
+    COMPOSITION_FUNCTIONS,
+    average_composition,
+    composition_by_name,
+    match_compose,
+    max_composition,
+    min_composition,
+    product_composition,
+)
+from repro.matchers.reuse.fragment import FragmentReuseMatcher
+from repro.matchers.reuse.provider import (
+    ORIGIN_AUTOMATIC,
+    ORIGIN_MANUAL,
+    InMemoryMappingStore,
+    MappingProvider,
+    StoredMapping,
+)
+from repro.matchers.reuse.schema_reuse import SchemaReuseMatcher, schema_a, schema_m
+
+__all__ = [
+    "COMPOSITION_FUNCTIONS",
+    "FragmentReuseMatcher",
+    "InMemoryMappingStore",
+    "MappingProvider",
+    "ORIGIN_AUTOMATIC",
+    "ORIGIN_MANUAL",
+    "SchemaReuseMatcher",
+    "StoredMapping",
+    "average_composition",
+    "composition_by_name",
+    "match_compose",
+    "max_composition",
+    "min_composition",
+    "product_composition",
+    "schema_a",
+    "schema_m",
+]

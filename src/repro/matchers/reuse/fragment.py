@@ -1,0 +1,122 @@
+"""The Fragment reuse matcher (Section 5, mentioned alongside Schema).
+
+The paper introduces two reuse-oriented matchers: ``Schema`` (reuse at the
+level of entire schemas, described in detail) and ``Fragment`` (reuse at the
+level of schema fragments, only mentioned due to lack of space).  This module
+implements fragment-level reuse in the spirit of the paper:
+
+Stored mappings from *any* schema pair are mined for correspondences between
+path fragments -- the trailing portions of the recorded paths.  If a stored
+correspondence relates fragments ``...Address.City <-> ...Lieferadresse.Ort``,
+then any pair of current paths ending in the same fragments inherits that
+similarity.  Longer matching fragments are trusted more than shorter ones: the
+transferred similarity is scaled by the fraction of the current paths covered
+by the matched fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.combination.matrix import SimilarityMatrix
+from repro.exceptions import MatcherError
+from repro.matchers.base import MatchContext, Matcher
+from repro.matchers.reuse.provider import MappingProvider, StoredMapping
+from repro.model.path import SchemaPath
+
+
+def _fragments(path_string: str, max_length: int) -> List[Tuple[str, ...]]:
+    """Trailing name fragments of a dotted path, shortest first, up to ``max_length``."""
+    names = tuple(path_string.split("."))
+    fragments = []
+    for length in range(1, min(max_length, len(names)) + 1):
+        fragments.append(names[-length:])
+    return fragments
+
+
+class FragmentReuseMatcher(Matcher):
+    """Reuse of stored correspondences at the level of path fragments."""
+
+    name = "Fragment"
+    kind = "reuse"
+
+    def __init__(
+        self,
+        provider: Optional[MappingProvider] = None,
+        origin: Optional[str] = None,
+        max_fragment_length: int = 3,
+        min_fragment_length: int = 2,
+    ):
+        if min_fragment_length < 1 or max_fragment_length < min_fragment_length:
+            raise MatcherError(
+                "fragment lengths must satisfy 1 <= min_fragment_length <= max_fragment_length"
+            )
+        self._provider = provider
+        self._origin = origin
+        self._max_length = int(max_fragment_length)
+        self._min_length = int(min_fragment_length)
+
+    def _provider_for(self, context: MatchContext) -> MappingProvider:
+        if self._provider is not None:
+            return self._provider
+        if context.repository is not None:
+            return context.repository
+        raise MatcherError(
+            "the Fragment matcher needs a mapping provider: pass one to the "
+            "constructor or set MatchContext.repository"
+        )
+
+    def _fragment_table(
+        self, context: MatchContext
+    ) -> Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float]:
+        """Similarity per (source fragment, target fragment) mined from stored mappings."""
+        provider = self._provider_for(context)
+        source_name = context.source_schema.name
+        target_name = context.target_schema.name
+        table: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float] = {}
+        for mapping in provider.stored_mappings(self._origin):
+            # Never reuse a mapping of the very task being solved.
+            if mapping.involves(source_name) and mapping.involves(target_name):
+                continue
+            for source_str, target_str, similarity in mapping.rows:
+                for source_fragment in _fragments(source_str, self._max_length):
+                    if len(source_fragment) < self._min_length:
+                        continue
+                    for target_fragment in _fragments(target_str, self._max_length):
+                        if len(target_fragment) != len(source_fragment):
+                            continue
+                        key = (source_fragment, target_fragment)
+                        symmetric = (target_fragment, source_fragment)
+                        value = max(table.get(key, 0.0), similarity)
+                        table[key] = value
+                        table[symmetric] = max(table.get(symmetric, 0.0), value)
+        return table
+
+    def compute(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        table = self._fragment_table(context)
+        matrix = SimilarityMatrix(source_paths, target_paths)
+        if not table:
+            return matrix
+        for source in source_paths:
+            source_fragments = _fragments(source.dotted(), self._max_length)
+            for target in target_paths:
+                target_fragments = _fragments(target.dotted(), self._max_length)
+                best = 0.0
+                for source_fragment in source_fragments:
+                    if len(source_fragment) < self._min_length:
+                        continue
+                    for target_fragment in target_fragments:
+                        if len(target_fragment) != len(source_fragment):
+                            continue
+                        stored = table.get((source_fragment, target_fragment))
+                        if stored is None:
+                            continue
+                        coverage = (2 * len(source_fragment)) / (len(source) + len(target))
+                        best = max(best, stored * min(1.0, coverage))
+                matrix.set(source, target, min(1.0, best))
+        return matrix

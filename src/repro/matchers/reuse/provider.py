@@ -1,0 +1,122 @@
+"""Stored mappings and the provider interface used by reuse-oriented matchers.
+
+Reuse matchers (Section 5) operate on *previously obtained* match results.
+Those results may live in the SQLite repository or simply in memory; either
+way the reuse matchers only need:
+
+* :class:`StoredMapping` -- a schema-pair-labelled bag of
+  ``(source path, target path, similarity)`` rows, i.e. the relational
+  representation of Figure 3c,
+* :class:`MappingProvider` -- anything that can enumerate stored mappings,
+  optionally filtered by origin (``"manual"`` vs ``"automatic"``).
+
+:class:`InMemoryMappingStore` is the trivial provider used in tests, examples
+and the evaluation harness; :class:`~repro.repository.repository.Repository`
+implements the same interface on top of SQLite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.model.mapping import MatchResult
+
+#: One stored correspondence row: source path string, target path string, similarity.
+MappingRow = Tuple[str, str, float]
+
+#: Origin labels for stored mappings.
+ORIGIN_MANUAL = "manual"
+ORIGIN_AUTOMATIC = "automatic"
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredMapping:
+    """A persisted mapping between two named schemas (relational form, Figure 3c)."""
+
+    source_schema: str
+    target_schema: str
+    rows: Tuple[MappingRow, ...]
+    origin: str = ORIGIN_AUTOMATIC
+    name: str = ""
+
+    @classmethod
+    def from_match_result(
+        cls, result: MatchResult, origin: str = ORIGIN_AUTOMATIC, name: str = ""
+    ) -> "StoredMapping":
+        """Build a stored mapping from a live :class:`MatchResult`."""
+        return cls(
+            source_schema=result.source_schema.name,
+            target_schema=result.target_schema.name,
+            rows=tuple(result.as_tuples()),
+            origin=origin,
+            name=name or result.name,
+        )
+
+    @property
+    def schema_pair(self) -> Tuple[str, str]:
+        """The ``(source, target)`` schema-name pair."""
+        return (self.source_schema, self.target_schema)
+
+    def involves(self, schema_name: str) -> bool:
+        """True if one side of the mapping is ``schema_name``."""
+        return schema_name in (self.source_schema, self.target_schema)
+
+    def other_schema(self, schema_name: str) -> Optional[str]:
+        """The opposite side of ``schema_name``, or ``None`` if not involved."""
+        if schema_name == self.source_schema:
+            return self.target_schema
+        if schema_name == self.target_schema:
+            return self.source_schema
+        return None
+
+    def inverted(self) -> "StoredMapping":
+        """The mapping read in the opposite direction."""
+        return StoredMapping(
+            source_schema=self.target_schema,
+            target_schema=self.source_schema,
+            rows=tuple((target, source, sim) for source, target, sim in self.rows),
+            origin=self.origin,
+            name=self.name,
+        )
+
+    def oriented(self, source_name: str, target_name: str) -> Optional["StoredMapping"]:
+        """This mapping oriented as ``source_name -> target_name``, or ``None``."""
+        if (self.source_schema, self.target_schema) == (source_name, target_name):
+            return self
+        if (self.target_schema, self.source_schema) == (source_name, target_name):
+            return self.inverted()
+        return None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@runtime_checkable
+class MappingProvider(Protocol):
+    """Anything that can enumerate stored mappings for reuse."""
+
+    def stored_mappings(self, origin: Optional[str] = None) -> Sequence[StoredMapping]:
+        """All stored mappings, optionally restricted to one origin."""
+        ...  # pragma: no cover - protocol definition
+
+
+class InMemoryMappingStore:
+    """A trivially simple :class:`MappingProvider` backed by a Python list."""
+
+    def __init__(self, mappings: Optional[Iterable[StoredMapping]] = None):
+        self._mappings: List[StoredMapping] = list(mappings or ())
+
+    def add(self, mapping: StoredMapping | MatchResult, origin: str = ORIGIN_AUTOMATIC) -> None:
+        """Store a mapping (converted from a :class:`MatchResult` if necessary)."""
+        if isinstance(mapping, MatchResult):
+            mapping = StoredMapping.from_match_result(mapping, origin=origin)
+        self._mappings.append(mapping)
+
+    def stored_mappings(self, origin: Optional[str] = None) -> Sequence[StoredMapping]:
+        if origin is None:
+            return tuple(self._mappings)
+        return tuple(m for m in self._mappings if m.origin == origin)
+
+    def __len__(self) -> int:
+        return len(self._mappings)

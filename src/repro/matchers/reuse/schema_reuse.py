@@ -1,0 +1,148 @@
+"""The Schema reuse matcher (Section 5.2, Figure 5).
+
+Given two schemas S1 and S2 to match, the Schema matcher searches the
+repository for every schema S for which a pair of match results relating S
+with both S1 and S2 exists (in any orientation).  For each such intermediary,
+MatchCompose produces an S1 <-> S2 mapping; the composed mappings are then
+aggregated (Average by default) into one similarity matrix, which becomes this
+matcher's layer in the similarity cube.
+
+Two named variants mirror the paper's evaluation (Section 7.3):
+
+* ``SchemaM`` reuses only manually confirmed mappings (origin ``"manual"``),
+* ``SchemaA`` reuses only automatically derived mappings (origin ``"automatic"``).
+
+A direct mapping between S1 and S2 stored in the repository is never reused:
+the matcher is meant to exploit *other* match tasks, and during evaluation
+reusing the task's own gold standard would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.combination.aggregation import AVERAGE, AggregationStrategy
+from repro.combination.matrix import SimilarityMatrix
+from repro.exceptions import MatcherError, UnknownElementError
+from repro.matchers.base import MatchContext, Matcher
+from repro.matchers.hybrid.set_similarity import _aggregate_layers
+from repro.matchers.reuse.compose import CompositionFunction, average_composition, match_compose
+from repro.matchers.reuse.provider import MappingProvider, StoredMapping
+from repro.model.path import SchemaPath
+
+
+class SchemaReuseMatcher(Matcher):
+    """Reuse of complete schema-level mappings via MatchCompose."""
+
+    name = "Schema"
+    kind = "reuse"
+
+    def __init__(
+        self,
+        provider: Optional[MappingProvider] = None,
+        origin: Optional[str] = None,
+        aggregation: AggregationStrategy = AVERAGE,
+        composition: CompositionFunction = average_composition,
+        name: Optional[str] = None,
+    ):
+        self._provider = provider
+        self._origin = origin
+        self._aggregation = aggregation
+        self._composition = composition
+        if name:
+            self.name = name
+
+    # -- configuration ------------------------------------------------------------
+
+    @property
+    def origin(self) -> Optional[str]:
+        """The origin filter applied to stored mappings (``None`` = any origin)."""
+        return self._origin
+
+    def _provider_for(self, context: MatchContext) -> MappingProvider:
+        if self._provider is not None:
+            return self._provider
+        if context.repository is not None:
+            return context.repository
+        raise MatcherError(
+            f"the {self.name} matcher needs a mapping provider: pass one to the "
+            "constructor or set MatchContext.repository"
+        )
+
+    # -- reuse machinery ----------------------------------------------------------------
+
+    def composed_mappings(self, context: MatchContext) -> List[StoredMapping]:
+        """All S1 <-> S2 mappings obtainable by composing stored mappings via one intermediary."""
+        provider = self._provider_for(context)
+        source_name = context.source_schema.name
+        target_name = context.target_schema.name
+        stored = [
+            m
+            for m in provider.stored_mappings(self._origin)
+            if not (m.involves(source_name) and m.involves(target_name))
+        ]
+
+        to_source: Dict[str, List[StoredMapping]] = {}
+        to_target: Dict[str, List[StoredMapping]] = {}
+        for mapping in stored:
+            intermediary = mapping.other_schema(source_name)
+            if intermediary is not None and intermediary != target_name:
+                oriented = mapping.oriented(source_name, intermediary)
+                if oriented is not None:
+                    to_source.setdefault(intermediary, []).append(oriented)
+            intermediary = mapping.other_schema(target_name)
+            if intermediary is not None and intermediary != source_name:
+                oriented = mapping.oriented(intermediary, target_name)
+                if oriented is not None:
+                    to_target.setdefault(intermediary, []).append(oriented)
+
+        composed: List[StoredMapping] = []
+        for intermediary in sorted(set(to_source) & set(to_target)):
+            for first in to_source[intermediary]:
+                for second in to_target[intermediary]:
+                    composed.append(match_compose(first, second, self._composition))
+        return composed
+
+    # -- matcher interface ------------------------------------------------------------------
+
+    def compute(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        composed = self.composed_mappings(context)
+        matrix = SimilarityMatrix(source_paths, target_paths)
+        if not composed:
+            return matrix
+
+        source_index = {path.dotted(): path for path in source_paths}
+        target_index = {path.dotted(): path for path in target_paths}
+
+        layers = np.zeros((len(composed), len(source_paths), len(target_paths)), dtype=float)
+        row_of = {path: i for i, path in enumerate(source_paths)}
+        column_of = {path: j for j, path in enumerate(target_paths)}
+        for k, mapping in enumerate(composed):
+            for source_str, target_str, similarity in mapping.rows:
+                source = source_index.get(source_str)
+                target = target_index.get(target_str)
+                if source is None or target is None:
+                    # The stored mapping may reference paths outside the
+                    # requested subsets (or from an older schema version).
+                    continue
+                layers[k, row_of[source], column_of[target]] = similarity
+
+        aggregated = _aggregate_layers(layers, self._aggregation)
+        return SimilarityMatrix(source_paths, target_paths, np.clip(aggregated, 0.0, 1.0))
+
+
+def schema_m(provider: Optional[MappingProvider] = None) -> SchemaReuseMatcher:
+    """The SchemaM variant: reuse of manually confirmed mappings."""
+    return SchemaReuseMatcher(provider=provider, origin="manual", name="SchemaM")
+
+
+def schema_a(provider: Optional[MappingProvider] = None) -> SchemaReuseMatcher:
+    """The SchemaA variant: reuse of automatically derived mappings."""
+    return SchemaReuseMatcher(provider=provider, origin="automatic", name="SchemaA")

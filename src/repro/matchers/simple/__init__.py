@@ -1,0 +1,88 @@
+"""Simple schema-level matchers: lifted string matchers, Synonym, DataType, UserFeedback."""
+
+from typing import Optional
+
+from repro.auxiliary.synonyms import SynonymDictionary
+from repro.matchers.base import MatchContext, NameStringMatcher, PairwiseMatcher
+from repro.matchers.simple.datatype import DataTypeMatcher
+from repro.matchers.simple.user_feedback import UserFeedbackMatcher, UserFeedbackStore
+from repro.matchers.string import (
+    AffixMatcher,
+    DigramMatcher,
+    EditDistanceMatcher,
+    NGramMatcher,
+    SoundexMatcher,
+    SynonymStringMatcher,
+    TrigramMatcher,
+)
+from repro.model.path import SchemaPath
+
+
+class SynonymMatcher(PairwiseMatcher):
+    """The Synonym matcher lifted to schema level (compares leaf element names).
+
+    Unlike :class:`~repro.matchers.base.NameStringMatcher` wrapping a bound
+    :class:`SynonymStringMatcher`, this matcher takes its dictionary from the
+    match context by default, so the same instance works across match tasks
+    with task-specific dictionaries.
+    """
+
+    name = "Synonym"
+    kind = "simple"
+
+    def __init__(self, dictionary: Optional[SynonymDictionary] = None):
+        self._dictionary = dictionary
+
+    def pair_similarity(
+        self, source: SchemaPath, target: SchemaPath, context: MatchContext
+    ) -> float:
+        dictionary = self._dictionary if self._dictionary is not None else context.synonyms
+        return dictionary.similarity(source.name, target.name)
+
+    def cache_key(self, path: SchemaPath, context: MatchContext) -> object:
+        return path.name
+
+
+def affix_matcher() -> NameStringMatcher:
+    """The Affix simple matcher over element names."""
+    return NameStringMatcher(AffixMatcher())
+
+
+def digram_matcher() -> NameStringMatcher:
+    """The Digram (2-gram) simple matcher over element names."""
+    return NameStringMatcher(DigramMatcher())
+
+
+def trigram_matcher() -> NameStringMatcher:
+    """The Trigram (3-gram) simple matcher over element names."""
+    return NameStringMatcher(TrigramMatcher())
+
+
+def edit_distance_matcher() -> NameStringMatcher:
+    """The EditDistance (Levenshtein) simple matcher over element names."""
+    return NameStringMatcher(EditDistanceMatcher())
+
+
+def soundex_matcher() -> NameStringMatcher:
+    """The Soundex simple matcher over element names."""
+    return NameStringMatcher(SoundexMatcher())
+
+
+__all__ = [
+    "AffixMatcher",
+    "DataTypeMatcher",
+    "DigramMatcher",
+    "EditDistanceMatcher",
+    "NGramMatcher",
+    "SoundexMatcher",
+    "SynonymMatcher",
+    "SynonymStringMatcher",
+    "TrigramMatcher",
+    "UserFeedbackMatcher",
+    "UserFeedbackStore",
+    "affix_matcher",
+    "digram_matcher",
+    "edit_distance_matcher",
+    "soundex_matcher",
+    "trigram_matcher",
+]

@@ -1,0 +1,41 @@
+"""The DataType matcher (Section 4.1).
+
+"This matcher uses a synonym table specifying the degree of compatibility
+between a set of predefined generic data types, to which data types of schema
+elements are mapped in order to determine their similarity."
+
+The generic type system and the compatibility table live in
+:mod:`repro.model.datatypes`; this matcher simply looks up the compatibility
+of the generic types of the two paths' leaf elements.  The table can be
+overridden per match operation via the :class:`~repro.matchers.base.MatchContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.matchers.base import MatchContext, PairwiseMatcher
+from repro.model.datatypes import TypeCompatibilityTable
+from repro.model.path import SchemaPath
+
+
+class DataTypeMatcher(PairwiseMatcher):
+    """Similarity from the compatibility of the elements' generic data types."""
+
+    name = "DataType"
+    kind = "simple"
+
+    def __init__(self, table: Optional[TypeCompatibilityTable] = None):
+        self._table = table
+
+    def _table_for(self, context: MatchContext) -> TypeCompatibilityTable:
+        return self._table if self._table is not None else context.type_compatibility
+
+    def pair_similarity(
+        self, source: SchemaPath, target: SchemaPath, context: MatchContext
+    ) -> float:
+        table = self._table_for(context)
+        return table.compatibility(source.generic_type, target.generic_type)
+
+    def cache_key(self, path: SchemaPath, context: MatchContext) -> object:
+        return path.generic_type

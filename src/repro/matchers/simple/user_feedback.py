@@ -1,0 +1,154 @@
+"""The UserFeedback matcher and the feedback store it reads from (Section 3).
+
+"COMA supports user interaction by a so-called UserFeedback matcher to capture
+match and mismatch information provided by the user including corrected match
+results from the previous match iteration.  This matcher ensures that approved
+matches (and mismatches) are assigned the maximal (and minimal) similarity and
+that these values remain unaffected by the other matchers during the matcher
+execution step."
+
+Two pieces implement this:
+
+* :class:`UserFeedbackStore` -- records accepted matches and rejected
+  (mis-)matches, keyed by dotted path pairs so feedback survives re-imports of
+  the same schemas;
+* :class:`UserFeedbackMatcher` -- a matcher layer producing 1.0 for accepted
+  and 0.0 for rejected pairs (0.5 elsewhere, i.e. "no opinion"), plus the
+  :meth:`UserFeedbackMatcher.apply_overrides` hook the processor uses after
+  aggregation so user decisions are never overridden by other matchers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.combination.matrix import SimilarityMatrix
+from repro.matchers.base import MatchContext, Matcher
+from repro.model.path import SchemaPath
+
+#: A feedback key: (source dotted path, target dotted path).
+FeedbackKey = Tuple[str, str]
+
+
+class UserFeedbackStore:
+    """Accepted and rejected correspondences provided by the user."""
+
+    def __init__(self) -> None:
+        self._accepted: Set[FeedbackKey] = set()
+        self._rejected: Set[FeedbackKey] = set()
+
+    @staticmethod
+    def _key(source: SchemaPath | str, target: SchemaPath | str) -> FeedbackKey:
+        source_key = source.dotted() if isinstance(source, SchemaPath) else str(source)
+        target_key = target.dotted() if isinstance(target, SchemaPath) else str(target)
+        return (source_key, target_key)
+
+    # -- recording ---------------------------------------------------------------
+
+    def accept(self, source: SchemaPath | str, target: SchemaPath | str) -> None:
+        """Record that the user confirmed the correspondence ``source <-> target``."""
+        key = self._key(source, target)
+        self._rejected.discard(key)
+        self._accepted.add(key)
+
+    def reject(self, source: SchemaPath | str, target: SchemaPath | str) -> None:
+        """Record that the user rejected the correspondence ``source <-> target``."""
+        key = self._key(source, target)
+        self._accepted.discard(key)
+        self._rejected.add(key)
+
+    def clear(self) -> None:
+        """Forget all recorded feedback."""
+        self._accepted.clear()
+        self._rejected.clear()
+
+    # -- queries -----------------------------------------------------------------------
+
+    def is_accepted(self, source: SchemaPath | str, target: SchemaPath | str) -> bool:
+        """True if the pair was explicitly confirmed."""
+        return self._key(source, target) in self._accepted
+
+    def is_rejected(self, source: SchemaPath | str, target: SchemaPath | str) -> bool:
+        """True if the pair was explicitly rejected."""
+        return self._key(source, target) in self._rejected
+
+    def decision(self, source: SchemaPath | str, target: SchemaPath | str) -> Optional[bool]:
+        """``True`` for accepted, ``False`` for rejected, ``None`` if no feedback exists."""
+        key = self._key(source, target)
+        if key in self._accepted:
+            return True
+        if key in self._rejected:
+            return False
+        return None
+
+    @property
+    def accepted_pairs(self) -> Tuple[FeedbackKey, ...]:
+        """All accepted pairs, sorted."""
+        return tuple(sorted(self._accepted))
+
+    @property
+    def rejected_pairs(self) -> Tuple[FeedbackKey, ...]:
+        """All rejected pairs, sorted."""
+        return tuple(sorted(self._rejected))
+
+    def __len__(self) -> int:
+        return len(self._accepted) + len(self._rejected)
+
+    def __bool__(self) -> bool:
+        return bool(self._accepted or self._rejected)
+
+
+class UserFeedbackMatcher(Matcher):
+    """Turns user feedback into a matcher layer and post-aggregation overrides."""
+
+    name = "UserFeedback"
+    kind = "simple"
+
+    #: Similarity assigned to pairs without any user feedback.  The neutral
+    #: value of 0.5 keeps the layer from dragging other matchers' scores up or
+    #: down when aggregated with Average.
+    neutral_similarity = 0.5
+
+    def __init__(self, store: Optional[UserFeedbackStore] = None):
+        self._store = store
+
+    def _store_for(self, context: MatchContext) -> Optional[UserFeedbackStore]:
+        return self._store if self._store is not None else context.feedback
+
+    def compute(
+        self,
+        source_paths,
+        target_paths,
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        matrix = SimilarityMatrix.filled(source_paths, target_paths, self.neutral_similarity)
+        store = self._store_for(context)
+        if store is None or not store:
+            return matrix
+        for source in source_paths:
+            for target in target_paths:
+                decision = store.decision(source, target)
+                if decision is True:
+                    matrix.set(source, target, 1.0)
+                elif decision is False:
+                    matrix.set(source, target, 0.0)
+        return matrix
+
+    def apply_overrides(self, matrix: SimilarityMatrix, context: MatchContext) -> SimilarityMatrix:
+        """Force accepted pairs to 1.0 and rejected pairs to 0.0 in ``matrix``.
+
+        The processor calls this after aggregation so user feedback "remains
+        unaffected by the other matchers".
+        """
+        store = self._store_for(context)
+        if store is None or not store:
+            return matrix
+        adjusted = matrix.copy()
+        for source in matrix.source_paths:
+            for target in matrix.target_paths:
+                decision = store.decision(source, target)
+                if decision is True:
+                    adjusted.set(source, target, 1.0)
+                elif decision is False:
+                    adjusted.set(source, target, 0.0)
+        return adjusted

@@ -1,0 +1,67 @@
+"""The Affix string matcher: common prefixes and suffixes (Section 4.1).
+
+The Affix matcher "looks for common affixes, i.e. both prefixes and suffixes,
+between two name strings".  The similarity is the length of the longer of the
+common prefix and common suffix, normalised by the average string length, so
+that identical strings score 1.0 and strings sharing no affix score 0.0.
+"""
+
+from __future__ import annotations
+
+from repro.matchers.base import StringMatcher
+
+
+def common_prefix_length(a: str, b: str) -> int:
+    """Length of the longest common prefix of two strings."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit
+
+
+def common_suffix_length(a: str, b: str) -> int:
+    """Length of the longest common suffix of two strings."""
+    limit = min(len(a), len(b))
+    for i in range(1, limit + 1):
+        if a[-i] != b[-i]:
+            return i - 1
+    return limit
+
+
+class AffixMatcher(StringMatcher):
+    """Similarity from the longest shared prefix or suffix.
+
+    Parameters
+    ----------
+    min_affix_length:
+        Affixes shorter than this are ignored (a single shared initial letter
+        carries no evidence).  The default of 2 keeps e.g. ``custNo`` /
+        ``custName`` similar via the ``cust`` prefix while scoring unrelated
+        names that merely start with the same letter as 0.
+    case_sensitive:
+        Compare strings as-is instead of lower-casing them first.
+    """
+
+    name = "Affix"
+
+    def __init__(self, min_affix_length: int = 2, case_sensitive: bool = False):
+        if min_affix_length < 1:
+            raise ValueError(f"min_affix_length must be >= 1, got {min_affix_length}")
+        self._min_affix_length = int(min_affix_length)
+        self._case_sensitive = bool(case_sensitive)
+
+    def similarity(self, a: str, b: str) -> float:
+        if not a or not b:
+            return 0.0
+        first = a if self._case_sensitive else a.lower()
+        second = b if self._case_sensitive else b.lower()
+        if first == second:
+            return 1.0
+        prefix = common_prefix_length(first, second)
+        suffix = common_suffix_length(first, second)
+        best = max(prefix, suffix)
+        if best < self._min_affix_length:
+            return 0.0
+        average_length = (len(first) + len(second)) / 2.0
+        return min(1.0, best / average_length)

@@ -1,0 +1,62 @@
+"""The EditDistance string matcher: Levenshtein-based similarity (Section 4.1).
+
+"String similarity is computed from the number of edit operations necessary to
+transform one string to another one (the Levenshtein metric)."
+
+The similarity is ``1 - distance / max(len(a), len(b))`` so that identical
+strings score 1.0 and completely different strings of equal length score 0.0.
+The implementation is the classic two-row dynamic program (O(len(a) * len(b))
+time, O(min) space).
+"""
+
+from __future__ import annotations
+
+from repro.matchers.base import StringMatcher
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """The Levenshtein edit distance between two strings."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string on the column axis to minimise memory.
+    if len(b) > len(a):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, char_a in enumerate(a, start=1):
+        current[0] = i
+        for j, char_b in enumerate(b, start=1):
+            substitution_cost = 0 if char_a == char_b else 1
+            current[j] = min(
+                previous[j] + 1,              # deletion
+                current[j - 1] + 1,           # insertion
+                previous[j - 1] + substitution_cost,  # substitution
+            )
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+class EditDistanceMatcher(StringMatcher):
+    """Normalised Levenshtein similarity between two strings."""
+
+    name = "EditDistance"
+
+    def __init__(self, case_sensitive: bool = False):
+        self._case_sensitive = bool(case_sensitive)
+
+    def similarity(self, a: str, b: str) -> float:
+        if not a and not b:
+            return 0.0
+        first = a if self._case_sensitive else a.lower()
+        second = b if self._case_sensitive else b.lower()
+        if first == second:
+            return 1.0
+        longest = max(len(first), len(second))
+        if longest == 0:
+            return 0.0
+        distance = levenshtein_distance(first, second)
+        return max(0.0, 1.0 - distance / longest)

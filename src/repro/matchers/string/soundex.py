@@ -1,0 +1,73 @@
+"""The Soundex string matcher: phonetic similarity (Section 4.1).
+
+"This matcher computes the phonetic similarity between names from their
+corresponding soundex codes."
+
+The standard American Soundex algorithm encodes a word as a letter followed by
+three digits.  The similarity of two names is computed by comparing their
+codes: identical codes score 1.0, otherwise the score degrades with the number
+of agreeing code positions (same initial letter and matching digits).
+"""
+
+from __future__ import annotations
+
+from repro.matchers.base import StringMatcher
+
+#: Soundex digit classes for consonants; vowels and h/w/y are not coded.
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    **dict.fromkeys("l", "4"),
+    **dict.fromkeys("mn", "5"),
+    **dict.fromkeys("r", "6"),
+}
+
+
+def soundex_code(word: str, length: int = 4) -> str:
+    """The Soundex code of ``word`` (empty string for non-alphabetic input)."""
+    letters = [c for c in word.lower() if c.isalpha()]
+    if not letters:
+        return ""
+    first = letters[0]
+    code = [first.upper()]
+    previous_digit = _SOUNDEX_CODES.get(first, "")
+    for char in letters[1:]:
+        digit = _SOUNDEX_CODES.get(char, "")
+        if digit and digit != previous_digit:
+            code.append(digit)
+            if len(code) == length:
+                break
+        # 'h' and 'w' do not reset the previous digit; vowels do.
+        if char not in "hw":
+            previous_digit = digit
+    return "".join(code).ljust(length, "0")[:length]
+
+
+class SoundexMatcher(StringMatcher):
+    """Similarity of the Soundex codes of two names."""
+
+    name = "Soundex"
+
+    def __init__(self, code_length: int = 4):
+        if code_length < 2:
+            raise ValueError(f"code_length must be >= 2, got {code_length}")
+        self._code_length = int(code_length)
+
+    def similarity(self, a: str, b: str) -> float:
+        if not a or not b:
+            return 0.0
+        if a.lower() == b.lower():
+            return 1.0
+        code_a = soundex_code(a, self._code_length)
+        code_b = soundex_code(b, self._code_length)
+        if not code_a or not code_b:
+            return 0.0
+        if code_a == code_b:
+            return 1.0
+        # Partial agreement: fraction of positions that agree, requiring the
+        # initial letter to match for any credit at all.
+        if code_a[0] != code_b[0]:
+            return 0.0
+        agreeing = sum(1 for x, y in zip(code_a, code_b) if x == y)
+        return agreeing / self._code_length

@@ -1,0 +1,33 @@
+"""Schema graph model: elements, links, paths, schemas, mappings and data types."""
+
+from repro.model.builder import SchemaBuilder
+from repro.model.datatypes import (
+    DEFAULT_TYPE_COMPATIBILITY,
+    GenericType,
+    TypeCompatibilityTable,
+    map_source_type,
+    normalise_source_type,
+)
+from repro.model.element import ElementKind, Link, LinkKind, SchemaElement
+from repro.model.mapping import Correspondence, MatchResult
+from repro.model.path import SchemaPath
+from repro.model.schema import Schema, SchemaStatistics, schemas_by_size
+
+__all__ = [
+    "DEFAULT_TYPE_COMPATIBILITY",
+    "Correspondence",
+    "ElementKind",
+    "GenericType",
+    "Link",
+    "LinkKind",
+    "MatchResult",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaElement",
+    "SchemaPath",
+    "SchemaStatistics",
+    "TypeCompatibilityTable",
+    "map_source_type",
+    "normalise_source_type",
+    "schemas_by_size",
+]

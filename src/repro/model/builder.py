@@ -1,0 +1,133 @@
+"""A small fluent builder for constructing schemas programmatically.
+
+The importers cover external formats (DDL, XSD, dicts); the builder covers the
+common in-code case of tests, examples and the bundled datasets, where nesting
+is easiest to express with ``with``-style contexts:
+
+.. code-block:: python
+
+    builder = SchemaBuilder("PO2")
+    with builder.inner("DeliverTo"):
+        with builder.inner("Address"):
+            builder.leaf("Street", "xsd:string")
+            builder.leaf("City", "xsd:string")
+    schema = builder.build()
+
+Shared fragments are supported with :meth:`SchemaBuilder.shared` /
+:meth:`SchemaBuilder.attach_shared`, mirroring the ``Address`` complex type of
+the paper's PO2 example.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional
+
+from repro.exceptions import SchemaError
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+
+class SchemaBuilder:
+    """Fluent construction of :class:`~repro.model.schema.Schema` objects."""
+
+    def __init__(self, name: str, namespace: Optional[str] = None):
+        self._schema = Schema(name, namespace=namespace)
+        self._stack: List[SchemaElement] = [self._schema.root]
+        self._shared: Dict[str, SchemaElement] = {}
+        self._built = False
+
+    # -- nesting -------------------------------------------------------------
+
+    @property
+    def current_parent(self) -> SchemaElement:
+        """The element new children are currently attached to."""
+        return self._stack[-1]
+
+    @contextlib.contextmanager
+    def inner(
+        self,
+        name: str,
+        kind: ElementKind = ElementKind.ELEMENT,
+        documentation: Optional[str] = None,
+    ) -> Iterator[SchemaElement]:
+        """Add an inner element and make it the parent for the ``with`` block."""
+        element = self._schema.add_element(
+            name, parent=self.current_parent, kind=kind, documentation=documentation
+        )
+        self._stack.append(element)
+        try:
+            yield element
+        finally:
+            self._stack.pop()
+
+    def leaf(
+        self,
+        name: str,
+        source_type: Optional[str] = None,
+        kind: ElementKind = ElementKind.ELEMENT,
+        documentation: Optional[str] = None,
+    ) -> SchemaElement:
+        """Add a leaf element under the current parent."""
+        return self._schema.add_element(
+            name,
+            parent=self.current_parent,
+            kind=kind,
+            source_type=source_type,
+            documentation=documentation,
+        )
+
+    def leaves(self, *names_and_types: tuple[str, Optional[str]] | str) -> List[SchemaElement]:
+        """Add several leaves at once; items are names or ``(name, type)`` tuples."""
+        created = []
+        for item in names_and_types:
+            if isinstance(item, tuple):
+                name, source_type = item
+            else:
+                name, source_type = item, None
+            created.append(self.leaf(name, source_type))
+        return created
+
+    # -- shared fragments --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def shared(self, fragment_name: str, kind: ElementKind = ElementKind.TYPE) -> Iterator[SchemaElement]:
+        """Define a reusable fragment rooted at a detached element.
+
+        The fragment is *not* part of any path until attached with
+        :meth:`attach_shared`; children added inside the block hang beneath it.
+        """
+        if fragment_name in self._shared:
+            raise SchemaError(f"shared fragment {fragment_name!r} is already defined")
+        element = self._schema.add_detached_element(fragment_name, kind=kind)
+        self._shared[fragment_name] = element
+        self._stack.append(element)
+        try:
+            yield element
+        finally:
+            self._stack.pop()
+
+    def attach_shared(self, fragment_name: str, parent: Optional[SchemaElement] = None) -> SchemaElement:
+        """Attach a previously defined shared fragment under ``parent`` (default current)."""
+        if fragment_name not in self._shared:
+            raise SchemaError(f"shared fragment {fragment_name!r} has not been defined")
+        fragment = self._shared[fragment_name]
+        self._schema.add_link(parent if parent is not None else self.current_parent, fragment)
+        return fragment
+
+    # -- finishing ------------------------------------------------------------------
+
+    def reference(self, source: SchemaElement, target: SchemaElement) -> None:
+        """Record a referential link (e.g. a foreign key) between two elements."""
+        from repro.model.element import LinkKind
+
+        self._schema.add_link(source, target, LinkKind.REFERENCE)
+
+    def build(self) -> Schema:
+        """Return the constructed schema.  The builder must not be reused afterwards."""
+        if self._built:
+            raise SchemaError("SchemaBuilder.build() may only be called once")
+        if len(self._stack) != 1:
+            raise SchemaError("unbalanced inner()/shared() blocks while building schema")
+        self._built = True
+        return self._schema

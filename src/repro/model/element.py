@@ -1,0 +1,121 @@
+"""Schema elements (graph nodes) and typed links between them.
+
+A COMA schema is a rooted directed acyclic graph (Section 3 of the paper).
+Graph nodes are :class:`SchemaElement` instances and directed edges are
+:class:`Link` instances of a particular :class:`LinkKind` (containment or
+referential).  Only containment links define the path structure used as the
+match granularity; referential links carry additional structural information
+(e.g. foreign keys) that matchers may exploit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Optional
+
+from repro.model.datatypes import GenericType, map_source_type
+
+
+class LinkKind(enum.Enum):
+    """Kinds of directed links between schema elements."""
+
+    CONTAINMENT = "containment"
+    REFERENCE = "reference"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ElementKind(enum.Enum):
+    """Broad classification of schema elements.
+
+    The classification mirrors the element sorts mentioned in the paper:
+    relational tables and columns, XML (complex) elements and attributes.
+    ``INNER`` / ``LEAF`` status is *not* stored here because it is a property
+    of the graph (an element is inner iff it has containment children) and is
+    computed by :class:`~repro.model.schema.Schema`.
+    """
+
+    SCHEMA = "schema"
+    TABLE = "table"
+    COLUMN = "column"
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TYPE = "type"
+    GENERIC = "generic"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_element_id_counter = itertools.count(1)
+
+
+def _next_element_id() -> int:
+    return next(_element_id_counter)
+
+
+@dataclasses.dataclass(eq=False)
+class SchemaElement:
+    """A node of the schema graph.
+
+    Parameters
+    ----------
+    name:
+        The element name as it appears in the source schema (e.g. ``shipToCity``).
+    kind:
+        The broad element classification (table, column, XML element, ...).
+    source_type:
+        The raw source-level data type (``VARCHAR(200)``, ``xsd:string``...),
+        if any.  ``None`` for inner / structural elements.
+    documentation:
+        Optional free-text annotation from the source schema.
+
+    Identity semantics: elements compare by object identity, not by name,
+    because the same name may legitimately occur several times in one schema
+    (e.g. ``Street`` under both ``DeliverTo`` and ``BillTo``).
+    """
+
+    name: str
+    kind: ElementKind = ElementKind.GENERIC
+    source_type: Optional[str] = None
+    documentation: Optional[str] = None
+    element_id: int = dataclasses.field(default_factory=_next_element_id)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("schema element name must be a non-empty string")
+        self.name = self.name.strip()
+
+    @property
+    def generic_type(self) -> GenericType:
+        """The element's data type mapped onto the generic type system."""
+        if self.source_type is None:
+            return GenericType.COMPLEX if self.kind in (
+                ElementKind.TABLE, ElementKind.ELEMENT, ElementKind.TYPE, ElementKind.SCHEMA
+            ) else GenericType.UNKNOWN
+        return map_source_type(self.source_type)
+
+    def __hash__(self) -> int:
+        return hash(self.element_id)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        type_part = f", type={self.source_type!r}" if self.source_type else ""
+        return f"SchemaElement({self.name!r}, kind={self.kind.value}{type_part})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Link:
+    """A directed, typed edge of the schema graph."""
+
+    source: SchemaElement
+    target: SchemaElement
+    kind: LinkKind = LinkKind.CONTAINMENT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.source.name!r} -> {self.target.name!r}, {self.kind.value})"

@@ -1,0 +1,17 @@
+"""The SQLite-backed repository for schemas, mappings and similarity cubes."""
+
+from repro.repository.repository import Repository
+from repro.repository.serialization import (
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+
+__all__ = [
+    "Repository",
+    "schema_from_dict",
+    "schema_from_json",
+    "schema_to_dict",
+    "schema_to_json",
+]

@@ -1,0 +1,303 @@
+"""The DBMS-based repository (Section 3 / Section 8), backed by SQLite.
+
+The repository stores three kinds of objects:
+
+* **schemas** -- the imported schema graphs (loss-lessly serialised),
+* **mappings** -- complete (possibly user-confirmed) match results in the
+  relational representation of Figure 3c, labelled with an origin
+  (``manual`` / ``automatic`` / ``composed``) so the SchemaM / SchemaA reuse
+  variants can filter them,
+* **similarity cubes** -- the intermediate matcher-specific similarity values
+  of a match task, so combination strategies can be re-run without re-running
+  the matchers.
+
+The class implements the :class:`~repro.matchers.reuse.provider.MappingProvider`
+protocol, so it can be handed directly to the reuse matchers via
+``MatchContext.repository``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.combination.cube import SimilarityCube
+from repro.exceptions import RepositoryError
+from repro.matchers.reuse.provider import MappingRow, StoredMapping
+from repro.model.mapping import MatchResult
+from repro.model.schema import Schema
+from repro.repository.serialization import schema_from_json, schema_to_json
+
+_SCHEMA_DDL = """
+CREATE TABLE IF NOT EXISTS schemas (
+    name        TEXT PRIMARY KEY,
+    format      TEXT NOT NULL DEFAULT 'internal',
+    document    TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS mappings (
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    name           TEXT NOT NULL,
+    source_schema  TEXT NOT NULL,
+    target_schema  TEXT NOT NULL,
+    origin         TEXT NOT NULL DEFAULT 'automatic'
+);
+CREATE TABLE IF NOT EXISTS mapping_rows (
+    mapping_id   INTEGER NOT NULL REFERENCES mappings(id) ON DELETE CASCADE,
+    source_path  TEXT NOT NULL,
+    target_path  TEXT NOT NULL,
+    similarity   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_mappings_pair
+    ON mappings (source_schema, target_schema, origin);
+CREATE INDEX IF NOT EXISTS idx_mapping_rows_mapping
+    ON mapping_rows (mapping_id);
+CREATE TABLE IF NOT EXISTS cube_entries (
+    task         TEXT NOT NULL,
+    matcher      TEXT NOT NULL,
+    source_path  TEXT NOT NULL,
+    target_path  TEXT NOT NULL,
+    similarity   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_cube_task ON cube_entries (task, matcher);
+"""
+
+
+class Repository:
+    """SQLite-backed store for schemas, mappings and similarity cubes."""
+
+    def __init__(self, path: str = ":memory:"):
+        self._path = path
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        self._connection.executescript(_SCHEMA_DDL)
+        self._connection.commit()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """The database path (``":memory:"`` for an in-memory repository)."""
+        return self._path
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "Repository":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- schemas -----------------------------------------------------------------
+
+    def store_schema(self, schema: Schema, replace: bool = True) -> None:
+        """Persist a schema graph under its name."""
+        document = schema_to_json(schema)
+        try:
+            if replace:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO schemas (name, document) VALUES (?, ?)",
+                    (schema.name, document),
+                )
+            else:
+                self._connection.execute(
+                    "INSERT INTO schemas (name, document) VALUES (?, ?)",
+                    (schema.name, document),
+                )
+        except sqlite3.IntegrityError as error:
+            raise RepositoryError(f"schema {schema.name!r} is already stored") from error
+        self._connection.commit()
+
+    def load_schema(self, name: str) -> Schema:
+        """Load a previously stored schema graph by name."""
+        row = self._connection.execute(
+            "SELECT document FROM schemas WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise RepositoryError(f"no schema named {name!r} in the repository")
+        return schema_from_json(row[0])
+
+    def schema_names(self) -> Tuple[str, ...]:
+        """Names of all stored schemas, sorted."""
+        rows = self._connection.execute("SELECT name FROM schemas ORDER BY name").fetchall()
+        return tuple(r[0] for r in rows)
+
+    def has_schema(self, name: str) -> bool:
+        """True if a schema with this name is stored."""
+        row = self._connection.execute(
+            "SELECT 1 FROM schemas WHERE name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    def delete_schema(self, name: str) -> bool:
+        """Delete a stored schema; returns True if one was removed."""
+        cursor = self._connection.execute("DELETE FROM schemas WHERE name = ?", (name,))
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    # -- mappings -----------------------------------------------------------------------
+
+    def store_mapping(
+        self,
+        mapping: MatchResult | StoredMapping,
+        origin: str = "automatic",
+        name: Optional[str] = None,
+    ) -> int:
+        """Persist a mapping; returns its repository id."""
+        if isinstance(mapping, MatchResult):
+            stored = StoredMapping.from_match_result(mapping, origin=origin, name=name or "")
+        else:
+            stored = mapping
+            if name or origin != "automatic":
+                stored = StoredMapping(
+                    source_schema=stored.source_schema,
+                    target_schema=stored.target_schema,
+                    rows=stored.rows,
+                    origin=origin if origin != "automatic" else stored.origin,
+                    name=name or stored.name,
+                )
+        cursor = self._connection.execute(
+            "INSERT INTO mappings (name, source_schema, target_schema, origin) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                stored.name or f"{stored.source_schema}<->{stored.target_schema}",
+                stored.source_schema,
+                stored.target_schema,
+                stored.origin,
+            ),
+        )
+        mapping_id = int(cursor.lastrowid)
+        self._connection.executemany(
+            "INSERT INTO mapping_rows (mapping_id, source_path, target_path, similarity) "
+            "VALUES (?, ?, ?, ?)",
+            [(mapping_id, s, t, float(v)) for s, t, v in stored.rows],
+        )
+        self._connection.commit()
+        return mapping_id
+
+    def _load_rows(self, mapping_id: int) -> Tuple[MappingRow, ...]:
+        rows = self._connection.execute(
+            "SELECT source_path, target_path, similarity FROM mapping_rows "
+            "WHERE mapping_id = ? ORDER BY source_path, target_path",
+            (mapping_id,),
+        ).fetchall()
+        return tuple((r[0], r[1], float(r[2])) for r in rows)
+
+    def stored_mappings(self, origin: Optional[str] = None) -> Sequence[StoredMapping]:
+        """All stored mappings (the :class:`MappingProvider` protocol method)."""
+        if origin is None:
+            header_rows = self._connection.execute(
+                "SELECT id, name, source_schema, target_schema, origin FROM mappings ORDER BY id"
+            ).fetchall()
+        else:
+            header_rows = self._connection.execute(
+                "SELECT id, name, source_schema, target_schema, origin FROM mappings "
+                "WHERE origin = ? ORDER BY id",
+                (origin,),
+            ).fetchall()
+        mappings: List[StoredMapping] = []
+        for mapping_id, name, source_schema, target_schema, row_origin in header_rows:
+            mappings.append(
+                StoredMapping(
+                    source_schema=source_schema,
+                    target_schema=target_schema,
+                    rows=self._load_rows(int(mapping_id)),
+                    origin=row_origin,
+                    name=name,
+                )
+            )
+        return tuple(mappings)
+
+    def mappings_between(
+        self, first: str, second: str, origin: Optional[str] = None
+    ) -> Tuple[StoredMapping, ...]:
+        """Stored mappings whose schema pair is ``{first, second}`` in either orientation."""
+        return tuple(
+            m
+            for m in self.stored_mappings(origin)
+            if {m.source_schema, m.target_schema} == {first, second}
+        )
+
+    def delete_mappings(
+        self, source: Optional[str] = None, target: Optional[str] = None,
+        origin: Optional[str] = None,
+    ) -> int:
+        """Delete mappings matching the given filters; returns the number removed."""
+        clauses = []
+        parameters: List[object] = []
+        if source is not None:
+            clauses.append("source_schema = ?")
+            parameters.append(source)
+        if target is not None:
+            clauses.append("target_schema = ?")
+            parameters.append(target)
+        if origin is not None:
+            clauses.append("origin = ?")
+            parameters.append(origin)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        ids = [
+            int(r[0])
+            for r in self._connection.execute(
+                f"SELECT id FROM mappings{where}", parameters
+            ).fetchall()
+        ]
+        if not ids:
+            return 0
+        placeholders = ",".join("?" for _ in ids)
+        self._connection.execute(
+            f"DELETE FROM mapping_rows WHERE mapping_id IN ({placeholders})", ids
+        )
+        cursor = self._connection.execute(
+            f"DELETE FROM mappings WHERE id IN ({placeholders})", ids
+        )
+        self._connection.commit()
+        return cursor.rowcount
+
+    def mapping_count(self, origin: Optional[str] = None) -> int:
+        """The number of stored mappings, optionally restricted by origin."""
+        if origin is None:
+            row = self._connection.execute("SELECT COUNT(*) FROM mappings").fetchone()
+        else:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM mappings WHERE origin = ?", (origin,)
+            ).fetchone()
+        return int(row[0])
+
+    # -- similarity cubes ----------------------------------------------------------------------
+
+    def store_cube(self, task: str, cube: SimilarityCube, replace: bool = True) -> None:
+        """Persist the non-zero entries of a similarity cube under a task label."""
+        if replace:
+            self._connection.execute("DELETE FROM cube_entries WHERE task = ?", (task,))
+        self._connection.executemany(
+            "INSERT INTO cube_entries (task, matcher, source_path, target_path, similarity) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [(task, matcher, s, t, v) for matcher, s, t, v in cube.as_records()],
+        )
+        self._connection.commit()
+
+    def load_cube_entries(
+        self, task: str, matcher: Optional[str] = None
+    ) -> Tuple[Tuple[str, str, str, float], ...]:
+        """The stored ``(matcher, source path, target path, similarity)`` rows of a task."""
+        if matcher is None:
+            rows = self._connection.execute(
+                "SELECT matcher, source_path, target_path, similarity FROM cube_entries "
+                "WHERE task = ? ORDER BY matcher, source_path, target_path",
+                (task,),
+            ).fetchall()
+        else:
+            rows = self._connection.execute(
+                "SELECT matcher, source_path, target_path, similarity FROM cube_entries "
+                "WHERE task = ? AND matcher = ? ORDER BY source_path, target_path",
+                (task, matcher),
+            ).fetchall()
+        return tuple((r[0], r[1], r[2], float(r[3])) for r in rows)
+
+    def cube_tasks(self) -> Tuple[str, ...]:
+        """All task labels for which cube entries are stored."""
+        rows = self._connection.execute(
+            "SELECT DISTINCT task FROM cube_entries ORDER BY task"
+        ).fetchall()
+        return tuple(r[0] for r in rows)

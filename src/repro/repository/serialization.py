@@ -1,0 +1,105 @@
+"""Loss-less (de)serialisation of schema graphs for the repository.
+
+Schemas are stored as a JSON document that records every element, every
+containment link and every referential link explicitly, so shared fragments
+and multiple parents survive a round trip exactly -- which matters because the
+reuse matchers join stored mappings on dotted *path* strings and those paths
+must be reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.exceptions import RepositoryError
+from repro.model.element import ElementKind, LinkKind, SchemaElement
+from repro.model.schema import Schema
+
+#: Version tag embedded in serialised documents for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """Serialise a schema graph into a plain dict."""
+    elements = schema.elements
+    local_ids = {element.element_id: index for index, element in enumerate(elements)}
+    element_records: List[Dict[str, Any]] = []
+    for element in elements:
+        element_records.append(
+            {
+                "id": local_ids[element.element_id],
+                "name": element.name,
+                "kind": element.kind.value,
+                "source_type": element.source_type,
+                "documentation": element.documentation,
+            }
+        )
+    containment: List[List[int]] = []
+    for element in elements:
+        for child in schema.children(element):
+            containment.append([local_ids[element.element_id], local_ids[child.element_id]])
+    references: List[List[int]] = []
+    for link in schema.references():
+        references.append([local_ids[link.source.element_id], local_ids[link.target.element_id]])
+    return {
+        "version": FORMAT_VERSION,
+        "name": schema.name,
+        "namespace": schema.namespace,
+        "elements": element_records,
+        "containment": containment,
+        "references": references,
+    }
+
+
+def schema_to_json(schema: Schema) -> str:
+    """Serialise a schema graph to a JSON string."""
+    return json.dumps(schema_to_dict(schema), sort_keys=True)
+
+
+def schema_from_dict(document: Dict[str, Any]) -> Schema:
+    """Rebuild a schema graph from its serialised dict form."""
+    try:
+        name = document["name"]
+        element_records = document["elements"]
+        containment = document["containment"]
+        references = document.get("references", [])
+    except KeyError as error:
+        raise RepositoryError(f"serialised schema document is missing key {error}") from error
+
+    schema = Schema(name, namespace=document.get("namespace"))
+    elements_by_local_id: Dict[int, SchemaElement] = {}
+    for record in element_records:
+        local_id = int(record["id"])
+        if local_id == 0:
+            # The root element is created by the Schema constructor.
+            elements_by_local_id[0] = schema.root
+            continue
+        elements_by_local_id[local_id] = schema.add_detached_element(
+            record["name"],
+            kind=ElementKind(record.get("kind", ElementKind.GENERIC.value)),
+            source_type=record.get("source_type"),
+            documentation=record.get("documentation"),
+        )
+    for parent_id, child_id in containment:
+        schema.add_link(
+            elements_by_local_id[int(parent_id)],
+            elements_by_local_id[int(child_id)],
+            LinkKind.CONTAINMENT,
+        )
+    for source_id, target_id in references:
+        schema.add_link(
+            elements_by_local_id[int(source_id)],
+            elements_by_local_id[int(target_id)],
+            LinkKind.REFERENCE,
+        )
+    return schema
+
+
+def schema_from_json(text: str) -> Schema:
+    """Rebuild a schema graph from its JSON form."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise RepositoryError(f"invalid serialised schema JSON: {error}") from error
+    return schema_from_dict(document)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.match_operation import build_context
+from repro.datasets.figure1 import load_po1, load_po2
+from repro.datasets.gold_standard import load_all_tasks, load_task
+from repro.model.builder import SchemaBuilder
+
+
+@pytest.fixture(scope="session")
+def po1():
+    """The relational PO1 schema of Figure 1."""
+    return load_po1()
+
+
+@pytest.fixture(scope="session")
+def po2():
+    """The XML PO2 schema of Figure 1 (with the shared Address fragment)."""
+    return load_po2()
+
+
+@pytest.fixture(scope="session")
+def figure1_context(po1, po2):
+    """A ready-made match context over the Figure 1 schemas."""
+    return build_context(po1, po2)
+
+
+@pytest.fixture()
+def tiny_pair():
+    """A small hand-built schema pair used by matcher unit tests."""
+    left_builder = SchemaBuilder("Left")
+    with left_builder.inner("ShipTo"):
+        left_builder.leaf("shipToStreet", "varchar(100)")
+        left_builder.leaf("shipToCity", "varchar(100)")
+        left_builder.leaf("shipToZip", "varchar(10)")
+    with left_builder.inner("Customer"):
+        left_builder.leaf("custName", "varchar(100)")
+        left_builder.leaf("custCity", "varchar(100)")
+    left = left_builder.build()
+
+    right_builder = SchemaBuilder("Right")
+    with right_builder.inner("DeliverTo"):
+        with right_builder.inner("Address"):
+            right_builder.leaf("Street", "xsd:string")
+            right_builder.leaf("City", "xsd:string")
+            right_builder.leaf("Zip", "xsd:decimal")
+    with right_builder.inner("Buyer"):
+        right_builder.leaf("Name", "xsd:string")
+    right = right_builder.build()
+    return left, right
+
+
+@pytest.fixture()
+def tiny_context(tiny_pair):
+    """A match context over the tiny schema pair."""
+    left, right = tiny_pair
+    return build_context(left, right)
+
+
+@pytest.fixture(scope="session")
+def small_task():
+    """The smallest evaluation task (schemas 1 and 2)."""
+    return load_task(1, 2)
+
+
+@pytest.fixture(scope="session")
+def all_tasks():
+    """All 10 evaluation tasks (loaded once per test session)."""
+    return load_all_tasks()

@@ -1,0 +1,75 @@
+"""Tests for the synonym dictionary."""
+
+import pytest
+
+from repro.auxiliary.synonyms import (
+    SynonymDictionary,
+    TermRelationship,
+    default_purchase_order_synonyms,
+)
+
+
+class TestSynonymDictionary:
+    def test_identity_is_synonymy(self):
+        dictionary = SynonymDictionary()
+        assert dictionary.similarity("City", "city") == 1.0
+        assert dictionary.relationship("x", "X") is TermRelationship.SYNONYM
+
+    def test_unknown_pair_scores_zero(self):
+        dictionary = SynonymDictionary()
+        assert dictionary.similarity("ship", "zebra") == 0.0
+        assert dictionary.relationship("ship", "zebra") is None
+
+    def test_synonym_and_hypernym_scores(self):
+        dictionary = SynonymDictionary()
+        dictionary.add("ship", "deliver")
+        dictionary.add_hypernym("city", "address")
+        assert dictionary.similarity("ship", "deliver") == 1.0
+        assert dictionary.similarity("deliver", "ship") == 1.0
+        assert dictionary.similarity("address", "city") == pytest.approx(0.8)
+
+    def test_relationship_similarity_override(self):
+        dictionary = SynonymDictionary({TermRelationship.HYPERNYM: 0.5})
+        dictionary.add_hypernym("city", "address")
+        assert dictionary.similarity("city", "address") == 0.5
+        with pytest.raises(ValueError):
+            dictionary.set_relationship_similarity(TermRelationship.SYNONYM, 2.0)
+
+    def test_add_synonym_groups(self):
+        dictionary = SynonymDictionary()
+        dictionary.add_synonyms(("a", "b", "c"))
+        assert dictionary.similarity("a", "c") == 1.0
+        assert dictionary.similarity("b", "c") == 1.0
+        assert len(dictionary) == 3
+
+    def test_empty_entries_rejected(self):
+        dictionary = SynonymDictionary()
+        with pytest.raises(ValueError):
+            dictionary.add("", "x")
+
+    def test_merge(self):
+        first = SynonymDictionary()
+        first.add("ship", "deliver")
+        second = SynonymDictionary()
+        second.add("bill", "invoice")
+        merged = first.merged_with(second)
+        assert merged.similarity("ship", "deliver") == 1.0
+        assert merged.similarity("bill", "invoice") == 1.0
+
+    def test_contains(self):
+        dictionary = SynonymDictionary()
+        dictionary.add("ship", "deliver")
+        assert ("deliver", "ship") in dictionary
+        assert ("ship", "zebra") not in dictionary
+
+
+class TestDefaultDictionary:
+    def test_paper_domain_synonyms_present(self):
+        dictionary = default_purchase_order_synonyms()
+        assert dictionary.similarity("ship", "deliver") == 1.0
+        assert dictionary.similarity("bill", "invoice") == 1.0
+        assert dictionary.similarity("customer", "buyer") == 1.0
+
+    def test_hypernyms_present(self):
+        dictionary = default_purchase_order_synonyms()
+        assert dictionary.similarity("city", "address") == pytest.approx(0.8)

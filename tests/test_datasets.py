@@ -1,0 +1,155 @@
+"""Tests for the bundled datasets: Figure 1, the five PO schemas, gold standards, generators."""
+
+import pytest
+
+from repro.datasets.figure1 import figure1_reference_mapping, load_figure1_schemas
+from repro.datasets.generators import generate_pair, generate_schema, generate_size_sweep
+from repro.datasets.gold_standard import (
+    TASK_PAIRS,
+    load_all_tasks,
+    load_task,
+    manual_mappings_for_reuse,
+    task_by_name,
+)
+from repro.datasets.purchase_orders import (
+    SCHEMA_ALIASES,
+    load_all_with_concepts,
+    load_schema,
+    load_schema_with_concepts,
+    schema_names,
+)
+from repro.exceptions import SchemaError
+
+
+class TestFigure1:
+    def test_schemas_load(self):
+        po1, po2 = load_figure1_schemas()
+        assert po1.name == "PO1" and po2.name == "PO2"
+        assert len(po1.paths()) == 12
+        # PO2 shares the Address fragment: 11 paths from 8 non-root nodes
+        assert len(po2.paths()) == 11
+
+    def test_reference_mapping_paths_resolve(self):
+        reference = figure1_reference_mapping()
+        assert len(reference) == 8
+        assert all(c.similarity == 1.0 for c in reference)
+
+
+class TestPurchaseOrderSchemas:
+    def test_aliases_and_names(self):
+        assert schema_names() == ("CIDX", "Excel", "Noris", "Paragon", "Apertum")
+        assert SCHEMA_ALIASES[1] == "CIDX"
+        assert load_schema(3).name == "Noris"
+        assert load_schema("Paragon").name == "Paragon"
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            load_schema("BizTalk")
+        with pytest.raises(SchemaError):
+            load_schema(9)
+
+    def test_relative_sizes_follow_table5(self):
+        """Apertum is the largest by paths, CIDX the smallest; shared fragments inflate paths."""
+        stats = {name: load_schema(name).statistics() for name in schema_names()}
+        assert stats["CIDX"].path_count < stats["Excel"].path_count
+        assert stats["Apertum"].path_count == max(s.path_count for s in stats.values())
+        # CIDX has no shared fragments: paths == nodes
+        assert stats["CIDX"].path_count == stats["CIDX"].node_count
+        # Excel, Noris and Apertum use shared fragments: paths > nodes
+        for name in ("Excel", "Noris", "Apertum"):
+            assert stats[name].path_count > stats[name].node_count
+        # Paragon is the deepest schema
+        assert stats["Paragon"].max_depth == max(s.max_depth for s in stats.values())
+
+    def test_concepts_reference_existing_paths(self):
+        for name, (schema, concepts) in load_all_with_concepts().items():
+            path_strings = {p.dotted() for p in schema.paths()}
+            assert set(concepts) == path_strings, f"concept keys mismatch for {name}"
+
+    def test_concepts_are_mostly_unique_per_schema(self):
+        for name, (_, concepts) in load_all_with_concepts().items():
+            non_null = [c for c in concepts.values() if c is not None]
+            # duplicates would create m:n gold matches; allow none
+            assert len(non_null) == len(set(non_null)), f"duplicate concepts in {name}"
+
+    def test_every_schema_has_unmatched_elements(self):
+        for _, (_, concepts) in load_all_with_concepts().items():
+            assert any(c is None for c in concepts.values())
+
+
+class TestGoldStandard:
+    def test_ten_tasks(self):
+        tasks = load_all_tasks()
+        assert len(tasks) == 10
+        assert len(TASK_PAIRS) == 10
+        assert [t.name for t in tasks][0] == "1<->2"
+
+    def test_task_properties(self, small_task):
+        assert small_task.schema_pair == ("CIDX", "Excel")
+        assert small_task.match_count > 20
+        assert 0.3 <= small_task.schema_similarity <= 0.9
+        assert small_task.total_paths == len(small_task.source.paths()) + len(
+            small_task.target.paths()
+        )
+        assert small_task.matched_path_count <= small_task.total_paths
+
+    def test_gold_similarities_are_one(self, small_task):
+        assert all(c.similarity == 1.0 for c in small_task.reference)
+
+    def test_schema_similarity_moderate_across_tasks(self, all_tasks):
+        """The paper reports schema similarities mostly around 0.5 (Figure 8)."""
+        similarities = [t.schema_similarity for t in all_tasks]
+        assert all(0.3 <= s <= 0.85 for s in similarities)
+        assert 0.45 <= sum(similarities) / len(similarities) <= 0.75
+
+    def test_task_by_name(self):
+        task = task_by_name("2<->5")
+        assert task.schema_pair == ("Excel", "Apertum")
+        with pytest.raises(ValueError):
+            task_by_name("weird")
+
+    def test_task_loading_is_symmetric_in_size(self):
+        forward = load_task(1, 2)
+        backward = load_task(2, 1)
+        assert forward.match_count == backward.match_count
+
+    def test_manual_mappings_for_reuse(self):
+        mappings = manual_mappings_for_reuse()
+        assert len(mappings) == 10
+        assert all(len(m) > 0 for m in mappings)
+
+
+class TestGenerators:
+    def test_generated_schema_shape(self):
+        schema, concepts = generate_schema("G", sections=3, fields_per_section=4)
+        statistics = schema.statistics()
+        assert statistics.inner_node_count == 3
+        assert statistics.leaf_node_count == 12
+        assert set(concepts) == {p.dotted() for p in schema.paths()}
+
+    def test_generation_is_deterministic(self):
+        first = generate_schema("G", sections=3, fields_per_section=4, seed=11)
+        second = generate_schema("G", sections=3, fields_per_section=4, seed=11)
+        assert {p.dotted() for p in first[0].paths()} == {p.dotted() for p in second[0].paths()}
+        assert first[1] == second[1]
+
+    def test_pair_has_gold_standard(self):
+        pair = generate_pair(sections=3, fields_per_section=4, overlap=1.0)
+        assert len(pair.reference) > 0
+        assert pair.source.name != pair.target.name
+
+    def test_overlap_controls_gold_size(self):
+        dense = generate_pair(sections=4, fields_per_section=5, overlap=1.0)
+        sparse = generate_pair(sections=4, fields_per_section=5, overlap=0.2)
+        assert len(dense.reference) > len(sparse.reference)
+
+    def test_size_sweep(self):
+        pairs = generate_size_sweep(sizes=(2, 4))
+        assert len(pairs) == 2
+        assert len(pairs[1].source.paths()) > len(pairs[0].source.paths())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_schema("G", sections=0)
+        with pytest.raises(ValueError):
+            generate_schema("G", overlap=2.0)

@@ -1,0 +1,183 @@
+"""Tests for the evaluation metrics, grid and analysis helpers."""
+
+import pytest
+
+from repro.combination.aggregation import AVERAGE, MAX
+from repro.combination.direction import BOTH
+from repro.combination.selection import MaxN
+from repro.evaluation.analysis import (
+    best_series_per_matcher,
+    bucket_of,
+    overall_distribution,
+    range_label,
+    strategy_shares,
+)
+from repro.evaluation.campaign import SeriesResult
+from repro.evaluation.grid import (
+    SeriesSpec,
+    all_matcher_usages,
+    enumerate_series,
+    full_selection_strategies,
+    no_reuse_matcher_usages,
+    reduced_selection_strategies,
+    reuse_matcher_usages,
+)
+from repro.evaluation.metrics import MatchQuality, average_quality, evaluate_mapping
+from repro.evaluation.report import format_bar_chart, format_grouped_bars, format_key_values, format_table
+from repro.exceptions import EvaluationError
+from repro.model.mapping import MatchResult
+
+
+class TestMetrics:
+    def test_perfect_match(self):
+        quality = MatchQuality(true_positives=5, false_positives=0, false_negatives=0)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.overall == 1.0
+        assert quality.f_measure == 1.0
+
+    def test_overall_can_be_negative(self):
+        quality = MatchQuality(true_positives=2, false_positives=6, false_negatives=3)
+        assert quality.precision == pytest.approx(0.25)
+        assert quality.overall < 0
+
+    def test_overall_formula(self):
+        quality = MatchQuality(true_positives=8, false_positives=2, false_negatives=2)
+        # Overall = 1 - (F + M)/R = 1 - 4/10
+        assert quality.overall == pytest.approx(0.6)
+        # Overall = Recall * (2 - 1/Precision)
+        assert quality.overall == pytest.approx(quality.recall * (2 - 1 / quality.precision))
+
+    def test_degenerate_cases(self):
+        nothing = MatchQuality(0, 0, 0)
+        assert nothing.precision == 1.0 and nothing.recall == 1.0 and nothing.overall == 1.0
+        predicted_nothing = MatchQuality(0, 0, 5)
+        assert predicted_nothing.precision == 0.0
+        assert predicted_nothing.recall == 0.0
+        no_real = MatchQuality(0, 3, 0)
+        assert no_real.overall < 0
+
+    def test_evaluate_mapping_with_pairs(self, po1, po2):
+        reference = MatchResult.from_tuples(
+            po1, po2,
+            [("PO1.ShipTo.shipToCity", "PO2.PO2.DeliverTo.Address.City", 1.0),
+             ("PO1.ShipTo.shipToZip", "PO2.PO2.DeliverTo.Address.Zip", 1.0)],
+        )
+        predicted = MatchResult.from_tuples(
+            po1, po2,
+            [("PO1.ShipTo.shipToCity", "PO2.PO2.DeliverTo.Address.City", 0.8),
+             ("PO1.ShipTo.shipToCity", "PO2.PO2.BillTo.Address.City", 0.8)],
+        )
+        quality = evaluate_mapping(predicted, reference)
+        assert quality.true_positives == 1
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 1
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+        assert quality.overall == pytest.approx(0.0)
+
+    def test_average_quality(self):
+        qualities = [MatchQuality(5, 0, 0), MatchQuality(0, 0, 5)]
+        averaged = average_quality(qualities)
+        assert averaged.precision == pytest.approx(0.5)
+        assert averaged.experiment_count == 2
+        with pytest.raises(EvaluationError):
+            average_quality([])
+
+
+class TestGrid:
+    def test_matcher_usage_counts_match_table6(self):
+        assert len(no_reuse_matcher_usages()) == 16
+        assert len(reuse_matcher_usages()) == 14
+        assert len(all_matcher_usages()) == 30
+
+    def test_selection_dimension_sizes(self):
+        assert len(full_selection_strategies()) >= 30
+        assert 6 <= len(reduced_selection_strategies()) <= 10
+
+    def test_enumerate_series_skips_irrelevant_dimensions(self):
+        series = list(
+            enumerate_series([("NamePath",)], selections=[MaxN(1)])
+        )
+        # single matcher: aggregation collapses to one, combined similarity stays 2
+        assert len(series) == 1 * 3 * 1 * 2
+        reuse_single = list(enumerate_series([("SchemaM",)], selections=[MaxN(1)]))
+        # single reuse matcher: both aggregation and combined similarity collapse
+        assert len(reuse_single) == 1 * 3 * 1 * 1
+
+    def test_series_spec_labels(self):
+        spec = SeriesSpec(
+            matchers=("Name", "NamePath", "TypeName", "Children", "Leaves"),
+            aggregation=AVERAGE, direction=BOTH, selection=MaxN(1),
+        )
+        assert spec.matcher_label == "All"
+        spec_reuse = SeriesSpec(
+            matchers=("Name", "NamePath", "TypeName", "Children", "Leaves", "SchemaM"),
+            aggregation=AVERAGE, direction=BOTH, selection=MaxN(1),
+        )
+        assert spec_reuse.matcher_label == "All+SchemaM"
+        assert spec_reuse.uses_reuse
+        pair = SeriesSpec(matchers=("NamePath", "Leaves"), aggregation=MAX, direction=BOTH,
+                          selection=MaxN(1))
+        assert pair.matcher_label == "NamePath+Leaves"
+        assert not pair.uses_reuse
+        assert "Max" in pair.label()
+
+
+def _fake_result(matchers, overall, aggregation=AVERAGE):
+    spec = SeriesSpec(matchers=matchers, aggregation=aggregation, direction=BOTH,
+                      selection=MaxN(1))
+    tp = 10
+    # craft a quality with the requested overall: overall = 1 - (F+M)/R
+    false_total = round((1 - overall) * tp)
+    quality = MatchQuality(true_positives=tp, false_positives=false_total, false_negatives=0)
+    return SeriesResult(spec=spec, per_task=[("t", quality)], average=average_quality([quality]))
+
+
+class TestAnalysis:
+    def test_bucket_and_labels(self):
+        assert range_label((float("-inf"), 0.0)) == "Min-0.0"
+        assert bucket_of(-5.0) == 0
+        assert bucket_of(0.05) == 1
+        assert bucket_of(0.75) == 8
+
+    def test_overall_distribution(self):
+        results = [_fake_result(("Name",), 0.7), _fake_result(("NamePath",), -1.0)]
+        distribution = dict(overall_distribution(results))
+        assert distribution["Min-0.0"] == 1
+        assert sum(distribution.values()) == 2
+
+    def test_strategy_shares_sum_to_one_per_bucket(self):
+        results = [
+            _fake_result(("Name",), 0.7, aggregation=AVERAGE),
+            _fake_result(("Name",), 0.7, aggregation=MAX),
+        ]
+        shares = strategy_shares(results, lambda spec: str(spec.aggregation))
+        bucket_total = sum(series[8][1] for series in shares.values())
+        assert bucket_total == pytest.approx(1.0)
+
+    def test_best_series_per_matcher(self):
+        results = [_fake_result(("Name",), 0.3), _fake_result(("Name",), 0.8)]
+        best = best_series_per_matcher(results)
+        assert best["Name"].average.overall == pytest.approx(0.8, abs=0.05)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}], title="T")
+        assert "T" in text and "a" in text and "0.50" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_bar_chart(self):
+        text = format_bar_chart([("x", 1.0), ("y", -0.5)], title="bars")
+        assert "bars" in text and "#" in text and "-#" in text
+
+    def test_format_grouped_bars(self):
+        text = format_grouped_bars({"Max": [("0.0-0.1", 0.5)], "Min": [("0.0-0.1", 0.5)]})
+        assert "Max" in text and "0.0-0.1" in text
+
+    def test_format_key_values(self):
+        text = format_key_values([("precision", 0.5), ("label", "x")], title="kv")
+        assert "precision" in text and "0.500" in text

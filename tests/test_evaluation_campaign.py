@@ -1,0 +1,116 @@
+"""Integration tests for the evaluation campaign (on a two-task subset for speed)."""
+
+import pytest
+
+from repro.combination.aggregation import AVERAGE
+from repro.combination.direction import BOTH
+from repro.combination.selection import CombinedSelection, MaxDelta, MaxN, Threshold
+from repro.datasets.gold_standard import load_task
+from repro.evaluation.campaign import EvaluationCampaign
+from repro.evaluation.grid import SeriesSpec
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """A campaign over a triangle of small tasks (1-2, 1-3, 2-3), prepared once.
+
+    The triangle matters: the Schema reuse matcher needs, for each task, a pair
+    of stored mappings sharing an intermediary schema.
+    """
+    tasks = [load_task(1, 2), load_task(1, 3), load_task(2, 3)]
+    return EvaluationCampaign(tasks=tasks).prepare()
+
+
+def _default_selection():
+    return CombinedSelection([Threshold(0.5), MaxDelta(0.02)])
+
+
+class TestCampaign:
+    def test_prepare_is_idempotent(self, campaign):
+        assert campaign.prepare() is campaign
+
+    def test_workbench_layers_exist(self, campaign):
+        workbench = campaign.workbench("1<->2")
+        for matcher in ("Name", "NamePath", "TypeName", "Children", "Leaves"):
+            assert workbench.layer(matcher, "Average").shape[0] > 0
+            assert workbench.layer(matcher, "Dice").shape[0] > 0
+        # reuse layers are variant-independent
+        assert workbench.layer("SchemaM", "Dice").shape == workbench.layer("SchemaM", "Average").shape
+
+    def test_unknown_layer_raises(self, campaign):
+        workbench = campaign.workbench("1<->2")
+        with pytest.raises(EvaluationError):
+            workbench.layer("Bogus", "Average")
+
+    def test_unknown_task_raises(self, campaign):
+        with pytest.raises(EvaluationError):
+            campaign.workbench("9<->9")
+
+    def test_automatic_mapping_available(self, campaign):
+        mapping = campaign.automatic_mapping("1<->2")
+        assert len(mapping) > 0
+
+    def test_series_evaluation_bounds(self, campaign):
+        spec = SeriesSpec(
+            matchers=("Name", "NamePath", "TypeName", "Children", "Leaves"),
+            aggregation=AVERAGE, direction=BOTH, selection=_default_selection(),
+        )
+        result = campaign.evaluate_series(spec)
+        assert 0.0 <= result.average.precision <= 1.0
+        assert 0.0 <= result.average.recall <= 1.0
+        assert result.average.overall <= 1.0
+        assert len(result.per_task) == 3
+
+    def test_combination_beats_or_matches_weak_single(self, campaign):
+        """The paper's core claim: matcher combinations improve over weak single matchers."""
+        selection = _default_selection()
+        all_spec = SeriesSpec(
+            matchers=("Name", "NamePath", "TypeName", "Children", "Leaves"),
+            aggregation=AVERAGE, direction=BOTH, selection=selection,
+        )
+        name_spec = SeriesSpec(matchers=("Name",), aggregation=AVERAGE, direction=BOTH,
+                               selection=selection)
+        all_result = campaign.evaluate_series(all_spec)
+        name_result = campaign.evaluate_series(name_spec)
+        assert all_result.average.overall > name_result.average.overall
+
+    def test_schema_m_reuse_outperforms_no_reuse_single(self, campaign):
+        """Reuse of manually confirmed mappings beats any single no-reuse matcher."""
+        selection = _default_selection()
+        schema_m = campaign.evaluate_series(
+            SeriesSpec(matchers=("SchemaM",), aggregation=AVERAGE, direction=BOTH,
+                       selection=selection)
+        )
+        name_path = campaign.evaluate_series(
+            SeriesSpec(matchers=("NamePath",), aggregation=AVERAGE, direction=BOTH,
+                       selection=selection)
+        )
+        assert schema_m.average.overall > name_path.average.overall
+        assert schema_m.average.precision >= name_path.average.precision
+
+    def test_predicted_mapping_matches_series_quality(self, campaign):
+        spec = SeriesSpec(matchers=("NamePath",), aggregation=AVERAGE, direction=BOTH,
+                          selection=MaxN(1))
+        task = campaign.tasks[0]
+        predicted = campaign.predicted_mapping(spec, task)
+        quality = campaign.evaluate_series_on_task(spec, task)
+        assert quality.predicted == len(predicted)
+
+    def test_evaluate_many(self, campaign):
+        specs = [
+            SeriesSpec(matchers=("NamePath",), aggregation=AVERAGE, direction=BOTH,
+                       selection=MaxN(1)),
+            SeriesSpec(matchers=("Leaves",), aggregation=AVERAGE, direction=BOTH,
+                       selection=MaxN(1)),
+        ]
+        results = campaign.evaluate_many(specs)
+        assert len(results) == 2
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(EvaluationError):
+            EvaluationCampaign(tasks=[])
+
+    def test_unknown_hybrid_matcher_rejected(self):
+        with pytest.raises(EvaluationError):
+            EvaluationCampaign(tasks=[load_task(1, 2)], hybrid_matchers=("Name", "Bogus")).prepare()

@@ -1,0 +1,173 @@
+"""Tests for the relational, XSD and dict importers and the importer registry."""
+
+import json
+
+import pytest
+
+from repro.datasets.figure1 import PO1_DDL, PO2_XSD
+from repro.exceptions import ImportError_
+from repro.importers.dictspec import DictImporter
+from repro.importers.registry import default_registry
+from repro.importers.relational import RelationalImporter
+from repro.importers.xsd import XsdImporter
+from repro.model.datatypes import GenericType
+
+
+class TestRelationalImporter:
+    def test_figure1_po1(self):
+        schema = RelationalImporter().import_text(PO1_DDL, "PO1")
+        dotted = {p.dotted() for p in schema.paths()}
+        assert "PO1.ShipTo.shipToCity" in dotted
+        assert "PO1.Customer.custName" in dotted
+        assert schema.find_path("PO1.ShipTo.shipToCity").generic_type is GenericType.STRING
+        assert schema.find_path("PO1.ShipTo.poNo").generic_type is GenericType.INTEGER
+
+    def test_foreign_key_becomes_reference_link(self):
+        schema = RelationalImporter().import_text(PO1_DDL, "PO1")
+        references = schema.references()
+        assert len(references) == 1
+        assert references[0].source.name == "custNo"
+        assert references[0].target.name == "Customer"
+
+    def test_table_constraints_are_skipped(self):
+        ddl = """
+        CREATE TABLE t (
+            id INT,
+            name VARCHAR(10) NOT NULL,
+            PRIMARY KEY (id),
+            FOREIGN KEY (name) REFERENCES other(name)
+        );
+        """
+        schema = RelationalImporter().import_text(ddl, "S")
+        assert {e.name for e in schema.children(schema.find_element("t"))} == {"id", "name"}
+
+    def test_comments_are_ignored(self):
+        ddl = "-- a comment\nCREATE TABLE t (id INT /* inline */, x INT);"
+        schema = RelationalImporter().import_text(ddl, "S")
+        assert len(schema.find_elements("x")) == 1
+
+    def test_no_tables_raises(self):
+        with pytest.raises(ImportError_):
+            RelationalImporter().import_text("SELECT 1;", "S")
+
+    def test_schema_qualified_table_name(self):
+        ddl = 'CREATE TABLE myschema.Orders (id INT);'
+        schema = RelationalImporter().import_text(ddl, "S")
+        assert len(schema.find_elements("Orders")) == 1
+
+
+class TestXsdImporter:
+    def test_figure1_po2_shared_fragment(self):
+        schema = XsdImporter().import_text(PO2_XSD, "PO2")
+        dotted = {p.dotted() for p in schema.paths()}
+        assert "PO2.PO2.DeliverTo.Address.City" in dotted
+        assert "PO2.PO2.BillTo.Address.City" in dotted
+        address_nodes = schema.find_elements("Address")
+        assert len(address_nodes) == 1
+        assert schema.is_shared(address_nodes[0])
+
+    def test_global_element_with_inline_type(self):
+        text = """<?xml version="1.0"?>
+        <xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+          <xsd:element name="Order">
+            <xsd:complexType>
+              <xsd:sequence>
+                <xsd:element name="Id" type="xsd:int"/>
+                <xsd:element name="Note" type="xsd:string"/>
+              </xsd:sequence>
+              <xsd:attribute name="version" type="xsd:string"/>
+            </xsd:complexType>
+          </xsd:element>
+        </xsd:schema>
+        """
+        schema = XsdImporter().import_text(text, "S")
+        dotted = {p.dotted() for p in schema.paths()}
+        assert "S.Order.Id" in dotted
+        assert "S.Order.version" in dotted
+        assert schema.find_path("S.Order.Id").generic_type is GenericType.INTEGER
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(ImportError_):
+            XsdImporter().import_text("<not-closed>", "S")
+
+    def test_non_schema_root_raises(self):
+        with pytest.raises(ImportError_):
+            XsdImporter().import_text("<foo/>", "S")
+
+    def test_empty_schema_raises(self):
+        text = '<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"/>'
+        with pytest.raises(ImportError_):
+            XsdImporter().import_text(text, "S")
+
+
+class TestDictImporter:
+    def test_simple_spec(self):
+        spec = {
+            "name": "PO",
+            "elements": [
+                {"name": "ShipTo", "children": [{"name": "City", "type": "xsd:string"}]},
+            ],
+        }
+        schema = DictImporter().import_spec(spec)
+        assert "PO.ShipTo.City" in {p.dotted() for p in schema.paths()}
+
+    def test_fragments(self):
+        spec = {
+            "name": "PO",
+            "fragments": [
+                {"name": "Address", "children": [{"name": "City", "type": "xsd:string"}]},
+            ],
+            "elements": [
+                {"name": "ShipTo", "children": [{"fragment": "Address"}]},
+                {"name": "BillTo", "children": [{"fragment": "Address"}]},
+            ],
+        }
+        schema = DictImporter().import_spec(spec)
+        dotted = {p.dotted() for p in schema.paths()}
+        assert "PO.ShipTo.Address.City" in dotted
+        assert "PO.BillTo.Address.City" in dotted
+
+    def test_json_round_trip(self):
+        spec = {"name": "PO", "elements": [{"name": "x", "type": "int"}]}
+        schema = DictImporter().import_text(json.dumps(spec), "ignored")
+        assert schema.name == "PO"
+
+    def test_errors(self):
+        importer = DictImporter()
+        with pytest.raises(ImportError_):
+            importer.import_text("not json", "S")
+        with pytest.raises(ImportError_):
+            importer.import_spec({"name": "S", "elements": []})
+        with pytest.raises(ImportError_):
+            importer.import_spec({"name": "S", "elements": [{"type": "int"}]})
+        with pytest.raises(ImportError_):
+            importer.import_spec(
+                {"name": "S", "elements": [{"name": "a", "children": [{"fragment": "missing"}]}]}
+            )
+
+
+class TestRegistry:
+    def test_formats(self):
+        registry = default_registry()
+        assert set(registry.formats()) == {"sql", "xsd", "dict"}
+
+    def test_import_file_by_suffix(self, tmp_path):
+        registry = default_registry()
+        ddl_file = tmp_path / "po1.sql"
+        ddl_file.write_text(PO1_DDL, encoding="utf-8")
+        schema = registry.import_file(ddl_file)
+        assert schema.name == "po1"
+        xsd_file = tmp_path / "po2.xsd"
+        xsd_file.write_text(PO2_XSD, encoding="utf-8")
+        schema = registry.import_file(xsd_file, name="PO2")
+        assert schema.name == "PO2"
+
+    def test_unknown_suffix(self, tmp_path):
+        registry = default_registry()
+        with pytest.raises(ImportError_):
+            registry.for_file(tmp_path / "schema.unknown")
+
+    def test_unknown_format(self):
+        registry = default_registry()
+        with pytest.raises(ImportError_):
+            registry.by_format("avro")

@@ -1,0 +1,87 @@
+"""Tests for name tokenization and abbreviation expansion."""
+
+import pytest
+
+from repro.linguistic.abbreviations import AbbreviationTable, default_abbreviations
+from repro.linguistic.tokenizer import NameTokenizer, split_name
+
+
+class TestSplitName:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("POShipTo", ["PO", "Ship", "To"]),
+            ("shipToStreet", ["ship", "To", "Street"]),
+            ("ship_to_street", ["ship", "to", "street"]),
+            ("ship-to.street", ["ship", "to", "street"]),
+            ("Address1", ["Address", "1"]),
+            ("HTTPServer", ["HTTP", "Server"]),
+            ("simple", ["simple"]),
+            ("", []),
+        ],
+    )
+    def test_split(self, name, expected):
+        assert split_name(name) == expected
+
+
+class TestAbbreviationTable:
+    def test_expand_known_and_unknown(self):
+        table = default_abbreviations()
+        assert table.expand("po") == ("purchase", "order")
+        assert table.expand("PO") == ("purchase", "order")
+        assert table.expand("city") == ("city",)
+
+    def test_add_and_remove(self):
+        table = AbbreviationTable()
+        table.add("qty", "quantity")
+        assert table.knows("QTY")
+        assert table.remove("qty")
+        assert not table.remove("qty")
+
+    def test_invalid_entries_rejected(self):
+        table = AbbreviationTable()
+        with pytest.raises(ValueError):
+            table.add("", "x")
+        with pytest.raises(ValueError):
+            table.add("x", [])
+
+    def test_merge_prefers_other(self):
+        first = AbbreviationTable({"no": "number"})
+        second = AbbreviationTable({"no": "negation"})
+        merged = first.merged_with(second)
+        assert merged.expand("no") == ("negation",)
+
+    def test_contains_and_len(self):
+        table = AbbreviationTable({"no": "number"})
+        assert "no" in table
+        assert "yes" not in table
+        assert len(table) == 1
+
+
+class TestNameTokenizer:
+    def test_tokenize_expands_abbreviations(self):
+        tokenizer = NameTokenizer()
+        assert tokenizer.tokenize("POShipTo") == ("purchase", "order", "ship", "to")
+
+    def test_tokenize_without_expansion(self):
+        tokenizer = NameTokenizer(expand_abbreviations=False)
+        assert tokenizer.tokenize("POShipTo") == ("po", "ship", "to")
+
+    def test_tokenize_path_concatenates(self):
+        tokenizer = NameTokenizer(expand_abbreviations=False)
+        assert tokenizer.tokenize_path(["ShipTo", "Street"]) == ("ship", "to", "street")
+
+    def test_drop_digits_option(self):
+        tokenizer = NameTokenizer(drop_digits=True)
+        assert "1" not in tokenizer.tokenize("Address1")
+        tokenizer_keep = NameTokenizer(drop_digits=False)
+        assert "1" in tokenizer_keep.tokenize("Address1")
+
+    def test_token_set(self):
+        tokenizer = NameTokenizer(expand_abbreviations=False)
+        assert tokenizer.token_set("ShipShip") == frozenset({"ship"})
+
+    def test_custom_abbreviations(self):
+        table = AbbreviationTable({"cst": "customer"})
+        tokenizer = NameTokenizer(abbreviations=table)
+        assert tokenizer.tokenize("cstName") == ("customer", "name")

@@ -1,0 +1,131 @@
+"""Tests for the hybrid matchers: Name, NamePath, TypeName, Children, Leaves."""
+
+import pytest
+
+from repro.combination.combined import DICE_COMBINED
+from repro.matchers.hybrid.name import NameMatcher, NamePathMatcher
+from repro.matchers.hybrid.structural import ChildrenMatcher, LeavesMatcher
+from repro.matchers.hybrid.type_name import TypeNameMatcher
+from repro.exceptions import MatcherError
+
+
+class TestNameMatcher:
+    def test_identical_names_score_one(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        matcher = NameMatcher()
+        matrix = matcher.compute(left.paths(), right.paths(), tiny_context)
+        city = left.find_path("Left.ShipTo.shipToCity")
+        target = right.find_path("Right.DeliverTo.Address.City")
+        # token sets {ship,to,city} vs {city}: one perfect token match out of 4 tokens
+        assert matrix.get(city, target) == pytest.approx(0.5)
+
+    def test_synonym_tokens_boost_similarity(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        matcher = NameMatcher()
+        matrix = matcher.compute(left.paths(), right.paths(), tiny_context)
+        ship = left.find_path("Left.ShipTo")
+        deliver = right.find_path("Right.DeliverTo")
+        # ship<->deliver via the synonym dictionary, to<->to literal
+        assert matrix.get(ship, deliver) == pytest.approx(1.0)
+
+    def test_dice_variant_is_at_least_average(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        average = NameMatcher().compute(left.paths(), right.paths(), tiny_context)
+        dice = NameMatcher().with_combined_similarity(DICE_COMBINED).compute(
+            left.paths(), right.paths(), tiny_context
+        )
+        assert (dice.values >= average.values - 1e-9).all()
+
+    def test_requires_constituents(self):
+        with pytest.raises(ValueError):
+            NameMatcher(constituents=[])
+
+    def test_values_within_bounds(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        matrix = NameMatcher().compute(left.paths(), right.paths(), tiny_context)
+        assert matrix.values.min() >= 0.0
+        assert matrix.values.max() <= 1.0
+
+
+class TestNamePathMatcher:
+    def test_path_context_distinguishes_shared_elements(self, po1, po2, figure1_context):
+        matcher = NamePathMatcher()
+        matrix = matcher.compute(po1.paths(), po2.paths(), figure1_context)
+        ship_city = po1.find_path("PO1.ShipTo.shipToCity")
+        deliver_city = po2.find_path("PO2.PO2.DeliverTo.Address.City")
+        bill_city = po2.find_path("PO2.PO2.BillTo.Address.City")
+        # The DeliverTo context shares the ship/deliver synonym; BillTo does not.
+        assert matrix.get(ship_city, deliver_city) > matrix.get(ship_city, bill_city)
+
+    def test_namepath_differs_from_name(self, po1, po2, figure1_context):
+        name = NameMatcher().compute(po1.paths(), po2.paths(), figure1_context)
+        name_path = NamePathMatcher().compute(po1.paths(), po2.paths(), figure1_context)
+        assert (name.values != name_path.values).any()
+
+
+class TestTypeNameMatcher:
+    def test_weighted_combination(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        type_name = TypeNameMatcher()
+        name_only = type_name.name_matcher
+        type_matrix = type_name.datatype_matcher.compute(left.paths(), right.paths(), tiny_context)
+        name_matrix = name_only.compute(left.paths(), right.paths(), tiny_context)
+        combined = type_name.compute(left.paths(), right.paths(), tiny_context)
+        city = left.find_path("Left.ShipTo.shipToCity")
+        target = right.find_path("Right.DeliverTo.Address.City")
+        expected = 0.7 * name_matrix.get(city, target) + 0.3 * type_matrix.get(city, target)
+        assert combined.get(city, target) == pytest.approx(expected)
+
+    def test_custom_weights_are_normalised(self):
+        matcher = TypeNameMatcher(name_weight=2.0, type_weight=2.0)
+        assert matcher.weights == (0.5, 0.5)
+
+    def test_invalid_weights(self):
+        with pytest.raises(MatcherError):
+            TypeNameMatcher(name_weight=0.0, type_weight=0.0)
+        with pytest.raises(MatcherError):
+            TypeNameMatcher(name_weight=-1.0)
+
+    def test_with_combined_similarity_returns_new_matcher(self):
+        matcher = TypeNameMatcher()
+        dice_variant = matcher.with_combined_similarity(DICE_COMBINED)
+        assert dice_variant is not matcher
+        assert dice_variant.weights == matcher.weights
+
+
+class TestStructuralMatchers:
+    def test_leaves_finds_structural_conflict_correspondence(self, po1, po2, figure1_context):
+        """The paper's Figure 1 example: Leaves relates ShipTo to DeliverTo, Children favours Address."""
+        ship_to = po1.find_path("PO1.ShipTo")
+        deliver_to = po2.find_path("PO2.PO2.DeliverTo")
+        address_under_deliver = po2.find_path("PO2.PO2.DeliverTo.Address")
+        leaves = LeavesMatcher().compute(po1.paths(), po2.paths(), figure1_context)
+        children = ChildrenMatcher().compute(po1.paths(), po2.paths(), figure1_context)
+        # Leaves sees the same leaf set below DeliverTo and below Address, so
+        # ShipTo <-> DeliverTo is as similar as ShipTo <-> Address.
+        assert leaves.get(ship_to, deliver_to) == pytest.approx(
+            leaves.get(ship_to, address_under_deliver)
+        )
+        # Children can only relate ShipTo to Address (whose children are the leaves).
+        assert children.get(ship_to, address_under_deliver) > children.get(ship_to, deliver_to)
+
+    def test_leaf_pairs_use_leaf_matcher(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        leaves = LeavesMatcher()
+        matrix = leaves.compute(left.paths(), right.paths(), tiny_context)
+        type_name = leaves.leaf_matcher.compute(left.paths(), right.paths(), tiny_context)
+        city = left.find_path("Left.ShipTo.shipToCity")
+        target = right.find_path("Right.DeliverTo.Address.City")
+        assert matrix.get(city, target) == pytest.approx(type_name.get(city, target))
+
+    def test_children_recursion_bounds(self, po1, po2, figure1_context):
+        matrix = ChildrenMatcher().compute(po1.paths(), po2.paths(), figure1_context)
+        assert matrix.values.min() >= 0.0
+        assert matrix.values.max() <= 1.0
+
+    def test_with_combined_similarity(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        dice = LeavesMatcher().with_combined_similarity(DICE_COMBINED)
+        matrix = dice.compute(left.paths(), right.paths(), tiny_context)
+        assert matrix.values.max() <= 1.0
+        assert isinstance(dice, LeavesMatcher)

@@ -1,0 +1,77 @@
+"""Tests for the matcher library / registry (Table 3)."""
+
+import pytest
+
+from repro.exceptions import UnknownMatcherError
+from repro.matchers.base import Matcher
+from repro.matchers.registry import (
+    DEFAULT_LIBRARY,
+    EVALUATION_HYBRID_MATCHERS,
+    MatcherLibrary,
+    default_library,
+)
+
+
+class TestDefaultLibrary:
+    def test_table3_matchers_present(self):
+        library = default_library()
+        for name in (
+            "Affix", "Digram", "Trigram", "EditDistance", "Soundex", "Synonym",
+            "DataType", "UserFeedback", "Name", "NamePath", "TypeName", "Children",
+            "Leaves", "Schema", "SchemaM", "SchemaA", "Fragment",
+        ):
+            assert name in library
+
+    def test_kinds(self):
+        library = default_library()
+        assert set(library.names(kind="hybrid")) == set(EVALUATION_HYBRID_MATCHERS)
+        assert "Schema" in library.names(kind="reuse")
+        assert "Trigram" in library.names(kind="simple")
+
+    def test_create_is_case_insensitive_and_returns_fresh_instances(self):
+        library = default_library()
+        first = library.create("namepath")
+        second = library.create("NamePath")
+        assert isinstance(first, Matcher)
+        assert first is not second
+
+    def test_create_many_preserves_order(self):
+        library = default_library()
+        matchers = library.create_many(["Leaves", "Name"])
+        assert [m.name for m in matchers] == ["Leaves", "Name"]
+
+    def test_unknown_matcher(self):
+        library = default_library()
+        with pytest.raises(UnknownMatcherError):
+            library.create("Cupid")
+        with pytest.raises(UnknownMatcherError):
+            library.info("Cupid")
+
+    def test_entries_describe_table3_columns(self):
+        library = default_library()
+        info = library.info("Synonym")
+        assert info.kind == "simple"
+        assert "dictionar" in info.auxiliary_info.lower()
+        entries = library.entries()
+        assert len(entries) == len(library)
+
+
+class TestCustomRegistration:
+    def test_register_and_replace(self):
+        library = MatcherLibrary()
+
+        class Dummy(Matcher):
+            name = "Dummy"
+
+            def compute(self, source_paths, target_paths, context):  # pragma: no cover
+                raise NotImplementedError
+
+        library.register("Dummy", Dummy)
+        assert "Dummy" in library
+        with pytest.raises(ValueError):
+            library.register("Dummy", Dummy)
+        library.register("Dummy", Dummy, replace=True)
+        assert len(library) == 1
+
+    def test_default_library_singleton_is_prepopulated(self):
+        assert len(DEFAULT_LIBRARY) >= 17

@@ -1,0 +1,172 @@
+"""Tests for MatchCompose, the Schema reuse matcher and the Fragment matcher."""
+
+import pytest
+
+from repro.core.match_operation import build_context
+from repro.exceptions import MatcherError
+from repro.matchers.reuse.compose import (
+    average_composition,
+    composition_by_name,
+    match_compose,
+    max_composition,
+    min_composition,
+    product_composition,
+)
+from repro.matchers.reuse.fragment import FragmentReuseMatcher
+from repro.matchers.reuse.provider import InMemoryMappingStore, StoredMapping
+from repro.matchers.reuse.schema_reuse import SchemaReuseMatcher, schema_a, schema_m
+from repro.model.builder import SchemaBuilder
+
+
+def _contact_schema(name: str, first: str, second: str, email: str):
+    builder = SchemaBuilder(name)
+    with builder.inner("Contact"):
+        builder.leaf(first, "xsd:string")
+        if second:
+            builder.leaf(second, "xsd:string")
+        builder.leaf(email, "xsd:string")
+    return builder.build()
+
+
+class TestMatchCompose:
+    def test_figure3_example(self):
+        """The composition of Figure 3: PO1<->PO2 with PO2<->PO3 yields PO1<->PO3."""
+        match1 = StoredMapping("PO1", "PO2", (
+            ("PO1.Contact.Name", "PO2.Contact.name", 1.0),
+            ("PO1.Contact.Email", "PO2.Contact.e-mail", 1.0),
+        ))
+        match2 = StoredMapping("PO2", "PO3", (
+            ("PO2.Contact.name", "PO3.Contact.firstName", 0.6),
+            ("PO2.Contact.name", "PO3.Contact.lastName", 0.6),
+            ("PO2.Contact.e-mail", "PO3.Contact.email", 1.0),
+        ))
+        composed = match_compose(match1, match2)
+        rows = {(s, t): v for s, t, v in composed.rows}
+        assert rows[("PO1.Contact.Name", "PO3.Contact.firstName")] == pytest.approx(0.8)
+        assert rows[("PO1.Contact.Name", "PO3.Contact.lastName")] == pytest.approx(0.8)
+        assert rows[("PO1.Contact.Email", "PO3.Contact.email")] == pytest.approx(1.0)
+        # company has no counterpart in PO2 -> missed, exactly as in the paper
+        assert not any("company" in s for s, _, _ in composed.rows)
+
+    def test_average_vs_product_composition(self):
+        """The paper's argument: 0.5 and 0.7 compose to 0.6 with Average, 0.35 with product."""
+        assert average_composition(0.5, 0.7) == pytest.approx(0.6)
+        assert product_composition(0.5, 0.7) == pytest.approx(0.35)
+        assert min_composition(0.5, 0.7) == 0.5
+        assert max_composition(0.5, 0.7) == 0.7
+
+    def test_composition_by_name(self):
+        assert composition_by_name("Average") is average_composition
+        with pytest.raises(MatcherError):
+            composition_by_name("geometric")
+
+    def test_mismatched_middle_schema_rejected(self):
+        first = StoredMapping("A", "B", (("A.x", "B.y", 1.0),))
+        second = StoredMapping("C", "D", (("C.y", "D.z", 1.0),))
+        with pytest.raises(MatcherError):
+            match_compose(first, second)
+
+    def test_self_composition_rejected(self):
+        first = StoredMapping("A", "B", (("A.x", "B.y", 1.0),))
+        second = StoredMapping("B", "A", (("B.y", "A.x", 1.0),))
+        with pytest.raises(MatcherError):
+            match_compose(first, second)
+
+    def test_duplicate_join_keeps_max(self):
+        first = StoredMapping("A", "B", (("A.x", "B.y", 0.6), ("A.x", "B.z", 1.0)))
+        second = StoredMapping("B", "C", (("B.y", "C.q", 1.0), ("B.z", "C.q", 0.4)))
+        composed = match_compose(first, second)
+        rows = {(s, t): v for s, t, v in composed.rows}
+        assert rows[("A.x", "C.q")] == pytest.approx(0.8)
+
+
+class TestStoredMapping:
+    def test_orientation(self):
+        mapping = StoredMapping("A", "B", (("A.x", "B.y", 0.9),))
+        assert mapping.oriented("A", "B") is mapping
+        inverted = mapping.oriented("B", "A")
+        assert inverted.rows == (("B.y", "A.x", 0.9),)
+        assert mapping.oriented("A", "C") is None
+        assert mapping.other_schema("A") == "B"
+        assert mapping.other_schema("C") is None
+
+
+class TestSchemaReuseMatcher:
+    def _setup(self):
+        s1 = _contact_schema("S1", "Name", "", "Email")
+        s2 = _contact_schema("S2", "name", "", "e-mail")
+        s3 = _contact_schema("S3", "firstName", "lastName", "email")
+        store = InMemoryMappingStore()
+        store.add(StoredMapping("S1", "S2", (
+            ("S1.Contact.Name", "S2.Contact.name", 1.0),
+            ("S1.Contact.Email", "S2.Contact.e-mail", 1.0),
+        ), origin="manual"))
+        store.add(StoredMapping("S2", "S3", (
+            ("S2.Contact.name", "S3.Contact.firstName", 0.8),
+            ("S2.Contact.e-mail", "S3.Contact.email", 1.0),
+        ), origin="manual"))
+        return s1, s3, store
+
+    def test_reuse_via_intermediary(self):
+        s1, s3, store = self._setup()
+        context = build_context(s1, s3)
+        matcher = SchemaReuseMatcher(provider=store, origin="manual")
+        matrix = matcher.compute(s1.paths(), s3.paths(), context)
+        name = s1.find_path("S1.Contact.Name")
+        first = s3.find_path("S3.Contact.firstName")
+        email_pair = matrix.get(s1.find_path("S1.Contact.Email"), s3.find_path("S3.Contact.email"))
+        assert matrix.get(name, first) == pytest.approx(0.9)
+        assert email_pair == pytest.approx(1.0)
+
+    def test_direct_mapping_is_not_reused(self):
+        s1, s3, store = self._setup()
+        # a stored direct mapping between S1 and S3 must be ignored
+        store.add(StoredMapping("S1", "S3", (("S1.Contact.Name", "S3.Contact.lastName", 1.0),),
+                                origin="manual"))
+        context = build_context(s1, s3)
+        matrix = SchemaReuseMatcher(provider=store, origin="manual").compute(
+            s1.paths(), s3.paths(), context
+        )
+        last = s3.find_path("S3.Contact.lastName")
+        assert matrix.get(s1.find_path("S1.Contact.Name"), last) == 0.0
+
+    def test_origin_filter(self):
+        s1, s3, store = self._setup()
+        context = build_context(s1, s3)
+        automatic_only = SchemaReuseMatcher(provider=store, origin="automatic")
+        matrix = automatic_only.compute(s1.paths(), s3.paths(), context)
+        assert matrix.values.max() == 0.0
+
+    def test_requires_provider(self):
+        s1, s3, _ = self._setup()
+        context = build_context(s1, s3)
+        with pytest.raises(MatcherError):
+            SchemaReuseMatcher().compute(s1.paths(), s3.paths(), context)
+
+    def test_variant_factories(self):
+        assert schema_m().name == "SchemaM"
+        assert schema_m().origin == "manual"
+        assert schema_a().name == "SchemaA"
+        assert schema_a().origin == "automatic"
+
+
+class TestFragmentReuseMatcher:
+    def test_fragment_transfer(self):
+        s1 = _contact_schema("S1", "Name", "", "Email")
+        s3 = _contact_schema("S3", "Name", "", "Email")
+        other_a = _contact_schema("OtherA", "Name", "", "Email")
+        other_b = _contact_schema("OtherB", "Name", "", "Email")
+        store = InMemoryMappingStore()
+        store.add(StoredMapping("OtherA", "OtherB", (
+            ("OtherA.Contact.Name", "OtherB.Contact.Name", 1.0),
+        )))
+        context = build_context(s1, s3)
+        matcher = FragmentReuseMatcher(provider=store)
+        matrix = matcher.compute(s1.paths(), s3.paths(), context)
+        assert matrix.get(s1.find_path("S1.Contact.Name"), s3.find_path("S3.Contact.Name")) > 0.0
+        # no stored fragment mentions Email, so that pair stays 0
+        assert matrix.get(s1.find_path("S1.Contact.Email"), s3.find_path("S3.Contact.Email")) == 0.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(MatcherError):
+            FragmentReuseMatcher(max_fragment_length=1, min_fragment_length=2)

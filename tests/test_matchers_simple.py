@@ -1,0 +1,122 @@
+"""Tests for the simple schema-level matchers (DataType, Synonym, UserFeedback, lifted strings)."""
+
+import pytest
+
+from repro.auxiliary.synonyms import SynonymDictionary
+from repro.core.match_operation import build_context
+from repro.matchers.simple import (
+    DataTypeMatcher,
+    SynonymMatcher,
+    UserFeedbackMatcher,
+    UserFeedbackStore,
+    trigram_matcher,
+)
+
+
+class TestLiftedStringMatchers:
+    def test_trigram_over_names(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        matcher = trigram_matcher()
+        matrix = matcher.compute(left.paths(), right.paths(), tiny_context)
+        city = left.find_path("Left.ShipTo.shipToCity")
+        target_city = right.find_path("Right.DeliverTo.Address.City")
+        street = right.find_path("Right.DeliverTo.Address.Street")
+        assert matrix.get(city, target_city) > matrix.get(city, street)
+
+    def test_matcher_name(self):
+        assert trigram_matcher().name == "Trigram"
+
+
+class TestDataTypeMatcher:
+    def test_type_compatibility(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        matcher = DataTypeMatcher()
+        matrix = matcher.compute(left.paths(), right.paths(), tiny_context)
+        city = left.find_path("Left.ShipTo.shipToCity")        # varchar -> string
+        zip_left = left.find_path("Left.ShipTo.shipToZip")      # varchar -> string
+        zip_right = right.find_path("Right.DeliverTo.Address.Zip")  # xsd:decimal
+        city_right = right.find_path("Right.DeliverTo.Address.City")  # xsd:string
+        assert matrix.get(city, city_right) == 1.0
+        assert matrix.get(zip_left, zip_right) < 1.0
+
+
+class TestSynonymMatcher:
+    def test_uses_context_dictionary(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        matcher = SynonymMatcher()
+        matrix = matcher.compute(left.paths(), right.paths(), tiny_context)
+        ship = left.find_path("Left.ShipTo")
+        deliver = right.find_path("Right.DeliverTo")
+        # ShipTo vs DeliverTo are not literally in the dictionary (multi-token
+        # names) so the simple matcher scores 0, but identical names score 1.
+        assert matrix.get(ship, deliver) == 0.0
+        city = left.find_path("Left.ShipTo.shipToCity")
+        assert matrix.get(city, right.find_path("Right.DeliverTo.Address.City")) == 0.0
+
+    def test_explicit_dictionary_overrides_context(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        dictionary = SynonymDictionary()
+        dictionary.add("ShipTo", "DeliverTo")
+        matcher = SynonymMatcher(dictionary)
+        matrix = matcher.compute(left.paths(), right.paths(), tiny_context)
+        assert matrix.get(left.find_path("Left.ShipTo"), right.find_path("Right.DeliverTo")) == 1.0
+
+
+class TestUserFeedback:
+    def test_store_decisions(self):
+        store = UserFeedbackStore()
+        store.accept("A.x", "B.y")
+        store.reject("A.x", "B.z")
+        assert store.is_accepted("A.x", "B.y")
+        assert store.is_rejected("A.x", "B.z")
+        assert store.decision("A.x", "B.w") is None
+        assert len(store) == 2
+        assert bool(store)
+
+    def test_accept_overrides_reject(self):
+        store = UserFeedbackStore()
+        store.reject("A.x", "B.y")
+        store.accept("A.x", "B.y")
+        assert store.is_accepted("A.x", "B.y")
+        assert not store.is_rejected("A.x", "B.y")
+
+    def test_clear(self):
+        store = UserFeedbackStore()
+        store.accept("A.x", "B.y")
+        store.clear()
+        assert not store
+
+    def test_matcher_layer_values(self, tiny_pair):
+        left, right = tiny_pair
+        store = UserFeedbackStore()
+        city = left.find_path("Left.ShipTo.shipToCity")
+        target = right.find_path("Right.DeliverTo.Address.City")
+        wrong = right.find_path("Right.DeliverTo.Address.Zip")
+        store.accept(city, target)
+        store.reject(city, wrong)
+        context = build_context(left, right, feedback=store)
+        matrix = UserFeedbackMatcher().compute(left.paths(), right.paths(), context)
+        assert matrix.get(city, target) == 1.0
+        assert matrix.get(city, wrong) == 0.0
+        neutral = matrix.get(left.find_path("Left.Customer.custName"), target)
+        assert neutral == UserFeedbackMatcher.neutral_similarity
+
+    def test_apply_overrides(self, tiny_pair):
+        left, right = tiny_pair
+        store = UserFeedbackStore()
+        city = left.find_path("Left.ShipTo.shipToCity")
+        target = right.find_path("Right.DeliverTo.Address.City")
+        store.reject(city, target)
+        context = build_context(left, right, feedback=store)
+        from repro.combination.matrix import SimilarityMatrix
+
+        matrix = SimilarityMatrix.filled(left.paths(), right.paths(), 0.9)
+        adjusted = UserFeedbackMatcher().apply_overrides(matrix, context)
+        assert adjusted.get(city, target) == 0.0
+        # other cells untouched
+        assert adjusted.get(left.find_path("Left.Customer.custName"), target) == 0.9
+
+    def test_without_feedback_is_neutral(self, tiny_pair, tiny_context):
+        left, right = tiny_pair
+        matrix = UserFeedbackMatcher().compute(left.paths(), right.paths(), tiny_context)
+        assert matrix.values.min() == matrix.values.max() == UserFeedbackMatcher.neutral_similarity

@@ -1,0 +1,129 @@
+"""Tests for the simple approximate string matchers."""
+
+import pytest
+
+from repro.auxiliary.synonyms import SynonymDictionary
+from repro.exceptions import MatcherError
+from repro.matchers.string.affix import AffixMatcher, common_prefix_length, common_suffix_length
+from repro.matchers.string.edit_distance import EditDistanceMatcher, levenshtein_distance
+from repro.matchers.string.ngram import DigramMatcher, NGramMatcher, TrigramMatcher, ngrams
+from repro.matchers.string.soundex import SoundexMatcher, soundex_code
+from repro.matchers.string.synonym import SynonymStringMatcher
+
+
+class TestAffix:
+    def test_prefix_and_suffix_helpers(self):
+        assert common_prefix_length("custName", "custCity") == 4
+        assert common_suffix_length("shipToCity", "custCity") == 4
+        assert common_prefix_length("abc", "xyz") == 0
+
+    def test_identical_strings(self):
+        assert AffixMatcher().similarity("City", "city") == 1.0
+
+    def test_shared_prefix(self):
+        matcher = AffixMatcher()
+        assert matcher.similarity("custName", "custCity") == pytest.approx(0.5)
+
+    def test_min_affix_length(self):
+        assert AffixMatcher(min_affix_length=3).similarity("ab", "ac") == 0.0
+        assert AffixMatcher(min_affix_length=1).similarity("ab", "ac") > 0.0
+
+    def test_empty_strings(self):
+        assert AffixMatcher().similarity("", "abc") == 0.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            AffixMatcher(min_affix_length=0)
+
+    def test_case_sensitivity(self):
+        assert AffixMatcher(case_sensitive=True).similarity("ABC", "abc") == 0.0
+
+
+class TestNGram:
+    def test_ngrams_helper(self):
+        assert ngrams("city", 3) == frozenset({"cit", "ity"})
+        assert ngrams("ab", 3) == frozenset({"ab"})
+        assert ngrams("", 3) == frozenset()
+
+    def test_identical(self):
+        assert TrigramMatcher().similarity("Street", "street") == 1.0
+
+    def test_disjoint(self):
+        assert TrigramMatcher().similarity("abc", "xyz") == 0.0
+
+    def test_partial_overlap_symmetric(self):
+        matcher = TrigramMatcher()
+        assert matcher.similarity("shipTo", "shipFrom") == pytest.approx(
+            matcher.similarity("shipFrom", "shipTo")
+        )
+        assert 0.0 < matcher.similarity("shipTo", "shipFrom") < 1.0
+
+    def test_digram_vs_trigram_names(self):
+        assert DigramMatcher().name == "Digram"
+        assert TrigramMatcher().name == "Trigram"
+        assert NGramMatcher(4).name == "4-gram"
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            NGramMatcher(0)
+
+    def test_bounds(self):
+        matcher = TrigramMatcher()
+        for a, b in [("city", "citty"), ("a", "ab"), ("address", "addr")]:
+            assert 0.0 <= matcher.similarity(a, b) <= 1.0
+
+
+class TestEditDistance:
+    def test_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_similarity(self):
+        matcher = EditDistanceMatcher()
+        assert matcher.similarity("City", "city") == 1.0
+        assert matcher.similarity("kitten", "sitting") == pytest.approx(1 - 3 / 7)
+        assert matcher.similarity("", "") == 0.0
+
+    def test_symmetry(self):
+        matcher = EditDistanceMatcher()
+        assert matcher.similarity("street", "straat") == matcher.similarity("straat", "street")
+
+
+class TestSoundex:
+    def test_codes(self):
+        assert soundex_code("Robert") == "R163"
+        assert soundex_code("Rupert") == "R163"
+        assert soundex_code("Ashcraft") == "A261"
+        assert soundex_code("Tymczak") == "T522"
+        assert soundex_code("123") == ""
+
+    def test_similarity(self):
+        matcher = SoundexMatcher()
+        assert matcher.similarity("Robert", "Rupert") == 1.0
+        assert matcher.similarity("Smith", "Smyth") == 1.0
+        assert matcher.similarity("city", "zebra") == 0.0
+        assert matcher.similarity("", "x") == 0.0
+
+    def test_partial_agreement(self):
+        matcher = SoundexMatcher()
+        value = matcher.similarity("Robert", "Rodeo")
+        assert 0.0 < value < 1.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SoundexMatcher(code_length=1)
+
+
+class TestSynonymStringMatcher:
+    def test_requires_dictionary(self):
+        with pytest.raises(MatcherError):
+            SynonymStringMatcher().similarity("ship", "deliver")
+
+    def test_bound_lookup(self):
+        dictionary = SynonymDictionary()
+        dictionary.add("ship", "deliver")
+        matcher = SynonymStringMatcher().bound_to(dictionary)
+        assert matcher.similarity("Ship", "Deliver") == 1.0
+        assert matcher.similarity("ship", "zebra") == 0.0
+        assert matcher.similarity("", "x") == 0.0

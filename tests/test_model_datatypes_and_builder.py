@@ -1,0 +1,145 @@
+"""Tests for the generic type system, the compatibility table and the schema builder."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.model.builder import SchemaBuilder
+from repro.model.datatypes import (
+    GenericType,
+    TypeCompatibilityTable,
+    map_source_type,
+    normalise_source_type,
+)
+from repro.model.element import ElementKind
+
+
+class TestTypeMapping:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("VARCHAR(200)", GenericType.STRING),
+            ("varchar", GenericType.STRING),
+            ("TEXT", GenericType.STRING),
+            ("INT", GenericType.INTEGER),
+            ("bigint", GenericType.INTEGER),
+            ("NUMERIC(10, 2)", GenericType.DECIMAL),
+            ("double precision", GenericType.FLOAT),
+            ("BOOLEAN", GenericType.BOOLEAN),
+            ("timestamp with tz", GenericType.DATETIME),
+            ("xsd:string", GenericType.STRING),
+            ("xs:decimal", GenericType.DECIMAL),
+            ("xsd:dateTime", GenericType.DATETIME),
+            ("xsd:ID", GenericType.IDENTIFIER),
+            ("uuid", GenericType.IDENTIFIER),
+            ("frobnicator", GenericType.UNKNOWN),
+            (None, GenericType.UNKNOWN),
+            ("", GenericType.UNKNOWN),
+        ],
+    )
+    def test_map_source_type(self, source, expected):
+        assert map_source_type(source) is expected
+
+    def test_normalise_strips_arguments(self):
+        assert normalise_source_type("  VARCHAR(200) ") == "varchar"
+        assert normalise_source_type("NUMERIC(10, 2)") == "numeric"
+
+
+class TestCompatibilityTable:
+    def test_identical_types_are_fully_compatible(self):
+        table = TypeCompatibilityTable()
+        assert table.compatibility(GenericType.STRING, GenericType.STRING) == 1.0
+        assert table.compatibility("int", "integer") == 1.0
+
+    def test_numeric_group_is_highly_compatible(self):
+        table = TypeCompatibilityTable()
+        assert table.compatibility(GenericType.INTEGER, GenericType.DECIMAL) == pytest.approx(0.8)
+
+    def test_symmetry(self):
+        table = TypeCompatibilityTable()
+        for a in GenericType:
+            for b in GenericType:
+                assert table.compatibility(a, b) == table.compatibility(b, a)
+
+    def test_override(self):
+        table = TypeCompatibilityTable()
+        table.set(GenericType.STRING, GenericType.BOOLEAN, 0.9)
+        assert table.compatibility(GenericType.BOOLEAN, GenericType.STRING) == 0.9
+        with pytest.raises(ValueError):
+            table.set(GenericType.STRING, GenericType.BOOLEAN, 1.5)
+
+    def test_items_cover_all_pairs(self):
+        table = TypeCompatibilityTable()
+        pairs = list(table.items())
+        count = len(list(GenericType))
+        assert len(pairs) == count * (count + 1) // 2
+        assert all(0.0 <= sim <= 1.0 for _, _, sim in pairs)
+
+
+class TestSchemaBuilder:
+    def test_nested_construction(self):
+        builder = SchemaBuilder("PO")
+        with builder.inner("ShipTo"):
+            builder.leaf("City", "xsd:string")
+            with builder.inner("Contact"):
+                builder.leaf("Phone", "xsd:string")
+        schema = builder.build()
+        assert "PO.ShipTo.Contact.Phone" in {p.dotted() for p in schema.paths()}
+
+    def test_leaves_helper(self):
+        builder = SchemaBuilder("S")
+        with builder.inner("A"):
+            builder.leaves(("x", "int"), "y")
+        schema = builder.build()
+        assert schema.find_path("S.A.x").source_type == "int"
+        assert schema.find_path("S.A.y").source_type is None
+
+    def test_shared_fragment(self):
+        builder = SchemaBuilder("PO")
+        with builder.shared("Address"):
+            builder.leaf("City", "xsd:string")
+        with builder.inner("ShipTo"):
+            builder.attach_shared("Address")
+        with builder.inner("BillTo"):
+            builder.attach_shared("Address")
+        schema = builder.build()
+        dotted = {p.dotted() for p in schema.paths()}
+        assert "PO.ShipTo.Address.City" in dotted
+        assert "PO.BillTo.Address.City" in dotted
+
+    def test_unknown_fragment_rejected(self):
+        builder = SchemaBuilder("S")
+        with pytest.raises(SchemaError):
+            builder.attach_shared("Nope")
+
+    def test_duplicate_fragment_rejected(self):
+        builder = SchemaBuilder("S")
+        with builder.shared("F"):
+            builder.leaf("x")
+        with pytest.raises(SchemaError):
+            with builder.shared("F"):
+                pass
+
+    def test_build_only_once(self):
+        builder = SchemaBuilder("S")
+        builder.leaf("x")
+        builder.build()
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_reference_link(self):
+        builder = SchemaBuilder("S")
+        with builder.inner("A"):
+            fk = builder.leaf("other_id", "int")
+        with builder.inner("B"):
+            pk = builder.leaf("id", "int")
+        builder.reference(fk, pk)
+        schema = builder.build()
+        assert len(schema.references()) == 1
+
+    def test_element_kinds(self):
+        builder = SchemaBuilder("S")
+        with builder.inner("T", kind=ElementKind.TABLE):
+            builder.leaf("c", "int", kind=ElementKind.COLUMN)
+        schema = builder.build()
+        assert schema.find_element("T").kind is ElementKind.TABLE
+        assert schema.find_element("c").kind is ElementKind.COLUMN

@@ -1,0 +1,142 @@
+"""Tests for SchemaPath and MatchResult behaviour."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.model.builder import SchemaBuilder
+from repro.model.mapping import Correspondence, MatchResult
+from repro.model.path import SchemaPath
+from repro.model.schema import Schema
+
+
+@pytest.fixture()
+def pair():
+    left = SchemaBuilder("L")
+    with left.inner("A"):
+        left.leaf("x", "int")
+        left.leaf("y", "int")
+    left_schema = left.build()
+    right = SchemaBuilder("R")
+    with right.inner("B"):
+        right.leaf("u", "int")
+        right.leaf("v", "int")
+    right_schema = right.build()
+    return left_schema, right_schema
+
+
+class TestSchemaPath:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaPath([])
+
+    def test_accessors(self, pair):
+        left, _ = pair
+        path = left.find_path("L.A.x")
+        assert path.name == "x"
+        assert path.names == ("L", "A", "x")
+        assert path.depth == 2
+        assert path.root.name == "L"
+        assert path.parent.dotted() == "L.A"
+        assert path.dotted(skip_root=True) == "A.x"
+        assert path.long_name() == "LAx"
+        assert len(path) == 3
+        assert path[1].name == "A"
+
+    def test_equality_is_by_element_identity(self, pair):
+        left, _ = pair
+        first = left.find_path("L.A.x")
+        second = left.find_path("L.A.x")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != left.find_path("L.A.y")
+
+    def test_startswith(self, pair):
+        left, _ = pair
+        parent = left.find_path("L.A")
+        child = left.find_path("L.A.x")
+        assert child.startswith(parent)
+        assert not parent.startswith(child)
+
+    def test_root_path_has_no_parent(self, pair):
+        left, _ = pair
+        root_path = left.paths(include_root=True)[0]
+        assert root_path.parent is None
+
+    def test_sorting_is_by_names(self, pair):
+        left, _ = pair
+        paths = sorted(left.paths(), reverse=True)
+        assert paths[0].name == "y"
+
+
+class TestMatchResult:
+    def test_similarity_bounds(self, pair):
+        left, right = pair
+        with pytest.raises(ValueError):
+            Correspondence(left.find_path("L.A.x"), right.find_path("R.B.u"), 1.5)
+
+    def test_add_keeps_max_similarity(self, pair):
+        left, right = pair
+        result = MatchResult(left, right)
+        x, u = left.find_path("L.A.x"), right.find_path("R.B.u")
+        result.add_pair(x, u, 0.4)
+        result.add_pair(x, u, 0.7)
+        result.add_pair(x, u, 0.2)
+        assert result.similarity_of(x, u) == 0.7
+        assert len(result) == 1
+
+    def test_inverted_round_trip(self, pair):
+        left, right = pair
+        result = MatchResult.from_tuples(left, right, [("L.A.x", "R.B.u", 0.8)])
+        inverted = result.inverted()
+        assert inverted.source_schema is right
+        assert inverted.pair_set() == frozenset({("R.B.u", "L.A.x")})
+        assert inverted.inverted().pair_set() == result.pair_set()
+
+    def test_filter_and_threshold(self, pair):
+        left, right = pair
+        result = MatchResult.from_tuples(
+            left, right, [("L.A.x", "R.B.u", 0.9), ("L.A.y", "R.B.v", 0.3)]
+        )
+        assert len(result.above_threshold(0.5)) == 1
+        assert len(result.filter(lambda c: c.target.name == "v")) == 1
+
+    def test_uniform_similarity(self, pair):
+        left, right = pair
+        result = MatchResult.from_tuples(left, right, [("L.A.x", "R.B.u", 0.3)])
+        uniform = result.with_uniform_similarity()
+        assert uniform.correspondences[0].similarity == 1.0
+
+    def test_merge_requires_same_schema_pair(self, pair):
+        left, right = pair
+        first = MatchResult(left, right)
+        second = MatchResult(right, left)
+        with pytest.raises(SchemaError):
+            first.merged_with(second)
+
+    def test_merge_unions_pairs(self, pair):
+        left, right = pair
+        first = MatchResult.from_tuples(left, right, [("L.A.x", "R.B.u", 0.5)])
+        second = MatchResult.from_tuples(left, right, [("L.A.y", "R.B.v", 0.6)])
+        merged = first.merged_with(second)
+        assert len(merged) == 2
+
+    def test_candidates_sorted_by_similarity(self, pair):
+        left, right = pair
+        result = MatchResult.from_tuples(
+            left, right, [("L.A.x", "R.B.u", 0.5), ("L.A.x", "R.B.v", 0.9)]
+        )
+        candidates = result.candidates_for_source(left.find_path("L.A.x"))
+        assert [c.target.name for c in candidates] == ["v", "u"]
+
+    def test_contains_protocol(self, pair):
+        left, right = pair
+        result = MatchResult.from_tuples(left, right, [("L.A.x", "R.B.u", 0.5)])
+        assert ("L.A.x", "R.B.u") in result
+        assert (left.find_path("L.A.x"), right.find_path("R.B.u")) in result
+        assert ("L.A.y", "R.B.u") not in result
+
+    def test_as_tuples_round_trip(self, pair):
+        left, right = pair
+        rows = [("L.A.x", "R.B.u", 0.5), ("L.A.y", "R.B.v", 1.0)]
+        result = MatchResult.from_tuples(left, right, rows)
+        assert sorted(result.as_tuples()) == sorted(rows)

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auxiliary.synonyms import SynonymDictionary
+from repro.combination.combined import AVERAGE_COMBINED, DICE_COMBINED
+from repro.evaluation.metrics import MatchQuality
+from repro.linguistic.tokenizer import NameTokenizer, split_name
+from repro.matchers.string.affix import AffixMatcher
+from repro.matchers.string.edit_distance import EditDistanceMatcher, levenshtein_distance
+from repro.matchers.string.ngram import TrigramMatcher
+from repro.matchers.string.soundex import SoundexMatcher
+
+names = st.text(alphabet=string.ascii_letters + string.digits + "_-. ", min_size=0, max_size=24)
+words = st.text(alphabet=string.ascii_letters, min_size=1, max_size=12)
+
+
+class TestStringMatcherProperties:
+    @given(a=names, b=names)
+    @settings(max_examples=150)
+    def test_similarity_bounds_and_symmetry(self, a, b):
+        for matcher in (TrigramMatcher(), EditDistanceMatcher(), AffixMatcher(), SoundexMatcher()):
+            forward = matcher.similarity(a, b)
+            backward = matcher.similarity(b, a)
+            assert 0.0 <= forward <= 1.0
+            assert abs(forward - backward) < 1e-9
+
+    @given(a=words)
+    @settings(max_examples=100)
+    def test_identity_scores_one(self, a):
+        for matcher in (TrigramMatcher(), EditDistanceMatcher(), AffixMatcher(), SoundexMatcher()):
+            assert matcher.similarity(a, a) == 1.0
+
+    @given(a=words, b=words, c=words)
+    @settings(max_examples=100)
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+    @given(a=words, b=words)
+    @settings(max_examples=100)
+    def test_levenshtein_bounds(self, a, b):
+        distance = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+
+class TestTokenizerProperties:
+    @given(name=names)
+    @settings(max_examples=150)
+    def test_tokens_are_lowercase_and_non_empty(self, name):
+        tokenizer = NameTokenizer()
+        tokens = tokenizer.tokenize(name)
+        assert all(token == token.lower() for token in tokens)
+        assert all(token for token in tokens)
+
+    @given(name=names)
+    @settings(max_examples=150)
+    def test_split_never_loses_alphanumeric_characters(self, name):
+        joined = "".join(split_name(name))
+        expected = "".join(c for c in name if c.isalnum())
+        assert joined == expected
+
+    @given(parts=st.lists(words, min_size=1, max_size=4))
+    @settings(max_examples=100)
+    def test_tokenize_path_is_concatenation(self, parts):
+        tokenizer = NameTokenizer()
+        combined = tokenizer.tokenize_path(parts)
+        flattened = tuple(t for part in parts for t in tokenizer.tokenize(part))
+        assert combined == flattened
+
+
+class TestSynonymProperties:
+    @given(pairs=st.lists(st.tuples(words, words), min_size=0, max_size=10), probe=st.tuples(words, words))
+    @settings(max_examples=100)
+    def test_similarity_symmetric_and_bounded(self, pairs, probe):
+        dictionary = SynonymDictionary()
+        for a, b in pairs:
+            dictionary.add(a, b)
+        x, y = probe
+        assert dictionary.similarity(x, y) == dictionary.similarity(y, x)
+        assert 0.0 <= dictionary.similarity(x, y) <= 1.0
+
+
+class TestMetricProperties:
+    @given(
+        true_positives=st.integers(min_value=0, max_value=200),
+        false_positives=st.integers(min_value=0, max_value=200),
+        false_negatives=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=200)
+    def test_metric_relationships(self, true_positives, false_positives, false_negatives):
+        quality = MatchQuality(true_positives, false_positives, false_negatives)
+        assert 0.0 <= quality.precision <= 1.0
+        assert 0.0 <= quality.recall <= 1.0
+        assert quality.overall <= quality.recall + 1e-9
+        assert quality.overall <= 1.0
+        assert 0.0 <= quality.f_measure <= 1.0
+        if quality.real > 0 and quality.predicted > 0:
+            # Overall = Recall * (2 - 1/Precision) whenever both are defined
+            if quality.precision > 0:
+                expected = quality.recall * (2 - 1 / quality.precision)
+                assert abs(quality.overall - expected) < 1e-9
+
+
+def _property_pair():
+    """A small schema pair built once for the combined-similarity properties."""
+    from repro.model.builder import SchemaBuilder
+
+    left_builder = SchemaBuilder("PL")
+    with left_builder.inner("A"):
+        left_builder.leaves("a1", "a2", "a3", "a4", "a5")
+    right_builder = SchemaBuilder("PR")
+    with right_builder.inner("B"):
+        right_builder.leaves("b1", "b2", "b3", "b4", "b5")
+    return left_builder.build(), right_builder.build()
+
+
+_PROPERTY_PAIR = _property_pair()
+
+
+class TestCombinedSimilarityProperties:
+    @given(
+        sims=st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=0, max_size=5),
+        extra_source=st.integers(min_value=0, max_value=5),
+        extra_target=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=150)
+    def test_dice_dominates_average(self, sims, extra_source, extra_target):
+        """Dice is at least as optimistic as Average (Section 6.3)."""
+        left, right = _PROPERTY_PAIR
+        source_paths = left.leaf_paths()
+        target_paths = right.leaf_paths()
+        count = min(len(sims), len(source_paths), len(target_paths))
+        pairs = [
+            (source_paths[i], target_paths[i], sims[i])
+            for i in range(count)
+        ]
+        source_size = count + extra_source if count else extra_source + 1
+        target_size = count + extra_target if count else extra_target + 1
+        average = AVERAGE_COMBINED.combine(pairs, source_size, target_size)
+        dice = DICE_COMBINED.combine(pairs, source_size, target_size)
+        assert dice + 1e-9 >= average
+        assert 0.0 <= average <= 1.0
+        assert 0.0 <= dice <= 1.0

@@ -1,0 +1,97 @@
+"""Tests for the stable-marriage selection extension (the paper's future work)."""
+
+import pytest
+
+from repro.combination.matrix import SimilarityMatrix
+from repro.combination.selection import Threshold
+from repro.combination.stable_marriage import StableMarriageDirection, stable_marriage_pairs
+from repro.model.builder import SchemaBuilder
+
+
+def _axes():
+    left = SchemaBuilder("L")
+    with left.inner("A"):
+        left.leaves("a1", "a2", "a3")
+    right = SchemaBuilder("R")
+    with right.inner("B"):
+        right.leaves("b1", "b2", "b3")
+    return left.build().leaf_paths(), right.build().leaf_paths()
+
+
+def _matrix(values):
+    sources, targets = _axes()
+    matrix = SimilarityMatrix(sources, targets)
+    for i, row in enumerate(values):
+        for j, value in enumerate(row):
+            matrix.set(sources[i], targets[j], value)
+    return matrix, sources, targets
+
+
+class TestStableMarriage:
+    def test_one_to_one_assignment(self):
+        matrix, sources, targets = _matrix([
+            [0.9, 0.8, 0.1],
+            [0.85, 0.7, 0.2],
+            [0.1, 0.2, 0.6],
+        ])
+        pairs = stable_marriage_pairs(matrix)
+        assert len(pairs) == 3
+        assert len({p[0] for p in pairs}) == 3
+        assert len({p[1] for p in pairs}) == 3
+
+    def test_stability_no_blocking_pair(self):
+        matrix, sources, targets = _matrix([
+            [0.9, 0.8, 0.1],
+            [0.85, 0.7, 0.2],
+            [0.1, 0.2, 0.6],
+        ])
+        pairs = stable_marriage_pairs(matrix)
+        assigned_target = {source: target for source, target, _ in pairs}
+        assigned_source = {target: source for source, target, _ in pairs}
+        for source in sources:
+            for target in targets:
+                if assigned_target.get(source) == target:
+                    continue
+                current_partner_sim = (
+                    matrix.get(source, assigned_target[source])
+                    if source in assigned_target else -1.0
+                )
+                target_partner_sim = (
+                    matrix.get(assigned_source[target], target)
+                    if target in assigned_source else -1.0
+                )
+                blocking = (
+                    matrix.get(source, target) > current_partner_sim
+                    and matrix.get(source, target) > target_partner_sim
+                )
+                assert not blocking, f"blocking pair {source} / {target}"
+
+    def test_minimum_similarity_keeps_elements_unmatched(self):
+        matrix, *_ = _matrix([
+            [0.9, 0.0, 0.0],
+            [0.0, 0.3, 0.0],
+            [0.0, 0.0, 0.1],
+        ])
+        pairs = stable_marriage_pairs(matrix, minimum_similarity=0.5)
+        assert len(pairs) == 1
+        assert pairs[0][2] == pytest.approx(0.9)
+
+    def test_zero_similarity_never_matched(self):
+        matrix, *_ = _matrix([[0.0] * 3] * 3)
+        assert stable_marriage_pairs(matrix) == []
+
+    def test_direction_strategy_with_selection(self):
+        matrix, *_ = _matrix([
+            [0.9, 0.2, 0.1],
+            [0.2, 0.6, 0.1],
+            [0.1, 0.2, 0.4],
+        ])
+        strategy = StableMarriageDirection()
+        unfiltered = strategy.select_pairs(matrix)
+        assert len(unfiltered) == 3
+        filtered = strategy.select_pairs(matrix, Threshold(0.5))
+        assert len(filtered) == 2
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            StableMarriageDirection(minimum_similarity=1.5)
