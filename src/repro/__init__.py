@@ -8,6 +8,8 @@ This package is a full reproduction of the COMA schema matching system:
   (:mod:`repro.matchers`),
 * the combination framework: similarity cubes, aggregation, direction,
   selection and combined similarity (:mod:`repro.combination`),
+* the vectorized batch match engine with its shared path-profile caches
+  (:mod:`repro.engine`),
 * the match operation and the iterative/interactive processor (:mod:`repro.core`),
 * a SQLite-backed repository for schemas, cubes and mappings (:mod:`repro.repository`),
 * the evaluation harness reproducing the paper's experiments (:mod:`repro.evaluation`),
@@ -43,6 +45,7 @@ from repro.core import (
     match_with_strategy,
     schema_similarity,
 )
+from repro.engine import MatchEngine
 from repro.importers import DEFAULT_IMPORTERS
 from repro.matchers import DEFAULT_LIBRARY, MatchContext, Matcher, MatcherLibrary
 from repro.model import (
@@ -67,6 +70,7 @@ __all__ = [
     "ElementKind",
     "GenericType",
     "MatchContext",
+    "MatchEngine",
     "MatchOutcome",
     "MatchProcessor",
     "MatchResult",

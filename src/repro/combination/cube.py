@@ -51,6 +51,26 @@ class SimilarityCube:
         """The ``(k, m, n)`` cube shape."""
         return (len(self._order), len(self._source_paths), len(self._target_paths))
 
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_layers(
+        cls,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        layers: Iterable[Tuple[str, SimilarityMatrix]],
+    ) -> "SimilarityCube":
+        """Build a cube from pre-computed ``(matcher name, matrix)`` pairs.
+
+        This is the bulk constructor used by the batch match engine, which
+        computes all layers first (possibly concurrently) and stacks them in
+        one step.
+        """
+        cube = cls(source_paths, target_paths)
+        for matcher_name, matrix in layers:
+            cube.add_layer(matcher_name, matrix)
+        return cube
+
     # -- layer management ----------------------------------------------------------
 
     def add_layer(self, matcher_name: str, matrix: SimilarityMatrix) -> None:

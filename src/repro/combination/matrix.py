@@ -60,6 +60,36 @@ class SimilarityMatrix:
         matrix._values.fill(float(fill_value))
         return matrix
 
+    @classmethod
+    def from_unique(
+        cls,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        unique_values: np.ndarray,
+        source_inverse: Sequence[int],
+        target_inverse: Sequence[int],
+    ) -> "SimilarityMatrix":
+        """Scatter a matrix computed over *unique* cache keys to all path pairs.
+
+        Batch matchers evaluate their similarity function only once per pair of
+        distinct cache keys (e.g. distinct leaf names); ``unique_values`` holds
+        that ``u x v`` result, and ``source_inverse`` / ``target_inverse`` map
+        every path to the row / column of its key.  The full ``m x n`` matrix
+        is materialised with one fancy-indexing gather, and values are clamped
+        to ``[0, 1]`` exactly like the pairwise reference implementation.
+        """
+        unique = np.asarray(unique_values, dtype=float)
+        rows = np.asarray(source_inverse, dtype=np.intp)
+        columns = np.asarray(target_inverse, dtype=np.intp)
+        if rows.shape != (len(source_paths),) or columns.shape != (len(target_paths),):
+            raise CombinationError(
+                "inverse index lengths do not match the path counts: "
+                f"{rows.shape[0]} x {columns.shape[0]} vs {len(source_paths)} x {len(target_paths)}"
+            )
+        values = unique[np.ix_(rows, columns)]
+        np.clip(values, 0.0, 1.0, out=values)
+        return cls(source_paths, target_paths, values)
+
     def copy(self) -> "SimilarityMatrix":
         """An independent copy of this matrix."""
         return SimilarityMatrix(self._source_paths, self._target_paths, self._values)

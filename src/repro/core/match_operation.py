@@ -3,8 +3,10 @@
 This module implements the per-iteration pipeline of Figure 2:
 
 1. build the :class:`~repro.matchers.base.MatchContext`,
-2. execute the selected matchers, producing a
-   :class:`~repro.combination.cube.SimilarityCube`,
+2. execute the selected matchers through the
+   :class:`~repro.engine.engine.MatchEngine` (the vectorized batch pipeline by
+   default; pass an engine with ``use_batch=False`` for the pairwise reference
+   path), producing a :class:`~repro.combination.cube.SimilarityCube`,
 3. aggregate the cube, apply user-feedback overrides, select match candidates
    with the configured direction and selection strategies,
 4. assemble a :class:`~repro.model.mapping.MatchResult` and (optionally) the
@@ -24,6 +26,7 @@ from repro.combination.cube import SimilarityCube
 from repro.combination.matrix import SimilarityMatrix
 from repro.combination.strategy import CombinationStrategy
 from repro.core.strategy import MatchStrategy, default_strategy
+from repro.engine.engine import DEFAULT_ENGINE, MatchEngine
 from repro.linguistic.tokenizer import NameTokenizer
 from repro.matchers.base import MatchContext, Matcher
 from repro.matchers.registry import MatcherLibrary
@@ -71,21 +74,30 @@ def build_context(
         tokenizer=tokenizer if tokenizer is not None else NameTokenizer(),
         synonyms=synonyms if synonyms is not None else default_purchase_order_synonyms(),
         type_compatibility=(
-            type_compatibility if type_compatibility is not None else DEFAULT_TYPE_COMPATIBILITY
+            type_compatibility
+            if type_compatibility is not None
+            # A fresh copy per context: one operation customising its table
+            # must not leak into other operations sharing the default.
+            else DEFAULT_TYPE_COMPATIBILITY.copy()
         ),
         feedback=feedback,
         repository=repository,
     )
 
 
-def execute_matchers(matchers: Sequence[Matcher], context: MatchContext) -> SimilarityCube:
-    """Run every matcher over all paths of the context's schemas, stacking the results."""
-    source_paths = context.source_schema.paths()
-    target_paths = context.target_schema.paths()
-    cube = SimilarityCube(source_paths, target_paths)
-    for matcher in matchers:
-        cube.add_layer(matcher.name, matcher.compute(source_paths, target_paths, context))
-    return cube
+def execute_matchers(
+    matchers: Sequence[Matcher],
+    context: MatchContext,
+    engine: Optional[MatchEngine] = None,
+) -> SimilarityCube:
+    """Run every matcher over all paths of the context's schemas, stacking the results.
+
+    Execution goes through the batch :class:`~repro.engine.engine.MatchEngine`
+    by default; pass ``MatchEngine(use_batch=False)`` for the pairwise
+    reference implementation (the two produce numerically identical cubes).
+    """
+    active_engine = engine if engine is not None else DEFAULT_ENGINE
+    return active_engine.execute(matchers, context)
 
 
 def combine_cube(
@@ -114,11 +126,12 @@ def match_with_strategy(
     strategy: MatchStrategy,
     context: Optional[MatchContext] = None,
     library: Optional[MatcherLibrary] = None,
+    engine: Optional[MatchEngine] = None,
 ) -> MatchOutcome:
     """Run one automatic match operation with an explicit strategy."""
     active_context = context if context is not None else build_context(source, target)
     matchers = strategy.resolve_matchers(library)
-    cube = execute_matchers(matchers, active_context)
+    cube = execute_matchers(matchers, active_context, engine=engine)
     result, aggregated, schema_similarity = combine_cube(
         cube,
         strategy.combination,
@@ -144,6 +157,7 @@ def match(
     feedback: Optional[UserFeedbackStore] = None,
     repository: Optional["Repository"] = None,
     library: Optional[MatcherLibrary] = None,
+    engine: Optional[MatchEngine] = None,
 ) -> MatchOutcome:
     """Match two schemas with the default strategy (or selected overrides).
 
@@ -161,7 +175,9 @@ def match(
     context = build_context(
         source, target, synonyms=synonyms, feedback=feedback, repository=repository
     )
-    return match_with_strategy(source, target, strategy, context=context, library=library)
+    return match_with_strategy(
+        source, target, strategy, context=context, library=library, engine=engine
+    )
 
 
 def schema_similarity(
@@ -179,11 +195,12 @@ def schema_similarity(
     """
     from repro.combination.combined import DICE_COMBINED
 
-    total = len(source.paths()) + len(target.paths())
+    source_count = len(source.paths())
+    target_count = len(target.paths())
+    if source_count + target_count == 0:
+        return 0.0
     if reference is not None:
         pairs = [(c.source, c.target, c.similarity) for c in reference.correspondences]
-        return DICE_COMBINED.combine(pairs, len(source.paths()), len(target.paths())) if pairs else 0.0
+        return DICE_COMBINED.combine(pairs, source_count, target_count) if pairs else 0.0
     outcome = match(source, target, combination=combination)
-    if total == 0:
-        return 0.0
     return outcome.schema_similarity

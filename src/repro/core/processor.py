@@ -5,7 +5,9 @@ iterations.  Each iteration consists of
 
 1. an optional user-feedback phase (accepting / rejecting candidates proposed
    by the previous iteration, or asserting correspondences up front),
-2. the execution of the configured matchers,
+2. the execution of the configured matchers through the batch
+   :class:`~repro.engine.engine.MatchEngine` (a different engine -- e.g. the
+   pairwise reference, or a thread-pooled one -- can be injected),
 3. the combination of the individual match results.
 
 In *automatic* mode a single iteration with the default (or a supplied)
@@ -22,6 +24,7 @@ from typing import List, Optional
 
 from repro.core.match_operation import MatchOutcome, build_context, match_with_strategy
 from repro.core.strategy import MatchStrategy, default_strategy
+from repro.engine.engine import MatchEngine
 from repro.exceptions import ComaError
 from repro.matchers.registry import MatcherLibrary
 from repro.matchers.simple.user_feedback import UserFeedbackStore
@@ -41,11 +44,13 @@ class MatchProcessor:
         library: Optional[MatcherLibrary] = None,
         repository=None,
         synonyms=None,
+        engine: Optional[MatchEngine] = None,
     ):
         self._source = source
         self._target = target
         self._strategy = strategy if strategy is not None else default_strategy()
         self._library = library
+        self._engine = engine
         self._feedback = UserFeedbackStore()
         self._context = build_context(
             source, target, synonyms=synonyms, feedback=self._feedback, repository=repository
@@ -101,6 +106,7 @@ class MatchProcessor:
             self._strategy,
             context=self._context,
             library=self._library,
+            engine=self._engine,
         )
         self._iterations.append(outcome)
         return outcome

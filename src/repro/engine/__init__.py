@@ -1,0 +1,13 @@
+"""The vectorized batch match engine and its shared path-profile caches."""
+
+from repro.engine.engine import DEFAULT_ENGINE, PAIRWISE_REFERENCE_ENGINE, MatchEngine
+from repro.engine.profiles import PathSetProfile, TokenProfile, unique_index
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "PAIRWISE_REFERENCE_ENGINE",
+    "MatchEngine",
+    "PathSetProfile",
+    "TokenProfile",
+    "unique_index",
+]

@@ -1,0 +1,136 @@
+"""The batch match engine: orchestrates matcher execution over a match task.
+
+The engine replaces the cell-by-cell matcher execution of the original
+pipeline with a three-stage batch scheme:
+
+1. the shared :class:`~repro.engine.profiles.PathSetProfile` caches (hung off
+   the :class:`~repro.matchers.base.MatchContext`) pre-compute per-path
+   structure once per schema per operation;
+2. every matcher runs through its :meth:`~repro.matchers.base.Matcher.compute_batch`
+   entry point, which evaluates unique cache keys only and scatters results
+   into the full matrix with numpy fancy indexing;
+3. the engine stacks the per-matcher layers into the
+   :class:`~repro.combination.cube.SimilarityCube` (optionally computing the
+   layers on a thread pool -- the heavy kernels are numpy operations that
+   release the GIL).
+
+``MatchEngine(use_batch=False)`` runs the original pairwise reference
+implementation through the same interface, which is how the equivalence tests
+and the speed-up benchmark compare the two paths.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.combination.cube import SimilarityCube
+from repro.combination.matrix import SimilarityMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matchers.base import MatchContext, Matcher
+    from repro.model.path import SchemaPath
+
+
+class MatchEngine:
+    """Executes a set of matchers over a match context as a batch pipeline.
+
+    Parameters
+    ----------
+    use_batch:
+        When True (the default) every matcher runs through its vectorized
+        ``compute_batch`` entry point; when False the original pairwise
+        ``compute`` path is used.  Both produce numerically identical cubes.
+    max_workers:
+        When set (> 1), the matcher layers of one operation are computed on a
+        thread pool of this size; layer order in the resulting cube is
+        preserved regardless.
+    """
+
+    def __init__(self, use_batch: bool = True, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._use_batch = bool(use_batch)
+        self._max_workers = max_workers
+
+    # -- configuration ---------------------------------------------------------
+
+    @property
+    def use_batch(self) -> bool:
+        """Whether the vectorized batch path is active."""
+        return self._use_batch
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """The thread-pool size (``None`` = sequential execution)."""
+        return self._max_workers
+
+    # -- execution -------------------------------------------------------------
+
+    def compute_matrix(
+        self,
+        matcher: "Matcher",
+        source_paths: Sequence["SchemaPath"],
+        target_paths: Sequence["SchemaPath"],
+        context: "MatchContext",
+    ) -> SimilarityMatrix:
+        """Run one matcher over two path sets through the configured path."""
+        if self._use_batch:
+            return matcher.compute_batch(source_paths, target_paths, context)
+        return matcher.compute(source_paths, target_paths, context)
+
+    def execute(
+        self,
+        matchers: Sequence["Matcher"],
+        context: "MatchContext",
+        source_paths: Optional[Sequence["SchemaPath"]] = None,
+        target_paths: Optional[Sequence["SchemaPath"]] = None,
+    ) -> SimilarityCube:
+        """Run every matcher over the path sets, stacking the results.
+
+        This is the engine's main entry point, used by
+        :func:`repro.core.match_operation.execute_matchers`.
+        """
+        sources = (
+            tuple(source_paths) if source_paths is not None else context.source_schema.paths()
+        )
+        targets = (
+            tuple(target_paths) if target_paths is not None else context.target_schema.paths()
+        )
+        layers = self._compute_layers(matchers, sources, targets, context)
+        return SimilarityCube.from_layers(sources, targets, layers)
+
+    def _compute_layers(
+        self,
+        matchers: Sequence["Matcher"],
+        source_paths: Sequence["SchemaPath"],
+        target_paths: Sequence["SchemaPath"],
+        context: "MatchContext",
+    ) -> List[Tuple[str, SimilarityMatrix]]:
+        if self._max_workers is not None and self._max_workers > 1 and len(matchers) > 1:
+            # Warm the shared profile caches before fanning out, so concurrent
+            # matchers read the finished profiles instead of racing to build them.
+            if self._use_batch:
+                context.profiles(source_paths)
+                context.profiles(target_paths)
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                matrices = list(
+                    pool.map(
+                        lambda matcher: self.compute_matrix(
+                            matcher, source_paths, target_paths, context
+                        ),
+                        matchers,
+                    )
+                )
+            return [(matcher.name, matrix) for matcher, matrix in zip(matchers, matrices)]
+        return [
+            (matcher.name, self.compute_matrix(matcher, source_paths, target_paths, context))
+            for matcher in matchers
+        ]
+
+
+#: The engine used by default throughout the system (vectorized, sequential).
+DEFAULT_ENGINE = MatchEngine()
+
+#: The pairwise reference engine: same interface, original cell-by-cell path.
+PAIRWISE_REFERENCE_ENGINE = MatchEngine(use_batch=False)

@@ -1,0 +1,174 @@
+"""Shared path-profile caches for the batch match engine.
+
+Every matcher of the library repeatedly derives the same per-path structure:
+the Name matchers tokenize element names, the n-gram matchers lower-case names
+and build gram sets, Soundex derives phonetic codes, DataType maps source
+types to generic classes.  In the pairwise execution model each matcher
+re-derives this structure for every cell of its ``m x n`` matrix (or at best
+per unique cache key, but still once *per matcher*).
+
+A :class:`PathSetProfile` computes all of it exactly once per path set per
+match operation and is cached on the
+:class:`~repro.matchers.base.MatchContext` (see ``MatchContext.profiles``), so
+all matcher layers of one operation share it.  Besides the derived values the
+profile owns the *unique-key machinery*: for every representation (names,
+token lists, generic types) it stores the list of distinct values plus an
+inverse index mapping each path to its value, which is what lets batch
+matchers evaluate unique keys only and scatter results with numpy fancy
+indexing (:meth:`~repro.combination.matrix.SimilarityMatrix.from_unique`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.linguistic.tokenizer import NameTokenizer
+from repro.model.datatypes import GenericType
+from repro.model.path import SchemaPath
+
+KeyT = TypeVar("KeyT", bound=Hashable)
+
+#: Token-extraction modes for the hybrid name matchers: the leaf name only
+#: (``Name``), the hierarchical name without the schema root (``NamePath``
+#: default), or the full hierarchical name (``NamePath`` with root).
+TOKEN_MODE_NAME = "name"
+TOKEN_MODE_PATH = "path"
+TOKEN_MODE_PATH_WITH_ROOT = "path_with_root"
+
+
+def unique_index(items: Sequence[KeyT]) -> Tuple[List[KeyT], np.ndarray]:
+    """The distinct items (first-occurrence order) and each item's index.
+
+    Returns ``(unique, inverse)`` with ``unique[inverse[i]] == items[i]`` --
+    the building block of the scatter step of every batch matcher.
+    """
+    index: Dict[KeyT, int] = {}
+    inverse = np.empty(len(items), dtype=np.intp)
+    unique: List[KeyT] = []
+    for i, item in enumerate(items):
+        position = index.get(item)
+        if position is None:
+            position = len(unique)
+            index[item] = position
+            unique.append(item)
+        inverse[i] = position
+    return unique, inverse
+
+
+class TokenProfile:
+    """Unique token tuples of one path set under one extraction mode."""
+
+    __slots__ = ("keys", "unique_keys", "inverse")
+
+    def __init__(self, keys: Sequence[Tuple[str, ...]]):
+        self.keys: Tuple[Tuple[str, ...], ...] = tuple(keys)
+        self.unique_keys, self.inverse = unique_index(self.keys)
+
+
+class PathSetProfile:
+    """Everything matchers repeatedly derive per path, computed once.
+
+    The profile is built for one ordered path set (one side of a match
+    operation) and a tokenizer.  All derived representations are exposed both
+    per unique value and with the inverse index that maps paths back to them.
+    """
+
+    def __init__(self, paths: Sequence[SchemaPath], tokenizer: NameTokenizer):
+        self.paths: Tuple[SchemaPath, ...] = tuple(paths)
+        self._tokenizer = tokenizer
+
+        # -- leaf names (the representation of all simple string matchers) --
+        names = [path.name for path in self.paths]
+        self.unique_names, self.name_inverse = unique_index(names)
+        self.lowered_names: List[str] = [name.lower() for name in self.unique_names]
+
+        # -- generic data types (DataType / TypeName matchers) --
+        types = [path.generic_type for path in self.paths]
+        self.unique_types, self.type_inverse = unique_index(types)
+
+        # -- lazy caches --
+        self._name_tokens: Dict[str, Tuple[str, ...]] = {}
+        self._token_profiles: Dict[str, TokenProfile] = {}
+        self._ngram_sets: Dict[Tuple[int, bool], List[FrozenSet[str]]] = {}
+        self._soundex_codes: Dict[int, List[str]] = {}
+
+    # -- token lists ---------------------------------------------------------
+
+    def _tokens_of_name(self, name: str) -> Tuple[str, ...]:
+        """Tokenize one raw element name, memoised across all paths."""
+        tokens = self._name_tokens.get(name)
+        if tokens is None:
+            tokens = self._tokenizer.tokenize(name)
+            self._name_tokens[name] = tokens
+        return tokens
+
+    def token_profile(self, mode: str = TOKEN_MODE_NAME) -> TokenProfile:
+        """The (cached) token profile of this path set under ``mode``.
+
+        Path modes concatenate the memoised per-element token lists, so a
+        shared element name is tokenized once no matter how many paths
+        traverse it.
+        """
+        profile = self._token_profiles.get(mode)
+        if profile is not None:
+            return profile
+        if mode == TOKEN_MODE_NAME:
+            keys = [self._tokens_of_name(path.name) for path in self.paths]
+        elif mode in (TOKEN_MODE_PATH, TOKEN_MODE_PATH_WITH_ROOT):
+            keys = []
+            for path in self.paths:
+                names = path.names
+                if mode == TOKEN_MODE_PATH:
+                    names = names[1:] or names
+                tokens: List[str] = []
+                for name in names:
+                    tokens.extend(self._tokens_of_name(name))
+                keys.append(tuple(tokens))
+        else:
+            raise ValueError(f"unknown token mode {mode!r}")
+        profile = TokenProfile(keys)
+        self._token_profiles[mode] = profile
+        return profile
+
+    # -- n-gram sets ----------------------------------------------------------
+
+    def ngram_sets(self, n: int, case_sensitive: bool = False) -> List[FrozenSet[str]]:
+        """Character n-gram sets of the unique names (cached per ``n``)."""
+        key = (int(n), bool(case_sensitive))
+        sets = self._ngram_sets.get(key)
+        if sets is None:
+            from repro.matchers.string.ngram import ngrams
+
+            words = self.unique_names if case_sensitive else self.lowered_names
+            sets = [ngrams(word, n) for word in words]
+            self._ngram_sets[key] = sets
+        return sets
+
+    # -- soundex codes ---------------------------------------------------------
+
+    def soundex_codes(self, length: int = 4) -> List[str]:
+        """Soundex codes of the unique names (cached per code length)."""
+        codes = self._soundex_codes.get(length)
+        if codes is None:
+            from repro.matchers.string.soundex import soundex_code
+
+            codes = [soundex_code(name, length) for name in self.unique_names]
+            self._soundex_codes[length] = codes
+        return codes
+
+    # -- misc ------------------------------------------------------------------
+
+    def generic_types(self) -> List[GenericType]:
+        """The distinct generic data types appearing in this path set."""
+        return list(self.unique_types)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PathSetProfile(paths={len(self.paths)}, "
+            f"unique_names={len(self.unique_names)})"
+        )

@@ -7,8 +7,9 @@ matcher-specific similarity cube and applies combination strategies to it
 afterwards (Section 3).  The campaign does exactly that:
 
 1. **prepare()** executes every hybrid matcher once per task (in both the
-   Average and Dice internal combined-similarity variants), derives the
-   automatic default-operation mappings (for SchemaA reuse), and computes the
+   Average and Dice internal combined-similarity variants) through the batch
+   :class:`~repro.engine.engine.MatchEngine`, derives the automatic
+   default-operation mappings (for SchemaA reuse), and computes the
    SchemaM / SchemaA reuse layers;
 2. **evaluate_series()** then evaluates any :class:`~repro.evaluation.grid.SeriesSpec`
    by slicing the pre-computed layers, aggregating, selecting and comparing
@@ -26,6 +27,7 @@ from repro.combination.matrix import SimilarityMatrix
 from repro.combination.strategy import CombinationStrategy, default_combination
 from repro.core.match_operation import build_context, combine_cube
 from repro.datasets.gold_standard import MatchTask, load_all_tasks
+from repro.engine.engine import DEFAULT_ENGINE, MatchEngine
 from repro.evaluation.grid import SeriesSpec
 from repro.evaluation.metrics import AverageQuality, MatchQuality, average_quality, evaluate_mapping
 from repro.exceptions import EvaluationError
@@ -113,6 +115,7 @@ class EvaluationCampaign:
         include_reuse: bool = True,
         hybrid_matchers: Sequence[str] = EVALUATION_HYBRID_MATCHERS,
         variants: Sequence[str] = ("Average", "Dice"),
+        engine: Optional[MatchEngine] = None,
     ):
         self._tasks = list(tasks) if tasks is not None else load_all_tasks()
         if not self._tasks:
@@ -120,6 +123,7 @@ class EvaluationCampaign:
         self._include_reuse = include_reuse
         self._hybrid_names = tuple(hybrid_matchers)
         self._variants = tuple(variants)
+        self._engine = engine if engine is not None else DEFAULT_ENGINE
         self._workbenches: Dict[str, TaskWorkbench] = {}
         self._automatic_mappings: Dict[str, MatchResult] = {}
         self._manual_store = InMemoryMappingStore()
@@ -151,8 +155,8 @@ class EvaluationCampaign:
                     matcher = factories[name]()
                     if variant != "Average" and hasattr(matcher, "with_combined_similarity"):
                         matcher = matcher.with_combined_similarity(combined)
-                    workbench.layers[variant][name] = matcher.compute(
-                        task.source.paths(), task.target.paths(), context
+                    workbench.layers[variant][name] = self._engine.compute_matrix(
+                        matcher, task.source.paths(), task.target.paths(), context
                     )
             self._workbenches[task.name] = workbench
 
@@ -184,11 +188,11 @@ class EvaluationCampaign:
                 schema_a = SchemaReuseMatcher(
                     provider=self._automatic_store, origin="automatic", name="SchemaA"
                 )
-                workbench.layers["Average"]["SchemaM"] = schema_m.compute(
-                    task.source.paths(), task.target.paths(), workbench.context
+                workbench.layers["Average"]["SchemaM"] = self._engine.compute_matrix(
+                    schema_m, task.source.paths(), task.target.paths(), workbench.context
                 )
-                workbench.layers["Average"]["SchemaA"] = schema_a.compute(
-                    task.source.paths(), task.target.paths(), workbench.context
+                workbench.layers["Average"]["SchemaA"] = self._engine.compute_matrix(
+                    schema_a, task.source.paths(), task.target.paths(), workbench.context
                 )
 
         self._prepared = True

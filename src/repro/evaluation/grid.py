@@ -17,6 +17,11 @@ strategy over the 10 match tasks.  This module enumerates the same space:
 Because the full grid is large, :func:`reduced_grid` provides a representative
 sub-grid (same strategy families, fewer parameter points) that the benchmark
 harness uses by default; set ``COMA_FULL_GRID=1`` to run the full grid.
+
+Series are evaluated against matcher layers the
+:class:`~repro.evaluation.campaign.EvaluationCampaign` pre-computes through the
+batch :class:`~repro.engine.engine.MatchEngine`, so enumerating thousands of
+series costs matcher execution only once per task.
 """
 
 from __future__ import annotations

@@ -13,14 +13,28 @@ Two matcher granularities exist in COMA:
 
 The :class:`MatchContext` carries everything a matcher may need beyond the two
 schemas: tokenizer, synonym dictionary, data-type compatibility table, user
-feedback, and the repository handle used by reuse-oriented matchers.
+feedback, and the repository handle used by reuse-oriented matchers.  It also
+owns the per-operation :class:`~repro.engine.profiles.PathSetProfile` cache
+that the batch execution path (:mod:`repro.engine`) uses to share derived
+per-path structure (lowercased names, token lists, n-gram sets, soundex codes,
+generic types) across all matchers of one operation.
+
+Every matcher exposes two entry points: :meth:`Matcher.compute` (the pairwise
+reference implementation, filled cell by cell) and :meth:`Matcher.compute_batch`
+(the vectorized path used by :class:`~repro.engine.engine.MatchEngine`, which
+evaluates unique cache keys only and scatters results with numpy fancy
+indexing).  The default ``compute_batch`` falls back to ``compute``, so the
+two are equivalent by construction unless a matcher provides a faster batch
+implementation.
 """
 
 from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from repro.auxiliary.synonyms import SynonymDictionary, default_purchase_order_synonyms
 from repro.combination.matrix import SimilarityMatrix
@@ -30,7 +44,8 @@ from repro.model.path import SchemaPath
 from repro.model.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
-    from repro.core.feedback import UserFeedbackStore
+    from repro.engine.profiles import PathSetProfile
+    from repro.matchers.simple.user_feedback import UserFeedbackStore
     from repro.repository.repository import Repository
 
 
@@ -49,15 +64,43 @@ class MatchContext:
     synonyms: SynonymDictionary = dataclasses.field(
         default_factory=default_purchase_order_synonyms
     )
-    type_compatibility: TypeCompatibilityTable = DEFAULT_TYPE_COMPATIBILITY
+    #: A per-context copy of the default table, so customising one operation's
+    #: compatibilities (``context.type_compatibility.set(...)``) cannot leak
+    #: into other, unrelated match operations.
+    type_compatibility: TypeCompatibilityTable = dataclasses.field(
+        default_factory=DEFAULT_TYPE_COMPATIBILITY.copy
+    )
     feedback: Optional["UserFeedbackStore"] = None
     repository: Optional["Repository"] = None
+    #: Cache of :class:`~repro.engine.profiles.PathSetProfile` objects keyed by
+    #: path tuple.  Populated lazily by :meth:`profiles`; shared by all batch
+    #: matchers of one operation (and across :meth:`swapped` copies).
+    profile_cache: Dict[Tuple[SchemaPath, ...], "PathSetProfile"] = dataclasses.field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def swapped(self) -> "MatchContext":
         """The same context with source and target schemas exchanged."""
         return dataclasses.replace(
             self, source_schema=self.target_schema, target_schema=self.source_schema
         )
+
+    def profiles(self, paths: Sequence[SchemaPath]) -> "PathSetProfile":
+        """The (cached) path-set profile of ``paths``.
+
+        The profile computes everything matchers repeatedly derive per path --
+        lowercased names, expanded token lists, n-gram sets, soundex codes,
+        generic data types -- once per path set per operation, together with
+        the unique-key machinery batch matchers scatter their results with.
+        """
+        key = tuple(paths)
+        profile = self.profile_cache.get(key)
+        if profile is None:
+            from repro.engine.profiles import PathSetProfile
+
+            profile = PathSetProfile(key, self.tokenizer)
+            self.profile_cache[key] = profile
+        return profile
 
 
 class StringMatcher(abc.ABC):
@@ -68,6 +111,33 @@ class StringMatcher(abc.ABC):
     @abc.abstractmethod
     def similarity(self, a: str, b: str) -> float:
         """The similarity of two strings."""
+
+    def similarity_many(self, sources: Sequence[str], targets: Sequence[str]) -> np.ndarray:
+        """The full cross-product similarity matrix of two string sequences.
+
+        The default evaluates :meth:`similarity` per pair; vectorizable
+        matchers (n-gram, Soundex) override this with bulk array operations.
+        Callers pass *unique* strings, so the result is the dense kernel that
+        :meth:`SimilarityMatrix.from_unique` scatters to all path pairs.
+        """
+        values = np.empty((len(sources), len(targets)), dtype=float)
+        for i, a in enumerate(sources):
+            for j, b in enumerate(targets):
+                values[i, j] = self.similarity(a, b)
+        return values
+
+    def similarity_profiled(
+        self, source_profile: "PathSetProfile", target_profile: "PathSetProfile"
+    ) -> np.ndarray:
+        """Similarity over the unique leaf names of two path-set profiles.
+
+        Matchers whose derived structure is pre-computed by the profile layer
+        (n-gram sets, soundex codes) override this to reuse it instead of
+        re-deriving it from the raw strings.
+        """
+        return self.similarity_many(
+            source_profile.unique_names, target_profile.unique_names
+        )
 
     def __call__(self, a: str, b: str) -> float:
         return self.similarity(a, b)
@@ -96,6 +166,20 @@ class Matcher(abc.ABC):
     ) -> SimilarityMatrix:
         """Compute the similarity of every source path against every target path."""
 
+    def compute_batch(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        """Batch variant of :meth:`compute` used by the match engine.
+
+        Matchers with a vectorized implementation override this; the default
+        delegates to the pairwise reference implementation so both entry
+        points always produce the same matrix.
+        """
+        return self.compute(source_paths, target_paths, context)
+
     def match_schemas(self, context: MatchContext) -> SimilarityMatrix:
         """Convenience: compute over all paths of the context's schemas."""
         return self.compute(
@@ -107,6 +191,17 @@ class Matcher(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"
+
+
+def _representatives(
+    paths: Sequence[SchemaPath], inverse: Sequence[int], unique_count: int
+) -> List[SchemaPath]:
+    """The first path carrying each unique cache key, in key order."""
+    representatives: List[Optional[SchemaPath]] = [None] * unique_count
+    for path, key_index in zip(paths, inverse):
+        if representatives[key_index] is None:
+            representatives[key_index] = path
+    return representatives  # type: ignore[return-value]
 
 
 class PairwiseMatcher(Matcher):
@@ -139,6 +234,36 @@ class PairwiseMatcher(Matcher):
                     cache[key] = value
                 matrix.set(source, target, value)
         return matrix
+
+    def compute_batch(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        """Evaluate :meth:`pair_similarity` over unique cache keys only.
+
+        Instead of walking the full ``m x n`` cross-product, the batch path
+        groups paths by :meth:`cache_key`, evaluates one representative path
+        per unique key pair, and scatters the ``u x v`` kernel to the full
+        matrix via :meth:`SimilarityMatrix.from_unique`.
+        """
+        from repro.engine.profiles import unique_index
+
+        source_keys = [self.cache_key(path, context) for path in source_paths]
+        target_keys = [self.cache_key(path, context) for path in target_paths]
+        unique_sources, source_inverse = unique_index(source_keys)
+        unique_targets, target_inverse = unique_index(target_keys)
+        # One representative path per unique key (the first occurrence).
+        source_reps = _representatives(source_paths, source_inverse, len(unique_sources))
+        target_reps = _representatives(target_paths, target_inverse, len(unique_targets))
+        values = np.empty((len(source_reps), len(target_reps)), dtype=float)
+        for i, source in enumerate(source_reps):
+            for j, target in enumerate(target_reps):
+                values[i, j] = self.pair_similarity(source, target, context)
+        return SimilarityMatrix.from_unique(
+            source_paths, target_paths, values, source_inverse, target_inverse
+        )
 
     @abc.abstractmethod
     def pair_similarity(
@@ -179,6 +304,29 @@ class NameStringMatcher(PairwiseMatcher):
         self, source: SchemaPath, target: SchemaPath, context: MatchContext
     ) -> float:
         return self._string_matcher.similarity(source.name, target.name)
+
+    def compute_batch(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        """Evaluate the wrapped string matcher over the unique names only.
+
+        The shared path-set profiles supply the unique names (and the derived
+        n-gram sets / soundex codes when the string matcher can use them); the
+        resulting ``u x v`` kernel is scattered to the full matrix.
+        """
+        source_profile = context.profiles(source_paths)
+        target_profile = context.profiles(target_paths)
+        unique = self._string_matcher.similarity_profiled(source_profile, target_profile)
+        return SimilarityMatrix.from_unique(
+            source_paths,
+            target_paths,
+            unique,
+            source_profile.name_inverse,
+            target_profile.name_inverse,
+        )
 
     def cache_key(self, path: SchemaPath, context: MatchContext) -> object:
         return path.name

@@ -123,3 +123,100 @@ def set_similarity(
     else:
         value = (sum(matched_rows.values()) + sum(matched_columns.values())) / total_items
     return min(1.0, max(0.0, value))
+
+
+# ---------------------------------------------------------------------------
+# Batch evaluation over a shared item vocabulary
+# ---------------------------------------------------------------------------
+
+def batch_set_similarity(
+    vocabulary_matrix: np.ndarray,
+    index_sets_a: Sequence[np.ndarray],
+    index_sets_b: Sequence[np.ndarray],
+    combined: CombinedSimilarityStrategy,
+    max_chunk_elements: int = 4_000_000,
+) -> np.ndarray:
+    """All-pairs combined set similarity over a pre-aggregated item vocabulary.
+
+    This is the vectorized counterpart of :func:`set_similarity` used by the
+    batch Name/NamePath matchers: the per-item-pair similarities are gathered
+    from ``vocabulary_matrix`` (the constituent layers aggregated once over the
+    full token vocabulary) instead of being recomputed per set pair, and the
+    Both/Max1 selection plus Average/Dice combination run as padded array
+    operations over every ``(set_a, set_b)`` pair at once.
+
+    Parameters
+    ----------
+    vocabulary_matrix:
+        The aggregated item-similarity matrix, rows indexed by the source-side
+        item vocabulary and columns by the target-side one (values already
+        clamped to ``[0, 1]``).
+    index_sets_a / index_sets_b:
+        Per set, the integer row / column indices of its *deduplicated* items
+        (order preserved -- ties in the Max1 selection break by item order,
+        exactly as in :func:`set_similarity`).
+    max_chunk_elements:
+        Upper bound on the size of the intermediate 4-d gather, to keep the
+        memory footprint flat for large schemas; rows of the result are
+        processed in chunks accordingly.
+
+    Returns
+    -------
+    A ``len(index_sets_a) x len(index_sets_b)`` matrix of combined similarities.
+    """
+    count_a = len(index_sets_a)
+    count_b = len(index_sets_b)
+    result = np.zeros((count_a, count_b), dtype=float)
+    if count_a == 0 or count_b == 0:
+        return result
+
+    lengths_a = np.array([len(indices) for indices in index_sets_a], dtype=np.intp)
+    lengths_b = np.array([len(indices) for indices in index_sets_b], dtype=np.intp)
+    width_a = int(lengths_a.max())
+    width_b = int(lengths_b.max())
+    if width_a == 0 or width_b == 0:
+        # One side consists only of empty sets: every similarity is 0.
+        return result
+
+    padded_a = np.zeros((count_a, width_a), dtype=np.intp)
+    for row, indices in enumerate(index_sets_a):
+        padded_a[row, : len(indices)] = indices
+    padded_b = np.zeros((count_b, width_b), dtype=np.intp)
+    for row, indices in enumerate(index_sets_b):
+        padded_b[row, : len(indices)] = indices
+    valid_a = np.arange(width_a)[None, :] < lengths_a[:, None]
+    valid_b = np.arange(width_b)[None, :] < lengths_b[:, None]
+
+    use_dice = isinstance(combined, DiceCombined)
+    totals = lengths_a[:, None] + lengths_b[None, :]
+
+    chunk_rows = max(1, max_chunk_elements // max(1, count_b * width_a * width_b))
+    row_positions = np.arange(width_a)[None, None, :]
+    for start in range(0, count_a, chunk_rows):
+        stop = min(start + chunk_rows, count_a)
+        # cells: (chunk, count_b, width_a, width_b); padding cells get -1 so
+        # they can never win an argmax against a valid cell (valid values >= 0).
+        cells = vocabulary_matrix[
+            padded_a[start:stop, None, :, None], padded_b[None, :, None, :]
+        ]
+        mask = valid_a[start:stop, None, :, None] & valid_b[None, :, None, :]
+        cells = np.where(mask, cells, -1.0)
+        best_column = cells.argmax(axis=3)
+        row_best_value = cells.max(axis=3)
+        best_row = cells.argmax(axis=2)
+        # Max1 in both directions: a row is matched iff it is its best
+        # column's best row and the value is strictly positive.
+        mutual_row = np.take_along_axis(best_row, best_column, axis=2) == row_positions
+        matched = mutual_row & (row_best_value > 0.0)
+        if use_dice:
+            contribution = matched.sum(axis=2, dtype=float)
+        else:
+            contribution = (row_best_value * matched).sum(axis=2)
+        # Each mutual pair matches exactly one row and one column, so both
+        # directions contribute the same count / value sum.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            block = np.where(
+                totals[start:stop] > 0, 2.0 * contribution / totals[start:stop], 0.0
+            )
+        result[start:stop] = np.clip(block, 0.0, 1.0)
+    return result

@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.combination.combined import (
     AVERAGE_COMBINED,
     CombinedSimilarityStrategy,
 )
-from repro.combination.direction import BOTH, DirectionStrategy
+from repro.combination.direction import BOTH, Both, DirectionStrategy
 from repro.combination.matrix import SimilarityMatrix
 from repro.combination.selection import MaxN, SelectionStrategy
 from repro.matchers.base import MatchContext, Matcher
@@ -93,13 +95,59 @@ class _StructuralMatcherBase(Matcher):
         target_paths: Sequence[SchemaPath],
         context: MatchContext,
     ) -> SimilarityMatrix:
-        source_schema = context.source_schema
-        target_schema = context.target_schema
         # The leaf matcher is evaluated over the full path sets once, so that
         # component paths outside the requested subsets are covered too.
-        all_source = source_schema.paths()
-        all_target = target_schema.paths()
-        leaf_matrix = self._leaf_matcher.compute(all_source, all_target, context)
+        leaf_matrix = self._leaf_matcher.compute(
+            context.source_schema.paths(), context.target_schema.paths(), context
+        )
+        return self._compute_from_leaf_matrix(source_paths, target_paths, context, leaf_matrix)
+
+    def compute_batch(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        """Batch variant: the (dominant) leaf matrix runs through the batch path.
+
+        The structural recursion over component sets is identical to the
+        pairwise path -- it is memoised per element pair and cheap compared to
+        the leaf-level similarity computation it consumes.
+        """
+        leaf_matrix = self._leaf_matcher.compute_batch(
+            context.source_schema.paths(), context.target_schema.paths(), context
+        )
+        return self._compute_from_leaf_matrix(source_paths, target_paths, context, leaf_matrix)
+
+    def _compute_from_leaf_matrix(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+        leaf_matrix: SimilarityMatrix,
+    ) -> SimilarityMatrix:
+        source_schema = context.source_schema
+        target_schema = context.target_schema
+        # Integer index maps into the leaf matrix: the recursion gathers leaf
+        # similarities (and whole component blocks) by position instead of
+        # going through the per-cell path accessors.
+        leaf_row = {path: i for i, path in enumerate(leaf_matrix.source_paths)}
+        leaf_column = {path: j for j, path in enumerate(leaf_matrix.target_paths)}
+        leaf_values = leaf_matrix.values
+
+        # Component sets are derived from the schema graph alone, so they are
+        # memoised per path (leaf_paths_under / child_paths scan the schema).
+        source_components: Dict[SchemaPath, Tuple[SchemaPath, ...]] = {}
+        target_components: Dict[SchemaPath, Tuple[SchemaPath, ...]] = {}
+
+        def components_of(
+            schema: Schema, path: SchemaPath, cache: Dict[SchemaPath, Tuple[SchemaPath, ...]]
+        ) -> Tuple[SchemaPath, ...]:
+            components = cache.get(path)
+            if components is None:
+                components = self._component_paths(schema, path)
+                cache[path] = components
+            return components
 
         memo: Dict[Tuple[SchemaPath, SchemaPath], float] = {}
 
@@ -107,49 +155,113 @@ class _StructuralMatcherBase(Matcher):
             key = (source, target)
             if key in memo:
                 return memo[key]
-            source_is_leaf = source_schema.is_leaf(source.leaf)
-            target_is_leaf = target_schema.is_leaf(target.leaf)
-            if source_is_leaf and target_is_leaf:
-                value = leaf_matrix.get(source, target)
+            source_row = leaf_row.get(source) if source_schema.is_leaf(source.leaf) else None
+            target_col = leaf_column.get(target) if target_schema.is_leaf(target.leaf) else None
+            if source_row is not None and target_col is not None:
+                value = float(leaf_values[source_row, target_col])
             else:
                 source_set = (
-                    (source,) if source_is_leaf else self._component_paths(source_schema, source)
+                    (source,)
+                    if source_row is not None
+                    else components_of(source_schema, source, source_components)
                 )
                 target_set = (
-                    (target,) if target_is_leaf else self._component_paths(target_schema, target)
+                    (target,)
+                    if target_col is not None
+                    else components_of(target_schema, target, target_components)
                 )
-                value = self._set_similarity(source_set, target_set, pair_similarity, leaf_matrix,
-                                             source_schema, target_schema)
+                value = self._set_similarity(
+                    source_set, target_set, pair_similarity, leaf_values, leaf_row, leaf_column
+                )
             memo[key] = value
             return value
 
-        matrix = SimilarityMatrix(source_paths, target_paths)
-        for source in source_paths:
-            for target in target_paths:
-                matrix.set(source, target, pair_similarity(source, target))
-        return matrix
+        # Leaf-leaf cells (the bulk of the matrix) are one block gather from
+        # the leaf matrix; only pairs involving an inner element recurse.
+        source_leaf_rows = [
+            leaf_row[path] if source_schema.is_leaf(path.leaf) else -1 for path in source_paths
+        ]
+        target_leaf_cols = [
+            leaf_column[path] if target_schema.is_leaf(path.leaf) else -1 for path in target_paths
+        ]
+        values = leaf_values[
+            np.ix_(
+                [max(row, 0) for row in source_leaf_rows],
+                [max(col, 0) for col in target_leaf_cols],
+            )
+        ].copy()
+        for i, source in enumerate(source_paths):
+            source_inner = source_leaf_rows[i] < 0
+            for j, target in enumerate(target_paths):
+                if source_inner or target_leaf_cols[j] < 0:
+                    values[i, j] = pair_similarity(source, target)
+        return SimilarityMatrix(source_paths, target_paths, values)
 
     def _set_similarity(
         self,
         source_set: Sequence[SchemaPath],
         target_set: Sequence[SchemaPath],
         recursive_similarity,
-        leaf_matrix: SimilarityMatrix,
-        source_schema: Schema,
-        target_schema: Schema,
+        leaf_values: np.ndarray,
+        leaf_row: Dict[SchemaPath, int],
+        leaf_column: Dict[SchemaPath, int],
     ) -> float:
         if not source_set or not target_set:
             return 0.0
-        component_matrix = SimilarityMatrix(source_set, target_set)
-        for source in source_set:
-            for target in target_set:
-                if self._recursive():
-                    value = recursive_similarity(source, target)
-                else:
-                    value = leaf_matrix.get(source, target)
-                component_matrix.set(source, target, value)
-        selected = self._direction.select_pairs(component_matrix, self._selection)
+        if self._recursive():
+            component_values = np.empty((len(source_set), len(target_set)), dtype=float)
+            for i, source in enumerate(source_set):
+                for j, target in enumerate(target_set):
+                    component_values[i, j] = recursive_similarity(source, target)
+        else:
+            component_values = leaf_values[
+                np.ix_(
+                    [leaf_row[path] for path in source_set],
+                    [leaf_column[path] for path in target_set],
+                )
+            ]
+        fast = self._singleton_selection(source_set, target_set, component_values)
+        if fast is not None:
+            selected = fast
+        else:
+            component_matrix = SimilarityMatrix(source_set, target_set, component_values)
+            selected = self._direction.select_pairs(component_matrix, self._selection)
         return self._combined.combine(selected, len(source_set), len(target_set))
+
+    def _singleton_selection(
+        self,
+        source_set: Sequence[SchemaPath],
+        target_set: Sequence[SchemaPath],
+        component_values: np.ndarray,
+    ):
+        """Exact shortcut for the default Both + Max1 selection on singleton sets.
+
+        A leaf compared against a component set yields a ``1 x k`` (or
+        ``k x 1``) matrix; under undirectional Max1 the intersection of both
+        directions is exactly the single best pair -- with ties broken by path
+        name order, as :meth:`SimilarityMatrix.ranked_targets` does.  Any other
+        direction / selection configuration falls through to the generic
+        strategy machinery (returns ``None``).
+        """
+        if not isinstance(self._direction, Both) or not isinstance(self._selection, MaxN):
+            return None
+        if self._selection.n != 1 or (len(source_set) > 1 and len(target_set) > 1):
+            return None
+        if len(source_set) == 1:
+            row = component_values[0]
+            best = min(
+                range(len(target_set)), key=lambda j: (-row[j], target_set[j].names)
+            )
+            value = float(row[best])
+            if value <= 0.0:
+                return []
+            return [(source_set[0], target_set[best], value)]
+        column = component_values[:, 0]
+        best = min(range(len(source_set)), key=lambda i: (-column[i], source_set[i].names))
+        value = float(column[best])
+        if value <= 0.0:
+            return []
+        return [(source_set[best], target_set[0], value)]
 
 
 class ChildrenMatcher(_StructuralMatcherBase):

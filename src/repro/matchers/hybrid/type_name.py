@@ -91,3 +91,17 @@ class TypeNameMatcher(Matcher):
             self._name_weight * name_matrix.values + self._type_weight * type_matrix.values
         )
         return SimilarityMatrix(source_paths, target_paths, combined)
+
+    def compute_batch(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        """Batch variant: both constituents run through their batch paths."""
+        name_matrix = self._name_matcher.compute_batch(source_paths, target_paths, context)
+        type_matrix = self._datatype_matcher.compute_batch(source_paths, target_paths, context)
+        combined = (
+            self._name_weight * name_matrix.values + self._type_weight * type_matrix.values
+        )
+        return SimilarityMatrix(source_paths, target_paths, combined)

@@ -12,8 +12,11 @@ overridden per match operation via the :class:`~repro.matchers.base.MatchContext
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
+import numpy as np
+
+from repro.combination.matrix import SimilarityMatrix
 from repro.matchers.base import MatchContext, PairwiseMatcher
 from repro.model.datatypes import TypeCompatibilityTable
 from repro.model.path import SchemaPath
@@ -36,6 +39,35 @@ class DataTypeMatcher(PairwiseMatcher):
     ) -> float:
         table = self._table_for(context)
         return table.compatibility(source.generic_type, target.generic_type)
+
+    def compute_batch(
+        self,
+        source_paths: Sequence[SchemaPath],
+        target_paths: Sequence[SchemaPath],
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        """Batch variant: one table lookup per pair of *distinct* generic types.
+
+        Schemas use a handful of generic types, so the kernel scattered to the
+        full matrix is typically just a few dozen cells.
+        """
+        table = self._table_for(context)
+        source_profile = context.profiles(source_paths)
+        target_profile = context.profiles(target_paths)
+        values = np.array(
+            [
+                [table.compatibility(a, b) for b in target_profile.unique_types]
+                for a in source_profile.unique_types
+            ],
+            dtype=float,
+        )
+        return SimilarityMatrix.from_unique(
+            source_paths,
+            target_paths,
+            values,
+            source_profile.type_inverse,
+            target_profile.type_inverse,
+        )
 
     def cache_key(self, path: SchemaPath, context: MatchContext) -> object:
         return path.generic_type

@@ -20,7 +20,7 @@ Two pieces implement this:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.combination.matrix import SimilarityMatrix
 from repro.matchers.base import MatchContext, Matcher
@@ -132,6 +132,35 @@ class UserFeedbackMatcher(Matcher):
                     matrix.set(source, target, 1.0)
                 elif decision is False:
                     matrix.set(source, target, 0.0)
+        return matrix
+
+    def compute_batch(
+        self,
+        source_paths,
+        target_paths,
+        context: MatchContext,
+    ) -> SimilarityMatrix:
+        """Batch variant: touch only the recorded pairs, not the full cross-product.
+
+        Feedback stores hold a handful of decisions, so walking the store and
+        resolving its dotted keys against the path axes is O(feedback) instead
+        of O(m x n).
+        """
+        matrix = SimilarityMatrix.filled(source_paths, target_paths, self.neutral_similarity)
+        store = self._store_for(context)
+        if store is None or not store:
+            return matrix
+        sources_by_dotted: Dict[str, List[SchemaPath]] = {}
+        for path in source_paths:
+            sources_by_dotted.setdefault(path.dotted(), []).append(path)
+        targets_by_dotted: Dict[str, List[SchemaPath]] = {}
+        for path in target_paths:
+            targets_by_dotted.setdefault(path.dotted(), []).append(path)
+        for pairs, value in ((store.accepted_pairs, 1.0), (store.rejected_pairs, 0.0)):
+            for source_key, target_key in pairs:
+                for source in sources_by_dotted.get(source_key, ()):
+                    for target in targets_by_dotted.get(target_key, ()):
+                        matrix.set(source, target, value)
         return matrix
 
     def apply_overrides(self, matrix: SimilarityMatrix, context: MatchContext) -> SimilarityMatrix:

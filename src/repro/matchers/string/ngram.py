@@ -12,9 +12,14 @@ are padded conceptually by falling back to the full string as a single gram.
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import Dict, FrozenSet, Sequence, TYPE_CHECKING
+
+import numpy as np
 
 from repro.matchers.base import StringMatcher
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.profiles import PathSetProfile
 
 
 def ngrams(text: str, n: int) -> FrozenSet[str]:
@@ -51,6 +56,75 @@ class NGramMatcher(StringMatcher):
         if common == 0:
             return 0.0
         return 2.0 * common / (len(grams_a) + len(grams_b))
+
+    # -- batch evaluation -------------------------------------------------------
+
+    def similarity_many(self, sources, targets) -> np.ndarray:
+        """Vectorized Dice similarity via a gram-incidence matrix product.
+
+        Both string sets are encoded as binary incidence matrices over the
+        shared gram vocabulary; the pairwise common-gram counts are then a
+        single matrix product, from which the Dice coefficients follow by
+        broadcasting.  Numerically identical to :meth:`similarity` per pair.
+        """
+        if self._case_sensitive:
+            first = list(sources)
+            second = list(targets)
+        else:
+            first = [text.lower() for text in sources]
+            second = [text.lower() for text in targets]
+        grams_a = [ngrams(text, self.n) for text in first]
+        grams_b = [ngrams(text, self.n) for text in second]
+        return self._similarity_from_grams(grams_a, grams_b)
+
+    def similarity_profiled(
+        self, source_profile: "PathSetProfile", target_profile: "PathSetProfile"
+    ) -> np.ndarray:
+        """Batch similarity reusing the profiles' pre-computed n-gram sets."""
+        return self._similarity_from_grams(
+            source_profile.ngram_sets(self.n, self._case_sensitive),
+            target_profile.ngram_sets(self.n, self._case_sensitive),
+        )
+
+    def _similarity_from_grams(
+        self,
+        grams_a: Sequence[FrozenSet[str]],
+        grams_b: Sequence[FrozenSet[str]],
+    ) -> np.ndarray:
+        if not grams_a or not grams_b:
+            return np.zeros((len(grams_a), len(grams_b)), dtype=float)
+        vocabulary: Dict[str, int] = {}
+        for gram_set in grams_a:
+            for gram in gram_set:
+                vocabulary.setdefault(gram, len(vocabulary))
+        for gram_set in grams_b:
+            for gram in gram_set:
+                vocabulary.setdefault(gram, len(vocabulary))
+        if not vocabulary:
+            # All strings empty: every pairwise similarity is 0.
+            return np.zeros((len(grams_a), len(grams_b)), dtype=float)
+
+        incidence_a = _incidence(grams_a, vocabulary)
+        incidence_b = _incidence(grams_b, vocabulary)
+        common = incidence_a @ incidence_b.T
+        sizes_a = incidence_a.sum(axis=1)
+        sizes_b = incidence_b.sum(axis=1)
+        denominator = sizes_a[:, None] + sizes_b[None, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            values = np.where(denominator > 0.0, 2.0 * common / denominator, 0.0)
+        # Pairs involving an empty string score 0, as in the scalar path.
+        values[sizes_a == 0.0, :] = 0.0
+        values[:, sizes_b == 0.0] = 0.0
+        return values
+
+
+def _incidence(gram_sets: Sequence[FrozenSet[str]], vocabulary: Dict[str, int]) -> np.ndarray:
+    """A binary ``len(gram_sets) x len(vocabulary)`` gram-incidence matrix."""
+    matrix = np.zeros((len(gram_sets), len(vocabulary)), dtype=float)
+    for row, gram_set in enumerate(gram_sets):
+        for gram in gram_set:
+            matrix[row, vocabulary[gram]] = 1.0
+    return matrix
 
 
 class DigramMatcher(NGramMatcher):

@@ -11,7 +11,14 @@ of agreeing code positions (same initial letter and matching digits).
 
 from __future__ import annotations
 
+from typing import Dict, List, Sequence, TYPE_CHECKING
+
+import numpy as np
+
 from repro.matchers.base import StringMatcher
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.profiles import PathSetProfile
 
 #: Soundex digit classes for consonants; vowels and h/w/y are not coded.
 _SOUNDEX_CODES = {
@@ -71,3 +78,68 @@ class SoundexMatcher(StringMatcher):
             return 0.0
         agreeing = sum(1 for x, y in zip(code_a, code_b) if x == y)
         return agreeing / self._code_length
+
+    # -- batch evaluation -------------------------------------------------------
+
+    def similarity_many(self, sources, targets) -> np.ndarray:
+        """Vectorized Soundex similarity over two string sequences."""
+        codes_a = [soundex_code(word, self._code_length) for word in sources]
+        codes_b = [soundex_code(word, self._code_length) for word in targets]
+        return self._similarity_from_codes(sources, targets, codes_a, codes_b)
+
+    def similarity_profiled(
+        self, source_profile: "PathSetProfile", target_profile: "PathSetProfile"
+    ) -> np.ndarray:
+        """Batch similarity reusing the profiles' pre-computed soundex codes."""
+        return self._similarity_from_codes(
+            source_profile.lowered_names,
+            target_profile.lowered_names,
+            source_profile.soundex_codes(self._code_length),
+            target_profile.soundex_codes(self._code_length),
+            already_lowered=True,
+        )
+
+    def _similarity_from_codes(
+        self,
+        sources: Sequence[str],
+        targets: Sequence[str],
+        codes_a: List[str],
+        codes_b: List[str],
+        already_lowered: bool = False,
+    ) -> np.ndarray:
+        if not codes_a or not codes_b:
+            return np.zeros((len(codes_a), len(codes_b)), dtype=float)
+        # Codes as a character matrix: position-wise agreement by broadcasting.
+        # Empty codes (non-alphabetic input) become all-NUL rows and are masked.
+        length = self._code_length
+        chars_a = _code_chars(codes_a, length)
+        chars_b = _code_chars(codes_b, length)
+        empty_a = chars_a[:, 0] == 0
+        empty_b = chars_b[:, 0] == 0
+        agreeing = (chars_a[:, None, :] == chars_b[None, :, :]).sum(axis=2) / length
+        same_initial = chars_a[:, None, 0] == chars_b[None, :, 0]
+        values = np.where(same_initial, agreeing, 0.0)
+        values[empty_a, :] = 0.0
+        values[:, empty_b] = 0.0
+        # Identical (case-folded) names score 1.0 even without a usable code.
+        lowered_a = sources if already_lowered else [word.lower() for word in sources]
+        lowered_b = targets if already_lowered else [word.lower() for word in targets]
+        shared: Dict[str, int] = {}
+        ids_a = np.array([shared.setdefault(word, len(shared)) for word in lowered_a])
+        ids_b = np.array([shared.setdefault(word, len(shared)) for word in lowered_b])
+        values[ids_a[:, None] == ids_b[None, :]] = 1.0
+        # Empty strings score 0 against everything, including themselves.
+        blank_a = np.array([not word for word in lowered_a], dtype=bool)
+        blank_b = np.array([not word for word in lowered_b], dtype=bool)
+        values[blank_a, :] = 0.0
+        values[:, blank_b] = 0.0
+        return values
+
+
+def _code_chars(codes: List[str], length: int) -> np.ndarray:
+    """Soundex codes as a ``len(codes) x length`` uint8 character matrix."""
+    matrix = np.zeros((len(codes), length), dtype=np.uint8)
+    for row, code in enumerate(codes):
+        for column, char in enumerate(code[:length]):
+            matrix[row, column] = ord(char)
+    return matrix

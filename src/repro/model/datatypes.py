@@ -192,6 +192,12 @@ class TypeCompatibilityTable:
             raise ValueError(f"similarity must be within [0, 1], got {similarity!r}")
         self._overrides[self._key(a, b)] = float(similarity)
 
+    def copy(self) -> "TypeCompatibilityTable":
+        """An independent copy (overrides applied to it do not affect this table)."""
+        table = TypeCompatibilityTable()
+        table._overrides = dict(self._overrides)
+        return table
+
     def compatibility(self, a: GenericType | str | None, b: GenericType | str | None) -> float:
         """Return the compatibility of two types (generic values or source strings)."""
         generic_a = a if isinstance(a, GenericType) else map_source_type(a)

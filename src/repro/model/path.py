@@ -24,13 +24,14 @@ class SchemaPath:
     ``PO2.DeliverTo.Address.City``) is available via :meth:`dotted` / ``str``.
     """
 
-    __slots__ = ("_elements", "_key")
+    __slots__ = ("_elements", "_key", "_names")
 
     def __init__(self, elements: Sequence[SchemaElement]):
         if not elements:
             raise ValueError("a schema path must contain at least one element")
         self._elements: Tuple[SchemaElement, ...] = tuple(elements)
         self._key: Tuple[int, ...] = tuple(e.element_id for e in self._elements)
+        self._names: Optional[Tuple[str, ...]] = None
 
     # -- basic accessors -------------------------------------------------
 
@@ -68,8 +69,15 @@ class SchemaPath:
 
     @property
     def names(self) -> Tuple[str, ...]:
-        """All element names along the path, root first."""
-        return tuple(element.name for element in self._elements)
+        """All element names along the path, root first (computed once).
+
+        Ranking, tokenization and tie-breaking all consult the name tuple on
+        hot paths, so it is cached on first access; element names are fixed
+        after schema construction.
+        """
+        if self._names is None:
+            self._names = tuple(element.name for element in self._elements)
+        return self._names
 
     @property
     def source_type(self) -> Optional[str]:
