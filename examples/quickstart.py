@@ -4,7 +4,9 @@ Run with::
 
     python examples/quickstart.py
 
-The example imports the relational PO1 schema and the XML PO2 schema (the
+The example opens a :class:`~repro.session.session.MatchSession` (the
+service-shaped public entry point owning the shared matcher library, engine
+and caches), imports the relational PO1 schema and the XML PO2 schema (the
 paper's running example), runs the default match operation (all five hybrid
 matchers combined with Average / Both / Threshold(0.5)+Delta(0.02)), prints the
 proposed mapping, and evaluates it against the intended correspondences.
@@ -12,7 +14,7 @@ proposed mapping, and evaluates it against the intended correspondences.
 
 from __future__ import annotations
 
-from repro import match
+from repro import MatchSession
 from repro.datasets.figure1 import figure1_reference_mapping, load_po1, load_po2
 from repro.evaluation.metrics import evaluate_mapping
 from repro.evaluation.report import format_key_values, format_table
@@ -24,7 +26,8 @@ def main() -> None:
     print(f"PO1: {len(po1.paths())} paths, PO2: {len(po2.paths())} paths "
           f"(shared Address fragment creates multiple paths)\n")
 
-    outcome = match(po1, po2)
+    session = MatchSession()
+    outcome = session.match(po1, po2)
 
     rows = [
         {

@@ -1,28 +1,36 @@
-"""Command-line interface: match two schema files and print the mapping.
+"""Command-line interface: match schema files through a :class:`MatchSession`.
 
 Usage examples::
 
     coma match po1.sql po2.xsd
+    coma match a.xsd b.xsd --strategy "All(Average,Both,Thr(0.5)+Delta(0.02),Average)"
     coma match a.xsd b.xsd --matchers NamePath Leaves --selection "Thr(0.5)+Delta(0.02)"
+    coma match a.xsd b.xsd --repository coma.db --strategy tuned   # stored by name
+    coma strategies                       # list the matcher library
+    coma strategies --repository coma.db  # ... plus the stored named strategies
+    coma strategies --repository coma.db --save tuned "All(Max,Both,Thr(0.6),Dice)"
     coma stats po.xsd
     coma tasks            # list the bundled evaluation tasks and their sizes
 
 The CLI is intentionally thin: everything it does is a few calls into the
-public API, so it doubles as a usage example.
+session-based public API, so it doubles as a usage example.  ``--strategy``
+accepts the full declarative spec grammar of :mod:`repro.core.spec` -- or,
+when a repository is attached, the name of a stored strategy.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.combination.strategy import parse_combination
-from repro.core.match_operation import match
+from repro.core.strategy import MatchStrategy, default_strategy
 from repro.datasets.gold_standard import load_all_tasks
-from repro.evaluation.metrics import evaluate_mapping
 from repro.evaluation.report import format_table
+from repro.exceptions import ComaError
 from repro.importers.registry import DEFAULT_IMPORTERS
+from repro.session import MatchSession
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,17 +44,38 @@ def _build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument("source", help="source schema file (.sql, .xsd, .json)")
     match_parser.add_argument("target", help="target schema file (.sql, .xsd, .json)")
     match_parser.add_argument(
+        "--strategy", default=None,
+        help='full strategy spec, e.g. "All(Average,Both,Thr(0.5)+Delta(0.02),Average)", '
+             "or the name of a strategy stored in the repository",
+    )
+    match_parser.add_argument(
         "--matchers", nargs="+", default=None,
         help="matcher names from the library (default: the five hybrid matchers)",
     )
-    match_parser.add_argument("--aggregation", default="Average",
-                              help="aggregation strategy: Max, Min or Average")
-    match_parser.add_argument("--direction", default="Both",
-                              help="direction strategy: Both, LargeSmall or SmallLarge")
-    match_parser.add_argument("--selection", default="Thr(0.5)+Delta(0.02)",
-                              help='selection strategy, e.g. "MaxN(1)" or "Thr(0.5)+Delta(0.02)"')
+    # The per-part combination flags default to None so an explicitly passed
+    # value is distinguishable from "not given" (--strategy conflicts with any
+    # explicitly given part); the effective defaults live in _resolve_cli_strategy.
+    match_parser.add_argument("--aggregation", default=None,
+                              help="aggregation strategy: Max, Min or Average (default Average)")
+    match_parser.add_argument("--direction", default=None,
+                              help="direction strategy: Both, LargeSmall or SmallLarge (default Both)")
+    match_parser.add_argument("--selection", default=None,
+                              help='selection strategy, e.g. "MaxN(1)" '
+                                   '(default "Thr(0.5)+Delta(0.02)")')
     match_parser.add_argument("--min-similarity", type=float, default=0.0,
                               help="only print correspondences at or above this similarity")
+    match_parser.add_argument("--repository", default=None,
+                              help="SQLite repository file (stored strategies, reuse matchers)")
+
+    strategies_parser = subparsers.add_parser(
+        "strategies", help="list the matcher library and the stored named strategies"
+    )
+    strategies_parser.add_argument("--repository", default=None,
+                                   help="SQLite repository file with stored strategies")
+    strategies_parser.add_argument(
+        "--save", nargs=2, metavar=("NAME", "SPEC"), default=None,
+        help="store a named strategy spec in the repository (requires --repository)",
+    )
 
     stats_parser = subparsers.add_parser("stats", help="print the Table 5 statistics of a schema file")
     stats_parser.add_argument("schema", help="schema file (.sql, .xsd, .json)")
@@ -55,15 +84,49 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _open_session(repository_path: Optional[str]) -> MatchSession:
+    """A session over the default resources, with a repository when requested."""
+    repository = None
+    if repository_path:
+        from repro.repository.repository import Repository
+
+        repository = Repository(repository_path)
+    return MatchSession(repository=repository)
+
+
+def _resolve_cli_strategy(session: MatchSession, arguments: argparse.Namespace) -> MatchStrategy:
+    per_part_flags = ("aggregation", "direction", "selection")
+    if arguments.strategy is not None:
+        if arguments.matchers is not None:
+            raise ComaError("--strategy and --matchers are mutually exclusive; "
+                            "name the matchers inside the strategy spec")
+        # A --strategy spec carries the whole combination, so any explicitly
+        # given per-part flag is a conflict rather than silently ignored.
+        given = [f"--{flag}" for flag in per_part_flags
+                 if getattr(arguments, flag) is not None]
+        if given:
+            raise ComaError(
+                f"--strategy conflicts with {', '.join(given)}; "
+                "put the combination inside the strategy spec instead"
+            )
+        return session.resolve_strategy(arguments.strategy)
+    combination = parse_combination(
+        aggregation=arguments.aggregation or "Average",
+        direction=arguments.direction or "Both",
+        selection=arguments.selection or "Thr(0.5)+Delta(0.02)",
+    )
+    strategy = default_strategy().replaced(combination=combination)
+    if arguments.matchers is not None:
+        strategy = strategy.replaced(matchers=list(arguments.matchers), name="")
+    return strategy
+
+
 def _command_match(arguments: argparse.Namespace) -> int:
+    session = _open_session(arguments.repository)
     source = DEFAULT_IMPORTERS.import_file(arguments.source)
     target = DEFAULT_IMPORTERS.import_file(arguments.target)
-    combination = parse_combination(
-        aggregation=arguments.aggregation,
-        direction=arguments.direction,
-        selection=arguments.selection,
-    )
-    outcome = match(source, target, matchers=arguments.matchers, combination=combination)
+    strategy = _resolve_cli_strategy(session, arguments)
+    outcome = session.match(source, target, strategy=strategy)
     rows = [
         {
             "source": correspondence.source.dotted(),
@@ -74,8 +137,46 @@ def _command_match(arguments: argparse.Namespace) -> int:
         if correspondence.similarity >= arguments.min_similarity
     ]
     print(format_table(rows, title=f"Mapping {source.name} <-> {target.name}"))
-    print(f"\nschema similarity: {outcome.schema_similarity:.3f}")
+    print(f"\nstrategy:          {outcome.strategy.to_spec()}")
+    print(f"schema similarity: {outcome.schema_similarity:.3f}")
     print(f"correspondences:   {len(rows)}")
+    return 0
+
+
+def _command_strategies(arguments: argparse.Namespace) -> int:
+    if arguments.save is not None and not arguments.repository:
+        raise ComaError("--save requires --repository to persist the strategy")
+    session = _open_session(arguments.repository)
+    if arguments.save is not None:
+        name, spec = arguments.save
+        saved = session.save_strategy(name, spec)
+        print(f"stored strategy {name!r}: {saved.to_spec()}")
+
+    library_rows = [
+        {
+            "matcher": info.name,
+            "kind": info.kind,
+            "schema_info": info.schema_info or "-",
+            "auxiliary_info": info.auxiliary_info or "-",
+        }
+        for info in session.library.entries()
+    ]
+    print(format_table(library_rows, title="Matcher library (cf. Table 3)"))
+
+    names = session.strategy_names()
+    if names:
+        # In the CLI every listed name is repository-backed (--save requires
+        # --repository and persists before registering), and the repository
+        # stores the spec column exactly for listings.
+        repository = session.repository
+        strategy_rows = [
+            {"name": name, "spec": repository.strategy_spec(name)} for name in names
+        ]
+        print()
+        print(format_table(strategy_rows, title="Stored named strategies"))
+    else:
+        print("\nno stored named strategies"
+              + ("" if arguments.repository else " (no repository attached)"))
     return 0
 
 
@@ -109,6 +210,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = parser.parse_args(list(argv) if argv is not None else None)
     if arguments.command == "match":
         return _command_match(arguments)
+    if arguments.command == "strategies":
+        return _command_strategies(arguments)
     if arguments.command == "stats":
         return _command_stats(arguments)
     if arguments.command == "tasks":

@@ -21,6 +21,7 @@ child / leaf) similarities.
 from __future__ import annotations
 
 import dataclasses
+import re
 from typing import List, Optional, Sequence
 
 from repro.combination.aggregation import AVERAGE, AggregationStrategy, aggregation_by_name
@@ -92,6 +93,25 @@ class CombinationStrategy:
             f"{self.combined_similarity})"
         )
 
+    def to_spec(self) -> str:
+        """The compact spec form, e.g. ``"Average,Both,Thr(0.5)+Delta(0.02),Average"``.
+
+        The spec round-trips through :func:`combination_from_spec` (and embeds
+        into the full strategy grammar of :meth:`repro.core.strategy.MatchStrategy.to_spec`)
+        for the named aggregation / direction / selection / combined-similarity
+        strategies; a :class:`~repro.combination.aggregation.WeightedAggregation`
+        carries weights the textual form cannot express and does not round-trip.
+        """
+        return (
+            f"{self.aggregation},{self.direction},{self.selection},"
+            f"{self.combined_similarity}"
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "CombinationStrategy":
+        """Parse a spec produced by :meth:`to_spec` (see :func:`combination_from_spec`)."""
+        return combination_from_spec(spec)
+
     def replaced(
         self,
         aggregation: Optional[AggregationStrategy] = None,
@@ -125,44 +145,129 @@ def default_combination() -> CombinationStrategy:
     )
 
 
+#: One selection term: a strategy name, optionally followed by a parenthesised
+#: argument list, e.g. ``MaxN(2)``, ``Delta(0.02,rel)``, ``Thr(0.5)``.
+_SELECTION_TERM = re.compile(r"^([A-Za-z]+\d*)\s*(?:\(\s*([^()]*?)\s*\))?$")
+
+
+def _parse_selection_term(part: str, spec: str) -> SelectionStrategy:
+    term = _SELECTION_TERM.match(part)
+    if term is None:
+        raise StrategyError(f"malformed selection term {part!r} in {spec!r}")
+    name, raw_arguments = term.group(1), term.group(2)
+    arguments = [a.strip() for a in (raw_arguments or "").split(",") if a.strip()]
+    lowered = name.lower()
+    # Paper-style names fold the count into the name: Max1, Max2, MaxN3.
+    trailing = re.match(r"^(maxn?)(\d+)$", lowered)
+    if trailing and not arguments:
+        lowered, arguments = trailing.group(1), [trailing.group(2)]
+    try:
+        if lowered in ("maxn", "max"):
+            return MaxN(int(arguments[0]) if arguments else 1)
+        if lowered in ("delta", "maxdelta"):
+            delta = float(arguments[0]) if arguments else 0.02
+            relative = True
+            if len(arguments) > 1:
+                mode = arguments[1].lower()
+                if mode not in ("rel", "abs"):
+                    raise StrategyError(
+                        f"Delta mode must be 'rel' or 'abs', got {arguments[1]!r} in {spec!r}"
+                    )
+                relative = mode == "rel"
+            return MaxDelta(delta, relative=relative)
+        if lowered in ("thr", "threshold"):
+            return Threshold(float(arguments[0]) if arguments else 0.5)
+    except ValueError as error:
+        raise StrategyError(f"invalid argument in selection {part!r}: {error}") from error
+    raise StrategyError(f"unknown selection strategy {part!r} in {spec!r}")
+
+
 def parse_selection(spec: str) -> SelectionStrategy:
     """Parse a selection specification such as ``"Thr(0.5)+Delta(0.02)"`` or ``"MaxN(2)"``.
 
     The accepted grammar mirrors the names used in the paper's Table 6:
-    ``MaxN(n)``, ``Delta(d)``, ``Thr(t)`` and ``+``-separated combinations.
+    ``MaxN(n)`` (also ``Max1`` .. ``Max4``), ``Delta(d)`` / ``Delta(d,rel)`` /
+    ``Delta(d,abs)``, ``Thr(t)`` and ``+``-separated combinations.  The ``str``
+    form of every selection strategy parses back to an equal strategy.
     """
     parts = [part.strip() for part in spec.split("+") if part.strip()]
     if not parts:
         raise StrategyError(f"empty selection specification: {spec!r}")
-    strategies: List[SelectionStrategy] = []
-    for part in parts:
-        lowered = part.lower()
-        try:
-            if lowered.startswith("maxn"):
-                n = int(_argument(part, default="1"))
-                strategies.append(MaxN(n))
-            elif lowered.startswith("max"):
-                n = int(_argument(part, default="1"))
-                strategies.append(MaxN(n))
-            elif lowered.startswith("delta") or lowered.startswith("maxdelta"):
-                strategies.append(MaxDelta(float(_argument(part, default="0.02"))))
-            elif lowered.startswith("thr"):
-                strategies.append(Threshold(float(_argument(part, default="0.5"))))
-            else:
-                raise StrategyError(f"unknown selection strategy {part!r} in {spec!r}")
-        except ValueError as error:
-            raise StrategyError(f"invalid argument in selection {part!r}: {error}") from error
+    strategies: List[SelectionStrategy] = [
+        _parse_selection_term(part, spec) for part in parts
+    ]
     if len(strategies) == 1:
         return strategies[0]
     return CombinedSelection(strategies)
 
 
-def _argument(part: str, default: str) -> str:
-    if "(" not in part:
-        return default
-    inner = part[part.index("(") + 1:]
-    inner = inner.rstrip(")").strip()
-    return inner or default
+def split_top_level(text: str, separator: str = ",") -> List[str]:
+    """Split ``text`` on ``separator`` occurrences outside any parentheses.
+
+    The building block of the spec grammar: commas inside ``Delta(0.02,rel)``
+    must not split the combination 4-tuple they appear in.
+    """
+    parts: List[str] = []
+    current: List[str] = []
+    depth = 0
+    for character in text:
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth < 0:
+                raise StrategyError(f"unbalanced parentheses in {text!r}")
+        if character == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(character)
+    if depth != 0:
+        raise StrategyError(f"unbalanced parentheses in {text!r}")
+    parts.append("".join(current))
+    return [part.strip() for part in parts]
+
+
+def _strip_outer_parentheses(text: str) -> str:
+    """Remove one pair of outer parentheses if they enclose the whole text."""
+    if not (text.startswith("(") and text.endswith(")")):
+        return text
+    depth = 0
+    for index, character in enumerate(text):
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth == 0 and index < len(text) - 1:
+                return text  # the first "(" closes early: not an outer pair
+    return text[1:-1].strip()
+
+
+def combination_from_spec(spec: str) -> CombinationStrategy:
+    """Parse a full combination spec, e.g. ``"Average,Both,Thr(0.5)+Delta(0.02),Average"``.
+
+    The spec lists aggregation, direction, selection and (optionally, default
+    ``Average``) combined similarity, separated by top-level commas; the
+    paper-style parenthesised tuple notation of :meth:`CombinationStrategy.describe`
+    is accepted as well.
+    """
+    text = _strip_outer_parentheses(spec.strip())
+    parts = [part for part in split_top_level(text, ",")]
+    if any(not part for part in parts):
+        raise StrategyError(f"empty sub-strategy in combination spec {spec!r}")
+    if len(parts) == 3:
+        parts.append("Average")
+    if len(parts) != 4:
+        raise StrategyError(
+            f"a combination spec needs 3 or 4 sub-strategies "
+            f"(aggregation, direction, selection[, combined similarity]), got {spec!r}"
+        )
+    return CombinationStrategy(
+        aggregation=aggregation_by_name(parts[0]),
+        direction=direction_by_name(parts[1]),
+        selection=parse_selection(parts[2]),
+        combined_similarity=combined_similarity_by_name(parts[3]),
+    )
 
 
 def parse_combination(
@@ -171,7 +276,11 @@ def parse_combination(
     selection: str = "Thr(0.5)+Delta(0.02)",
     combined_similarity: str = "Average",
 ) -> CombinationStrategy:
-    """Build a :class:`CombinationStrategy` from the four textual sub-strategy names."""
+    """Build a :class:`CombinationStrategy` from the four textual sub-strategy names.
+
+    This is the historical per-part entry point; :func:`combination_from_spec`
+    parses the same information from one spec string.
+    """
     return CombinationStrategy(
         aggregation=aggregation_by_name(aggregation),
         direction=direction_by_name(direction),

@@ -19,7 +19,7 @@ entry point: ``match(schema_a, schema_b)`` runs the paper's default strategy.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.auxiliary.synonyms import SynonymDictionary, default_purchase_order_synonyms
 from repro.combination.cube import SimilarityCube
@@ -66,9 +66,17 @@ def build_context(
     type_compatibility: Optional[TypeCompatibilityTable] = None,
     feedback: Optional[UserFeedbackStore] = None,
     repository: Optional["Repository"] = None,
+    profile_cache: Optional[Dict[Tuple, object]] = None,
 ) -> MatchContext:
-    """Assemble the match context shared by all matchers of one operation."""
-    return MatchContext(
+    """Assemble the match context shared by all matchers of one operation.
+
+    ``profile_cache`` (when given) is used as the context's path-profile cache
+    *by reference*: passing the same dict to several contexts shares the
+    per-schema :class:`~repro.engine.profiles.PathSetProfile` objects across
+    operations, which is how :class:`~repro.session.session.MatchSession`
+    builds each schema's profile at most once per session.
+    """
+    context = MatchContext(
         source_schema=source,
         target_schema=target,
         tokenizer=tokenizer if tokenizer is not None else NameTokenizer(),
@@ -83,6 +91,9 @@ def build_context(
         feedback=feedback,
         repository=repository,
     )
+    if profile_cache is not None:
+        context.profile_cache = profile_cache
+    return context
 
 
 def execute_matchers(

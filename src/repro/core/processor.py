@@ -20,9 +20,11 @@ because the feedback store overrides the aggregated matrix.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional
 
 from repro.core.match_operation import MatchOutcome, build_context, match_with_strategy
+from repro.matchers.base import MatchContext
 from repro.core.strategy import MatchStrategy, default_strategy
 from repro.engine.engine import MatchEngine
 from repro.exceptions import ComaError
@@ -45,16 +47,43 @@ class MatchProcessor:
         repository=None,
         synonyms=None,
         engine: Optional[MatchEngine] = None,
+        feedback: Optional[UserFeedbackStore] = None,
+        context: Optional[MatchContext] = None,
     ):
+        """Set up the processor; ``feedback`` and ``context`` allow injection.
+
+        A :class:`~repro.session.session.MatchSession` passes a pre-built
+        context (sharing the session's caches) and the feedback store to use;
+        standalone use keeps the historical behaviour of building both here.
+        """
         self._source = source
         self._target = target
         self._strategy = strategy if strategy is not None else default_strategy()
         self._library = library
         self._engine = engine
-        self._feedback = UserFeedbackStore()
-        self._context = build_context(
-            source, target, synonyms=synonyms, feedback=self._feedback, repository=repository
-        )
+        if context is not None and (
+            context.source_schema is not source or context.target_schema is not target
+        ):
+            raise ComaError(
+                "the injected context must be built over the processor's schema pair"
+            )
+        if feedback is not None:
+            self._feedback = feedback
+        elif context is not None and context.feedback is not None:
+            self._feedback = context.feedback
+        else:
+            self._feedback = UserFeedbackStore()
+        if context is None:
+            context = build_context(
+                source, target, synonyms=synonyms, feedback=self._feedback,
+                repository=repository,
+            )
+        elif context.feedback is not self._feedback:
+            # A non-mutating copy keeps the caller's context intact while the
+            # processor records feedback in its own store; the profile cache
+            # is carried over by reference.
+            context = dataclasses.replace(context, feedback=self._feedback)
+        self._context = context
         self._iterations: List[MatchOutcome] = []
 
     # -- configuration ----------------------------------------------------------------

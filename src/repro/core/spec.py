@@ -1,0 +1,199 @@
+"""The declarative strategy spec: one grammar for the *whole* match strategy.
+
+COMA treats the match strategy -- the matchers to run plus the combination
+4-tuple applied to their similarity cube -- as a first-class, storable object:
+strategies live in the repository next to schemas and cubes, are addressable
+from the CLI and configuration files, and are reported in the paper's own
+compact notation.  This module defines that textual form and a parallel
+dict/JSON form::
+
+    spec     := matchers [ "(" combination ")" ]
+    matchers := usage ("+" usage)*
+    usage    := "All" | <library matcher name>
+    combination := aggregation "," direction "," selection ["," combined]
+
+Examples::
+
+    All(Average,Both,Thr(0.5)+Delta(0.02),Average)   # the paper's default
+    NamePath+Leaves(Max,Both,MaxN(1),Dice)
+    All+SchemaM(Average,Both,Thr(0.5)+Delta(0.02),Average)
+    Name                                             # default combination
+
+``All`` expands to the five hybrid matchers of the evaluation
+(:data:`~repro.matchers.registry.EVALUATION_HYBRID_MATCHERS`); the combination
+part uses the grammar of
+:func:`~repro.combination.strategy.combination_from_spec`.  Parsing and
+serialisation round-trip: ``MatchStrategy.parse(strategy.to_spec())`` equals
+``strategy`` for every strategy whose matchers are referenced by library name
+(matcher *instances* serialise as their names and are re-created from the
+library on parse).
+
+The dict form additionally carries the fields the compact string omits
+(``apply_feedback_overrides``, the display ``name``), making it the canonical
+persistence format for :meth:`repro.repository.repository.Repository.store_strategy`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple, TYPE_CHECKING
+
+from repro.combination.strategy import (
+    CombinationStrategy,
+    aggregation_by_name,
+    combination_from_spec,
+    combined_similarity_by_name,
+    default_combination,
+    direction_by_name,
+    parse_selection,
+)
+from repro.exceptions import StrategyError
+from repro.matchers.registry import EVALUATION_HYBRID_MATCHERS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.strategy import MatchStrategy
+    from repro.matchers.registry import MatcherLibrary
+
+#: The matcher-usage alias expanding to the five evaluation hybrid matchers.
+ALL_MATCHERS_LABEL = "All"
+
+
+def matcher_label(names: Tuple[str, ...]) -> str:
+    """The compact matcher-usage label of a matcher name tuple.
+
+    The five hybrid matchers in evaluation order collapse to ``"All"`` (and
+    ``"All+X"`` with one trailing extra matcher), mirroring the labels of the
+    paper's Table 6 / Figure 12; anything else is the ``+``-joined name list.
+    """
+    hybrids = tuple(EVALUATION_HYBRID_MATCHERS)
+    if names == hybrids:
+        return ALL_MATCHERS_LABEL
+    if len(names) == len(hybrids) + 1 and names[: len(hybrids)] == hybrids:
+        return f"{ALL_MATCHERS_LABEL}+{names[-1]}"
+    return "+".join(names)
+
+
+def _expand_matcher_part(head: str, spec: str) -> List[str]:
+    names: List[str] = []
+    for token in head.split("+"):
+        token = token.strip()
+        if not token:
+            raise StrategyError(f"empty matcher name in strategy spec {spec!r}")
+        if token == ALL_MATCHERS_LABEL:
+            names.extend(EVALUATION_HYBRID_MATCHERS)
+        else:
+            names.append(token)
+    return names
+
+
+def parse_strategy_spec(
+    spec: str, library: Optional["MatcherLibrary"] = None
+) -> "MatchStrategy":
+    """Parse a full strategy spec into a :class:`~repro.core.strategy.MatchStrategy`.
+
+    When ``library`` is given, every matcher name is validated against it up
+    front (unknown names raise :class:`~repro.exceptions.StrategyError` at
+    parse time rather than at the first :meth:`resolve_matchers` call).
+    """
+    from repro.core.strategy import MatchStrategy
+
+    if not isinstance(spec, str) or not spec.strip():
+        raise StrategyError(f"a strategy spec must be a non-empty string, got {spec!r}")
+    text = spec.strip()
+    opening = text.find("(")
+    if opening >= 0:
+        if not text.endswith(")"):
+            raise StrategyError(f"unbalanced parentheses in strategy spec {spec!r}")
+        head = text[:opening].strip()
+        combination = combination_from_spec(text[opening + 1 : -1])
+    else:
+        head = text
+        combination = default_combination()
+    if not head:
+        raise StrategyError(f"strategy spec {spec!r} names no matchers")
+    names = _expand_matcher_part(head, spec)
+    if library is not None:
+        unknown = [name for name in names if name not in library]
+        if unknown:
+            raise StrategyError(
+                f"unknown matchers {unknown} in strategy spec {spec!r}; "
+                f"known matchers: {', '.join(library.names())}"
+            )
+    return MatchStrategy(
+        matchers=names, combination=combination, name=matcher_label(tuple(names))
+    )
+
+
+def strategy_to_spec(strategy: "MatchStrategy") -> str:
+    """Serialise a strategy to the compact spec form.
+
+    Matcher instances contribute their ``name`` attribute, so a strategy
+    carrying configured instances serialises to a spec that re-creates
+    library-default instances on parse.
+    """
+    return f"{matcher_label(strategy.matcher_names())}({strategy.combination.to_spec()})"
+
+
+def strategy_to_dict(strategy: "MatchStrategy") -> dict:
+    """The dict/JSON form of a strategy (the repository's persistence format)."""
+    combination = strategy.combination
+    return {
+        "name": strategy.name,
+        "matchers": list(strategy.matcher_names()),
+        "combination": {
+            "aggregation": str(combination.aggregation),
+            "direction": str(combination.direction),
+            "selection": str(combination.selection),
+            "combined_similarity": str(combination.combined_similarity),
+        },
+        "apply_feedback_overrides": bool(strategy.apply_feedback_overrides),
+    }
+
+
+def _combination_from_value(value: object, spec: object) -> CombinationStrategy:
+    if value is None:
+        return default_combination()
+    if isinstance(value, CombinationStrategy):
+        return value
+    if isinstance(value, str):
+        return combination_from_spec(value)
+    if isinstance(value, Mapping):
+        return CombinationStrategy(
+            aggregation=aggregation_by_name(str(value.get("aggregation", "Average"))),
+            direction=direction_by_name(str(value.get("direction", "Both"))),
+            selection=parse_selection(str(value.get("selection", "Thr(0.5)+Delta(0.02)"))),
+            combined_similarity=combined_similarity_by_name(
+                str(value.get("combined_similarity", "Average"))
+            ),
+        )
+    raise StrategyError(f"cannot interpret combination {value!r} in strategy dict {spec!r}")
+
+
+def strategy_from_dict(
+    data: Mapping, library: Optional["MatcherLibrary"] = None
+) -> "MatchStrategy":
+    """Rebuild a strategy from its dict/JSON form (inverse of :func:`strategy_to_dict`)."""
+    from repro.core.strategy import MatchStrategy
+
+    if not isinstance(data, Mapping):
+        raise StrategyError(f"a strategy dict must be a mapping, got {data!r}")
+    raw_matchers = data.get("matchers")
+    if isinstance(raw_matchers, str):
+        raise StrategyError(
+            f"'matchers' must be a list of names, not the string {raw_matchers!r}; "
+            f"use MatchStrategy.parse for the compact spec form"
+        )
+    if not raw_matchers or not all(isinstance(name, str) for name in raw_matchers):
+        raise StrategyError(
+            f"strategy dict must list matcher names under 'matchers', got {raw_matchers!r}"
+        )
+    names = list(raw_matchers)
+    if library is not None:
+        unknown = [name for name in names if name not in library]
+        if unknown:
+            raise StrategyError(f"unknown matchers {unknown} in strategy dict")
+    return MatchStrategy(
+        matchers=names,
+        combination=_combination_from_value(data.get("combination"), data),
+        apply_feedback_overrides=bool(data.get("apply_feedback_overrides", True)),
+        name=str(data.get("name") or matcher_label(tuple(names))),
+    )

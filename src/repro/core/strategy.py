@@ -12,7 +12,7 @@ as the most effective no-reuse configuration in Section 7.2.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.combination.strategy import CombinationStrategy, default_combination
 from repro.exceptions import StrategyError
@@ -25,7 +25,14 @@ MatcherReference = Union[Matcher, str]
 
 @dataclasses.dataclass
 class MatchStrategy:
-    """The configuration of one automatic match operation."""
+    """The configuration of one automatic match operation.
+
+    A strategy has a declarative textual form (see :mod:`repro.core.spec`):
+    :meth:`parse` builds a strategy from a spec such as
+    ``"All(Average,Both,Thr(0.5)+Delta(0.02),Average)"`` and :meth:`to_spec`
+    serialises it back; :meth:`to_dict` / :meth:`from_dict` provide the
+    JSON-friendly form the repository persists named strategies in.
+    """
 
     matchers: Sequence[MatcherReference] = dataclasses.field(
         default_factory=lambda: list(EVALUATION_HYBRID_MATCHERS)
@@ -33,8 +40,9 @@ class MatchStrategy:
     combination: CombinationStrategy = dataclasses.field(default_factory=default_combination)
     #: Enforce user feedback (accepted -> 1.0, rejected -> 0.0) after aggregation.
     apply_feedback_overrides: bool = True
-    #: Optional human-readable name shown in reports.
-    name: str = ""
+    #: Optional human-readable name shown in reports (a display label only:
+    #: excluded from equality so parsed specs compare by behaviour).
+    name: str = dataclasses.field(default="", compare=False)
 
     def resolve_matchers(self, library: Optional[MatcherLibrary] = None) -> List[Matcher]:
         """Instantiate all referenced matchers through ``library`` (default library)."""
@@ -70,14 +78,53 @@ class MatchStrategy:
         matchers: Optional[Sequence[MatcherReference]] = None,
         combination: Optional[CombinationStrategy] = None,
         name: Optional[str] = None,
+        apply_feedback_overrides: Optional[bool] = None,
     ) -> "MatchStrategy":
         """A copy with some fields replaced."""
         return MatchStrategy(
             matchers=list(matchers) if matchers is not None else list(self.matchers),
             combination=combination if combination is not None else self.combination,
-            apply_feedback_overrides=self.apply_feedback_overrides,
+            apply_feedback_overrides=(
+                self.apply_feedback_overrides
+                if apply_feedback_overrides is None
+                else bool(apply_feedback_overrides)
+            ),
             name=name if name is not None else self.name,
         )
+
+    # -- declarative spec / serialisation -------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, library: Optional[MatcherLibrary] = None) -> "MatchStrategy":
+        """Parse a full strategy spec, e.g. ``"All(Average,Both,Thr(0.5)+Delta(0.02),Average)"``.
+
+        See :mod:`repro.core.spec` for the grammar.  ``library`` (when given)
+        validates matcher names at parse time.
+        """
+        from repro.core.spec import parse_strategy_spec
+
+        return parse_strategy_spec(spec, library=library)
+
+    def to_spec(self) -> str:
+        """The compact spec form; round-trips through :meth:`parse`."""
+        from repro.core.spec import strategy_to_spec
+
+        return strategy_to_spec(self)
+
+    def to_dict(self) -> dict:
+        """The dict/JSON form (includes the fields the compact spec omits)."""
+        from repro.core.spec import strategy_to_dict
+
+        return strategy_to_dict(self)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping, library: Optional[MatcherLibrary] = None
+    ) -> "MatchStrategy":
+        """Rebuild a strategy from its dict/JSON form (inverse of :meth:`to_dict`)."""
+        from repro.core.spec import strategy_from_dict
+
+        return strategy_from_dict(data, library=library)
 
 
 def default_strategy() -> MatchStrategy:

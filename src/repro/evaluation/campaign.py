@@ -19,7 +19,7 @@ afterwards (Section 3).  The campaign does exactly that:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.combination.combined import AVERAGE_COMBINED, DICE_COMBINED
 from repro.combination.cube import SimilarityCube
@@ -116,7 +116,14 @@ class EvaluationCampaign:
         hybrid_matchers: Sequence[str] = EVALUATION_HYBRID_MATCHERS,
         variants: Sequence[str] = ("Average", "Dice"),
         engine: Optional[MatchEngine] = None,
+        context_factory: Optional[Callable[..., MatchContext]] = None,
     ):
+        """``context_factory(source, target)`` overrides per-task context creation.
+
+        A :class:`~repro.session.session.MatchSession` passes its own factory
+        so the campaign's matcher executions share the session's path-profile
+        caches; the default builds independent contexts as before.
+        """
         self._tasks = list(tasks) if tasks is not None else load_all_tasks()
         if not self._tasks:
             raise EvaluationError("an evaluation campaign needs at least one match task")
@@ -124,6 +131,7 @@ class EvaluationCampaign:
         self._hybrid_names = tuple(hybrid_matchers)
         self._variants = tuple(variants)
         self._engine = engine if engine is not None else DEFAULT_ENGINE
+        self._context_factory = context_factory if context_factory is not None else build_context
         self._workbenches: Dict[str, TaskWorkbench] = {}
         self._automatic_mappings: Dict[str, MatchResult] = {}
         self._manual_store = InMemoryMappingStore()
@@ -147,7 +155,7 @@ class EvaluationCampaign:
             raise EvaluationError(f"unknown hybrid matchers in campaign: {unknown}")
 
         for task in self._tasks:
-            context = build_context(task.source, task.target)
+            context = self._context_factory(task.source, task.target)
             workbench = TaskWorkbench(task, context)
             for variant in self._variants:
                 combined = DICE_COMBINED if variant == "Dice" else AVERAGE_COMBINED

@@ -51,6 +51,10 @@ class StrategyError(CombinationError):
     """Raised when a match strategy is inconsistent (e.g. unknown sub-strategy name)."""
 
 
+class SessionError(ComaError):
+    """Raised when a :class:`~repro.session.session.MatchSession` is misused."""
+
+
 class RepositoryError(ComaError):
     """Raised when the persistent repository cannot store or retrieve an object."""
 

@@ -1,6 +1,6 @@
 """The DBMS-based repository (Section 3 / Section 8), backed by SQLite.
 
-The repository stores three kinds of objects:
+The repository stores four kinds of objects:
 
 * **schemas** -- the imported schema graphs (loss-lessly serialised),
 * **mappings** -- complete (possibly user-confirmed) match results in the
@@ -9,7 +9,11 @@ The repository stores three kinds of objects:
   variants can filter them,
 * **similarity cubes** -- the intermediate matcher-specific similarity values
   of a match task, so combination strategies can be re-run without re-running
-  the matchers.
+  the matchers,
+* **strategies** -- named declarative strategy specs (see
+  :mod:`repro.core.spec`), stored in both the compact spec form (for listing)
+  and the complete dict/JSON form (for loss-less reload), so tuned strategies
+  are addressable by name from sessions, the CLI and configuration.
 
 The class implements the :class:`~repro.matchers.reuse.provider.MappingProvider`
 protocol, so it can be handed directly to the reuse matchers via
@@ -18,15 +22,20 @@ protocol, so it can be handed directly to the reuse matchers via
 
 from __future__ import annotations
 
+import json
 import sqlite3
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.combination.cube import SimilarityCube
-from repro.exceptions import RepositoryError
+from repro.exceptions import ComaError, RepositoryError
 from repro.matchers.reuse.provider import MappingRow, StoredMapping
 from repro.model.mapping import MatchResult
 from repro.model.schema import Schema
 from repro.repository.serialization import schema_from_json, schema_to_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.strategy import MatchStrategy
+    from repro.matchers.registry import MatcherLibrary
 
 _SCHEMA_DDL = """
 CREATE TABLE IF NOT EXISTS schemas (
@@ -59,6 +68,11 @@ CREATE TABLE IF NOT EXISTS cube_entries (
     similarity   REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_cube_task ON cube_entries (task, matcher);
+CREATE TABLE IF NOT EXISTS strategies (
+    name       TEXT PRIMARY KEY,
+    spec       TEXT NOT NULL,
+    document   TEXT NOT NULL
+);
 """
 
 
@@ -263,6 +277,92 @@ class Repository:
                 "SELECT COUNT(*) FROM mappings WHERE origin = ?", (origin,)
             ).fetchone()
         return int(row[0])
+
+    # -- strategies ----------------------------------------------------------------------------
+
+    def store_strategy(
+        self, name: str, strategy: "MatchStrategy | str", replace: bool = True
+    ) -> None:
+        """Persist a named strategy (an object or a declarative spec string).
+
+        Matcher references are stored by *name*: a strategy carrying
+        pre-configured matcher instances reloads as library-default instances.
+        """
+        from repro.core.strategy import MatchStrategy
+
+        if isinstance(strategy, str):
+            strategy = MatchStrategy.parse(strategy)
+        if not name:
+            raise RepositoryError("a stored strategy needs a non-empty name")
+        document = json.dumps(strategy.to_dict(), sort_keys=True)
+        spec = strategy.to_spec()
+        try:
+            # Validate at write time that the document reloads: a strategy
+            # whose sub-strategies have no textual form (e.g. a Weighted
+            # aggregation) must fail here, not on every later listing/load.
+            MatchStrategy.from_dict(json.loads(document))
+        except ComaError as error:
+            raise RepositoryError(
+                f"strategy {name!r} cannot be stored: its serialised form does "
+                f"not reload ({error})"
+            ) from error
+        try:
+            if replace:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO strategies (name, spec, document) "
+                    "VALUES (?, ?, ?)",
+                    (name, spec, document),
+                )
+            else:
+                self._connection.execute(
+                    "INSERT INTO strategies (name, spec, document) VALUES (?, ?, ?)",
+                    (name, spec, document),
+                )
+        except sqlite3.IntegrityError as error:
+            raise RepositoryError(f"strategy {name!r} is already stored") from error
+        self._connection.commit()
+
+    def load_strategy(
+        self, name: str, library: Optional["MatcherLibrary"] = None
+    ) -> "MatchStrategy":
+        """Load a stored strategy by name (optionally validated against ``library``)."""
+        from repro.core.strategy import MatchStrategy
+
+        row = self._connection.execute(
+            "SELECT document FROM strategies WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise RepositoryError(f"no strategy named {name!r} in the repository")
+        return MatchStrategy.from_dict(json.loads(row[0]), library=library)
+
+    def strategy_spec(self, name: str) -> str:
+        """The compact spec form of a stored strategy (for listings)."""
+        row = self._connection.execute(
+            "SELECT spec FROM strategies WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise RepositoryError(f"no strategy named {name!r} in the repository")
+        return row[0]
+
+    def strategy_names(self) -> Tuple[str, ...]:
+        """Names of all stored strategies, sorted."""
+        rows = self._connection.execute(
+            "SELECT name FROM strategies ORDER BY name"
+        ).fetchall()
+        return tuple(r[0] for r in rows)
+
+    def has_strategy(self, name: str) -> bool:
+        """True if a strategy with this name is stored."""
+        row = self._connection.execute(
+            "SELECT 1 FROM strategies WHERE name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    def delete_strategy(self, name: str) -> bool:
+        """Delete a stored strategy; returns True if one was removed."""
+        cursor = self._connection.execute("DELETE FROM strategies WHERE name = ?", (name,))
+        self._connection.commit()
+        return cursor.rowcount > 0
 
     # -- similarity cubes ----------------------------------------------------------------------
 

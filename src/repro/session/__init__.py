@@ -1,0 +1,32 @@
+"""The session layer: COMA's service-shaped public entry point.
+
+:class:`~repro.session.session.MatchSession` owns the shared resources of
+many match operations; :func:`default_session` provides the lazily created
+process-wide session backing the deprecated free-function shims in
+:mod:`repro`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.session.session import MatchSession
+
+_default_session: Optional[MatchSession] = None
+
+
+def default_session() -> MatchSession:
+    """The lazily created process-wide session used by the free-function shims."""
+    global _default_session
+    if _default_session is None:
+        _default_session = MatchSession()
+    return _default_session
+
+
+def reset_default_session() -> None:
+    """Drop the process-wide default session (mainly for tests)."""
+    global _default_session
+    _default_session = None
+
+
+__all__ = ["MatchSession", "default_session", "reset_default_session"]

@@ -1,0 +1,496 @@
+"""The match session: COMA as a long-lived service object.
+
+The paper describes COMA as a *system*: schemas, similarity cubes, mappings
+and strategies live in a repository and many match operations reuse them.  A
+:class:`MatchSession` is the in-process embodiment of that idea -- a
+service-shaped entry point constructed once with the shared resources every
+operation needs (matcher library, batch engine, tokenizer, synonym dictionary,
+type-compatibility table, optional feedback store and repository) and reused
+across arbitrarily many operations:
+
+* :meth:`~MatchSession.match` / :meth:`~MatchSession.match_many` run automatic
+  match operations through the batch :class:`~repro.engine.engine.MatchEngine`,
+* :meth:`~MatchSession.iterate` opens an interactive
+  :class:`~repro.core.processor.MatchProcessor` on the session's resources,
+* :meth:`~MatchSession.evaluate` spins up an
+  :class:`~repro.evaluation.campaign.EvaluationCampaign` whose per-task
+  contexts share the session caches,
+* :meth:`~MatchSession.save_strategy` / :meth:`~MatchSession.load_strategy`
+  manage named declarative strategy specs, persisted through the repository
+  when one is attached.
+
+Two cross-operation caches amortise work the stateless free functions redo on
+every call:
+
+* the **profile cache** shares each schema's
+  :class:`~repro.engine.profiles.PathSetProfile` (tokenized names, n-gram
+  sets, soundex codes, generic types) across all operations of the session --
+  an all-pairs campaign over ``n`` schemas builds ``n`` profiles instead of
+  ``n * (n - 1)``;
+* the **cube cache** keeps the matcher-specific
+  :class:`~repro.combination.cube.SimilarityCube` of each (schema pair,
+  matcher usage), so re-matching a pair under a different combination
+  strategy -- the paper's core workflow when tuning strategies (Section 3
+  stores cubes in the repository for exactly this reason) -- skips matcher
+  execution entirely and only re-runs the combination pipeline.
+
+Cubes are cached only for deterministic matcher usages (simple and hybrid
+library matchers referenced by name).  Strategies naming reuse matchers or
+``UserFeedback``, or carrying pre-configured matcher instances, bypass the
+cube cache because their results depend on state outside the cube key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
+
+from repro.auxiliary.synonyms import SynonymDictionary, default_purchase_order_synonyms
+from repro.combination.cube import SimilarityCube
+from repro.core.match_operation import MatchOutcome, combine_cube
+from repro.core.processor import MatchProcessor
+from repro.core.strategy import MatchStrategy, default_strategy
+from repro.engine.engine import DEFAULT_ENGINE, MatchEngine
+from repro.engine.profiles import PathSetProfile
+from repro.exceptions import SessionError, UnknownMatcherError
+from repro.linguistic.tokenizer import NameTokenizer
+from repro.matchers.base import MatchContext
+from repro.matchers.registry import DEFAULT_LIBRARY, MatcherLibrary
+from repro.matchers.simple.user_feedback import UserFeedbackStore
+from repro.model.datatypes import DEFAULT_TYPE_COMPATIBILITY, TypeCompatibilityTable
+from repro.model.path import SchemaPath
+from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.campaign import EvaluationCampaign
+    from repro.repository.repository import Repository
+
+#: How callers may reference a strategy: an object, a spec / stored name, or
+#: ``None`` for the session default.
+StrategyLike = Union[MatchStrategy, str, None]
+
+#: One batch item: ``(source, target)`` or ``(source, target, strategy)``.
+MatchRequest = Union[
+    Tuple[Schema, Schema],
+    Tuple[Schema, Schema, StrategyLike],
+]
+
+#: Matcher kinds whose similarity cubes are fully determined by the session's
+#: shared resources (reuse matchers depend on mutable mapping stores and
+#: ``UserFeedback`` on the feedback store, so their cubes are never cached).
+_CACHEABLE_KINDS = frozenset({"simple", "hybrid"})
+
+#: Sentinel distinguishing "no feedback override" from "explicitly no store".
+_UNSET = object()
+
+
+class MatchSession:
+    """A long-lived match service owning the resources shared by all operations.
+
+    Parameters
+    ----------
+    library:
+        The matcher library strategies resolve their matcher names against
+        (default: :data:`~repro.matchers.registry.DEFAULT_LIBRARY`).
+    engine:
+        The :class:`~repro.engine.engine.MatchEngine` executing matcher
+        batches (default: the vectorized sequential engine).
+    strategy:
+        The default strategy of :meth:`match` / :meth:`match_many`; a
+        :class:`~repro.core.strategy.MatchStrategy` or a spec string
+        (default: the paper's default operation).
+    tokenizer / synonyms / type_compatibility:
+        The linguistic resources shared by every context the session builds
+        (the type-compatibility table is copied per context; mutating the
+        session's table reconfigures subsequently built contexts only).
+    feedback:
+        An optional session-wide user-feedback store applied to every
+        operation (individual calls may override it).
+    repository:
+        An optional :class:`~repro.repository.repository.Repository` used by
+        reuse matchers and for persisting named strategies.
+    cache_cubes:
+        Keep similarity cubes per (schema pair, matcher usage) so repeated
+        matches of a pair (e.g. under different combination strategies) skip
+        matcher execution.  Enabled by default.
+    max_cached_cubes / max_cached_profiles:
+        Bounds on the two caches (oldest entries are evicted first), keeping a
+        long-lived session's memory finite under a stream of distinct schema
+        pairs.  The defaults comfortably cover the bundled evaluation
+        workloads; pass ``None`` for an unbounded cache.
+    """
+
+    #: Default cache bounds: enough for the all-pairs Figure 8 campaign with
+    #: plenty of headroom, while keeping a serving session's memory finite.
+    DEFAULT_MAX_CACHED_CUBES = 256
+    DEFAULT_MAX_CACHED_PROFILES = 1024
+
+    def __init__(
+        self,
+        library: Optional[MatcherLibrary] = None,
+        engine: Optional[MatchEngine] = None,
+        strategy: StrategyLike = None,
+        tokenizer: Optional[NameTokenizer] = None,
+        synonyms: Optional[SynonymDictionary] = None,
+        type_compatibility: Optional[TypeCompatibilityTable] = None,
+        feedback: Optional[UserFeedbackStore] = None,
+        repository: Optional["Repository"] = None,
+        cache_cubes: bool = True,
+        max_cached_cubes: Optional[int] = DEFAULT_MAX_CACHED_CUBES,
+        max_cached_profiles: Optional[int] = DEFAULT_MAX_CACHED_PROFILES,
+    ):
+        self._library = library if library is not None else DEFAULT_LIBRARY
+        self._engine = engine if engine is not None else DEFAULT_ENGINE
+        self._tokenizer = tokenizer if tokenizer is not None else NameTokenizer()
+        self._synonyms = (
+            synonyms if synonyms is not None else default_purchase_order_synonyms()
+        )
+        self._type_compatibility = (
+            type_compatibility
+            if type_compatibility is not None
+            else DEFAULT_TYPE_COMPATIBILITY.copy()
+        )
+        self._feedback = feedback
+        self._repository = repository
+        self._cache_cubes = bool(cache_cubes)
+        for bound, label in ((max_cached_cubes, "max_cached_cubes"),
+                             (max_cached_profiles, "max_cached_profiles")):
+            if bound is not None and bound < 1:
+                raise SessionError(f"{label} must be >= 1 or None, got {bound}")
+        self._max_cached_cubes = max_cached_cubes
+        self._max_cached_profiles = max_cached_profiles
+        self._profile_cache: Dict[Tuple[SchemaPath, ...], PathSetProfile] = {}
+        self._cube_cache: Dict[tuple, SimilarityCube] = {}
+        self._cube_hits = 0
+        self._cube_misses = 0
+        self._named_strategies: Dict[str, MatchStrategy] = {}
+        # resolve_strategy needs library / repository / named registry in place,
+        # and accepts the same references (object, spec or stored name) here as
+        # every other strategy entry point.
+        self._default_strategy = default_strategy()
+        if strategy is not None:
+            self._default_strategy = self.resolve_strategy(strategy)
+
+    # -- shared resources ------------------------------------------------------
+
+    @property
+    def library(self) -> MatcherLibrary:
+        """The matcher library strategies are resolved against."""
+        return self._library
+
+    @property
+    def engine(self) -> MatchEngine:
+        """The engine executing matcher batches."""
+        return self._engine
+
+    @property
+    def repository(self) -> Optional["Repository"]:
+        """The attached repository (``None`` for a repository-less session)."""
+        return self._repository
+
+    @property
+    def feedback(self) -> Optional[UserFeedbackStore]:
+        """The session-wide user-feedback store, if configured."""
+        return self._feedback
+
+    @property
+    def default_strategy(self) -> MatchStrategy:
+        """The strategy used when a call does not specify one."""
+        return self._default_strategy
+
+    def set_default_strategy(self, strategy: StrategyLike) -> MatchStrategy:
+        """Replace the session's default strategy (object, spec or stored name)."""
+        self._default_strategy = self.resolve_strategy(strategy)
+        return self._default_strategy
+
+    # -- contexts and profiles -------------------------------------------------
+
+    def context_for(
+        self, source: Schema, target: Schema, feedback: object = _UNSET
+    ) -> MatchContext:
+        """A match context over the session's shared resources.
+
+        All contexts of one session share the same profile-cache dict, so
+        path-set profiles are computed once per schema per session regardless
+        of how many operations touch that schema.  The type-compatibility
+        table is *copied* per context (preserving the per-operation isolation
+        :class:`~repro.matchers.base.MatchContext` documents): customising one
+        operation's table cannot leak into others, while reconfiguring the
+        session's own table affects all subsequently built contexts.
+        """
+        return MatchContext(
+            source_schema=source,
+            target_schema=target,
+            tokenizer=self._tokenizer,
+            synonyms=self._synonyms,
+            type_compatibility=self._type_compatibility.copy(),
+            feedback=self._feedback if feedback is _UNSET else feedback,  # type: ignore[arg-type]
+            repository=self._repository,
+            profile_cache=self._profile_cache,
+        )
+
+    def profile_for(self, schema: Schema) -> PathSetProfile:
+        """The (session-cached) path-set profile of a schema's full path set."""
+        key = tuple(schema.paths())
+        profile = self._profile_cache.get(key)
+        if profile is None:
+            profile = PathSetProfile(key, self._tokenizer)
+            self._profile_cache[key] = profile
+            self._trim_caches()
+        return profile
+
+    # -- strategies ------------------------------------------------------------
+
+    def resolve_strategy(self, strategy: StrategyLike) -> MatchStrategy:
+        """Resolve a strategy reference: ``None`` (session default), an object,
+        a stored strategy name, or a declarative spec string."""
+        if strategy is None:
+            return self._default_strategy
+        if isinstance(strategy, MatchStrategy):
+            return strategy
+        if isinstance(strategy, str):
+            named = self._named_strategies.get(strategy)
+            if named is not None:
+                return named
+            # Stored names never contain parentheses (save_strategy rejects
+            # them), so full specs skip the per-call repository lookup.
+            if (
+                "(" not in strategy
+                and self._repository is not None
+                and self._repository.has_strategy(strategy)
+            ):
+                return self.load_strategy(strategy)
+            return MatchStrategy.parse(strategy, library=self._library)
+        raise SessionError(
+            f"strategies must be MatchStrategy objects, spec strings or stored "
+            f"names, got {strategy!r}"
+        )
+
+    def save_strategy(self, name: str, strategy: StrategyLike) -> MatchStrategy:
+        """Register a named strategy, persisting it when a repository is attached."""
+        if not name:
+            raise SessionError("a named strategy needs a non-empty name")
+        if "(" in name or ")" in name:
+            raise SessionError(
+                f"strategy names must not contain parentheses (got {name!r}); "
+                f"they would be indistinguishable from spec strings"
+            )
+        resolved = self.resolve_strategy(strategy).replaced(name=name)
+        # Persist first: a repository failure must not leave the name
+        # resolvable in this session but absent from the shared store.
+        if self._repository is not None:
+            self._repository.store_strategy(name, resolved)
+        self._named_strategies[name] = resolved
+        return resolved
+
+    def load_strategy(self, name: str) -> MatchStrategy:
+        """A previously saved strategy, from the session or its repository."""
+        named = self._named_strategies.get(name)
+        if named is not None:
+            return named
+        if self._repository is not None and self._repository.has_strategy(name):
+            loaded = self._repository.load_strategy(name, library=self._library)
+            self._named_strategies[name] = loaded
+            return loaded
+        raise SessionError(f"no strategy named {name!r} in this session or its repository")
+
+    def strategy_names(self) -> Tuple[str, ...]:
+        """Names of all saved strategies (session-local and repository-persisted)."""
+        names = set(self._named_strategies)
+        if self._repository is not None:
+            names.update(self._repository.strategy_names())
+        return tuple(sorted(names))
+
+    # -- match operations ------------------------------------------------------
+
+    def match(
+        self,
+        source: Schema,
+        target: Schema,
+        strategy: StrategyLike = None,
+        feedback: object = _UNSET,
+    ) -> MatchOutcome:
+        """Run one automatic match operation through the session's resources."""
+        active = self.resolve_strategy(strategy)
+        context = self.context_for(source, target, feedback=feedback)
+        cube = self._execute(active, context)
+        result, aggregated, schema_similarity = combine_cube(
+            cube,
+            active.combination,
+            context,
+            apply_feedback_overrides=active.apply_feedback_overrides,
+        )
+        return MatchOutcome(
+            result=result,
+            cube=cube,
+            aggregated=aggregated,
+            schema_similarity=schema_similarity,
+            strategy=active,
+            context=context,
+        )
+
+    def match_many(
+        self,
+        requests: Iterable[MatchRequest],
+        strategy: StrategyLike = None,
+    ) -> List[MatchOutcome]:
+        """Run a batch of match operations, amortising the session caches.
+
+        Each request is ``(source, target)`` or ``(source, target, strategy)``;
+        a per-request strategy overrides the batch-level ``strategy`` argument.
+        Path-set profiles are pre-built once per distinct schema, so an
+        all-pairs fan-out (the Figure 8 campaign) derives each schema's
+        profile exactly once for the whole batch.
+        """
+        items: List[Tuple[Schema, Schema, StrategyLike]] = []
+        for request in requests:
+            if len(request) == 2:
+                items.append((request[0], request[1], strategy))
+            elif len(request) == 3:
+                # only None falls back to the batch strategy: a falsy spec such
+                # as "" must fail loudly in resolve_strategy, not be replaced
+                items.append(
+                    (request[0], request[1],
+                     request[2] if request[2] is not None else strategy)
+                )
+            else:
+                raise SessionError(
+                    f"match requests must be (source, target[, strategy]) tuples, "
+                    f"got a tuple of length {len(request)}"
+                )
+        seen_schemas: set = set()
+        for source, target, _ in items:
+            for schema in (source, target):
+                if id(schema) not in seen_schemas:
+                    seen_schemas.add(id(schema))
+                    self.profile_for(schema)
+        return [
+            self.match(source, target, strategy=item_strategy)
+            for source, target, item_strategy in items
+        ]
+
+    def schema_similarity(
+        self, source: Schema, target: Schema, strategy: StrategyLike = None
+    ) -> float:
+        """The combined schema similarity of one match operation (Figure 8)."""
+        return self.match(source, target, strategy=strategy).schema_similarity
+
+    # -- iterative / evaluation front-ends -------------------------------------
+
+    def iterate(
+        self,
+        source: Schema,
+        target: Schema,
+        strategy: StrategyLike = None,
+        feedback: Optional[UserFeedbackStore] = None,
+    ) -> MatchProcessor:
+        """An interactive :class:`~repro.core.processor.MatchProcessor` on this session.
+
+        The processor gets its own feedback store unless the session (or the
+        call) provides one, and its context shares the session's caches.
+        """
+        store = feedback
+        if store is None:
+            store = self._feedback if self._feedback is not None else UserFeedbackStore()
+        context = self.context_for(source, target, feedback=store)
+        return MatchProcessor(
+            source,
+            target,
+            strategy=self.resolve_strategy(strategy),
+            library=self._library,
+            engine=self._engine,
+            feedback=store,
+            context=context,
+        )
+
+    def evaluate(self, tasks: Optional[Sequence] = None, **kwargs) -> "EvaluationCampaign":
+        """An :class:`~repro.evaluation.campaign.EvaluationCampaign` on this session.
+
+        Per-task contexts are built through :meth:`context_for`, so the
+        campaign's matcher executions share the session's profile cache; extra
+        keyword arguments are forwarded to the campaign constructor.
+        """
+        from repro.evaluation.campaign import EvaluationCampaign
+
+        kwargs.setdefault("engine", self._engine)
+        kwargs.setdefault("context_factory", self.context_for)
+        return EvaluationCampaign(tasks=tasks, **kwargs)
+
+    # -- cube execution and caches ---------------------------------------------
+
+    def _cube_key(
+        self, source: Schema, target: Schema, strategy: MatchStrategy
+    ) -> Optional[tuple]:
+        """The cache key of a match execution, or ``None`` when not cacheable."""
+        if not self._cache_cubes:
+            return None
+        names: List[str] = []
+        for reference in strategy.matchers:
+            if not isinstance(reference, str):
+                return None  # matcher instances may carry per-use state
+            names.append(reference.strip().lower())
+        try:
+            infos = [self._library.info(name) for name in names]
+        except UnknownMatcherError:
+            return None  # let resolve_matchers raise the canonical error
+        for info in infos:
+            if info.kind not in _CACHEABLE_KINDS or info.name == "UserFeedback":
+                return None
+        return (source.paths(), target.paths(), tuple(names))
+
+    def _execute(self, strategy: MatchStrategy, context: MatchContext) -> SimilarityCube:
+        """Execute the strategy's matchers, serving repeats from the cube cache."""
+        key = self._cube_key(context.source_schema, context.target_schema, strategy)
+        if key is not None:
+            cached = self._cube_cache.get(key)
+            if cached is not None:
+                self._cube_hits += 1
+                return cached
+        matchers = strategy.resolve_matchers(self._library)
+        cube = self._engine.execute(matchers, context)
+        if key is not None:
+            self._cube_misses += 1
+            self._cube_cache[key] = cube
+        self._trim_caches()
+        return cube
+
+    def _trim_caches(self) -> None:
+        """Evict oldest entries beyond the configured bounds (insertion order).
+
+        Contexts insert profiles into the shared dict directly during matcher
+        execution, so trimming runs after every execution as well as after
+        explicit :meth:`profile_for` inserts.  Evicted entries are simply
+        recomputed on next use.
+        """
+        if self._max_cached_cubes is not None:
+            while len(self._cube_cache) > self._max_cached_cubes:
+                self._cube_cache.pop(next(iter(self._cube_cache)))
+        if self._max_cached_profiles is not None:
+            while len(self._profile_cache) > self._max_cached_profiles:
+                self._profile_cache.pop(next(iter(self._profile_cache)))
+
+    def cache_info(self) -> Dict[str, int]:
+        """Cache occupancy and hit counters (used by tests and the benchmark)."""
+        return {
+            "profiles": len(self._profile_cache),
+            "cubes": len(self._cube_cache),
+            "cube_hits": self._cube_hits,
+            "cube_misses": self._cube_misses,
+        }
+
+    def clear_caches(self) -> None:
+        """Drop all cached profiles and cubes (counters are kept).
+
+        Call this after mutating a shared resource in place (synonym
+        dictionary, type-compatibility table): cached cubes reflect the
+        resources at execution time.
+        """
+        self._profile_cache.clear()
+        self._cube_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.cache_info()
+        return (
+            f"MatchSession(library={len(self._library)} matchers, "
+            f"profiles={info['profiles']}, cubes={info['cubes']}, "
+            f"repository={'attached' if self._repository is not None else 'none'})"
+        )

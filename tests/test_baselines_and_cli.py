@@ -5,6 +5,7 @@ import pytest
 from repro.baselines.similarity_flooding import SimilarityFloodingMatcher
 from repro.cli import main
 from repro.datasets.figure1 import PO1_DDL, PO2_XSD
+from repro.exceptions import ComaError
 
 
 class TestSimilarityFlooding:
@@ -78,6 +79,72 @@ class TestCli:
         assert exit_code == 0
         assert "1<->2" in captured
         assert "schema_similarity" in captured
+
+    def test_match_command_with_full_strategy_spec(self, schema_files, capsys):
+        source, target = schema_files
+        exit_code = main([
+            "match", source, target,
+            "--strategy", "NamePath+Leaves(Max,Both,MaxN(1),Average)",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "NamePath+Leaves(Max,Both,MaxN(1),Average)" in captured
+        assert "schema similarity" in captured
+
+    def test_match_command_rejects_strategy_and_matchers(self, schema_files):
+        source, target = schema_files
+        with pytest.raises(ComaError):
+            main([
+                "match", source, target,
+                "--strategy", "All(Average,Both,MaxN(1),Average)",
+                "--matchers", "Name",
+            ])
+
+    def test_match_command_rejects_strategy_and_combination_parts(self, schema_files):
+        source, target = schema_files
+        with pytest.raises(ComaError, match="--selection"):
+            main([
+                "match", source, target,
+                "--strategy", "Name",
+                "--selection", "MaxN(1)",
+            ])
+        # an explicitly passed default value is a conflict too
+        with pytest.raises(ComaError, match="--aggregation"):
+            main([
+                "match", source, target,
+                "--strategy", "Name",
+                "--aggregation", "Average",
+            ])
+
+    def test_strategies_command_lists_library(self, capsys):
+        exit_code = main(["strategies"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Matcher library" in captured
+        assert "NamePath" in captured
+        assert "no stored named strategies" in captured
+
+    def test_strategies_save_and_match_by_name(self, schema_files, tmp_path, capsys):
+        source, target = schema_files
+        db = str(tmp_path / "repo.db")
+        exit_code = main([
+            "strategies", "--repository", db,
+            "--save", "tuned", "All(Max,Both,Thr(0.6),Dice)",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "tuned" in captured
+        assert "All(Max,Both,Thr(0.6),Dice)" in captured
+        # the stored name is addressable from `coma match`
+        exit_code = main(["match", source, target, "--repository", db,
+                          "--strategy", "tuned"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "All(Max,Both,Thr(0.6),Dice)" in captured
+
+    def test_strategies_save_requires_repository(self):
+        with pytest.raises(ComaError):
+            main(["strategies", "--save", "x", "Name"])
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,331 @@
+"""Tests for the session-based public API (MatchSession and the facade shims)."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core.match_operation import match as core_match
+from repro.core.match_operation import match_with_strategy as core_match_with_strategy
+from repro.core.strategy import MatchStrategy, default_strategy
+from repro.datasets.gold_standard import load_all_tasks
+from repro.engine.profiles import PathSetProfile
+from repro.exceptions import SessionError
+from repro.matchers.hybrid import NameMatcher
+from repro.repository.repository import Repository
+from repro.session import MatchSession, default_session, reset_default_session
+
+
+def _rows(outcome):
+    return [
+        (c.source.dotted(), c.target.dotted(), c.similarity)
+        for c in outcome.result.correspondences
+    ]
+
+
+def _campaign_schemas():
+    schemas = {}
+    for task in load_all_tasks():
+        schemas[task.source.name] = task.source
+        schemas[task.target.name] = task.target
+    return [schemas[name] for name in sorted(schemas)]
+
+
+@pytest.fixture()
+def session():
+    return MatchSession()
+
+
+class TestSessionMatch:
+    def test_match_equals_free_function(self, session, po1, po2):
+        outcome = session.match(po1, po2)
+        reference = core_match(po1, po2)
+        assert _rows(outcome) == _rows(reference)
+        assert outcome.schema_similarity == reference.schema_similarity
+
+    def test_type_compatibility_is_copied_per_context(self, session, po1, po2):
+        first = session.match(po1, po2).context
+        second = session.match(po2, po1).context
+        assert first.type_compatibility is not second.type_compatibility
+
+    def test_strategy_spec_strings_are_accepted(self, session, po1, po2):
+        spec = "NamePath+Leaves(Max,Both,MaxN(1),Average)"
+        outcome = session.match(po1, po2, strategy=spec)
+        reference = core_match_with_strategy(po1, po2, MatchStrategy.parse(spec))
+        assert _rows(outcome) == _rows(reference)
+
+    def test_default_strategy_is_configurable(self, po1, po2):
+        session = MatchSession(strategy="Name(Average,Both,MaxN(1),Average)")
+        assert session.default_strategy.matcher_names() == ("Name",)
+        session.set_default_strategy("Leaves")
+        assert session.default_strategy.matcher_names() == ("Leaves",)
+        assert session.match(po1, po2).strategy.matcher_names() == ("Leaves",)
+
+    def test_invalid_strategy_reference_raises(self, session):
+        with pytest.raises(SessionError):
+            session.resolve_strategy(42)
+
+
+class TestMatchMany:
+    def test_byte_identical_to_per_pair_match(self, session):
+        """The acceptance criterion: match_many == per-pair match over the task set."""
+        schemas = _campaign_schemas()
+        pairs = [
+            (source, target)
+            for i, source in enumerate(schemas)
+            for target in schemas[i + 1 :]
+        ]
+        batched = session.match_many(pairs)
+        for (source, target), outcome in zip(pairs, batched):
+            reference = core_match(source, target)
+            assert _rows(outcome) == _rows(reference)
+            assert outcome.schema_similarity == reference.schema_similarity
+
+    def test_profiles_built_at_most_once_per_schema(self, monkeypatch):
+        """Each schema's path profile is constructed once for the whole batch."""
+        built = []
+        original = PathSetProfile.__init__
+
+        def counting_init(self, paths, tokenizer):
+            built.append(tuple(paths))
+            original(self, paths, tokenizer)
+
+        monkeypatch.setattr(PathSetProfile, "__init__", counting_init)
+        schemas = _campaign_schemas()
+        session = MatchSession()
+        session.match_many(
+            (source, target)
+            for i, source in enumerate(schemas)
+            for target in schemas[i + 1 :]
+        )
+        assert len(built) == len(schemas)
+        assert len(set(built)) == len(built)
+        assert session.cache_info()["profiles"] == len(schemas)
+
+    def test_per_request_strategy_override(self, session, po1, po2):
+        spec = "Name(Average,Both,MaxN(1),Average)"
+        default_outcome, overridden = session.match_many([(po1, po2), (po1, po2, spec)])
+        assert default_outcome.strategy.matcher_names() != ("Name",)
+        assert overridden.strategy.matcher_names() == ("Name",)
+
+    def test_malformed_request_raises(self, session, po1, po2):
+        with pytest.raises(SessionError):
+            session.match_many([(po1, po2, None, "extra")])
+
+    def test_empty_strategy_spec_fails_loudly(self, session, po1, po2):
+        from repro.exceptions import StrategyError
+
+        with pytest.raises(StrategyError):
+            session.match_many([(po1, po2, "")], strategy="Name")
+
+
+class TestCubeCache:
+    def test_repeated_pair_reuses_cube(self, session, po1, po2):
+        first = session.match(po1, po2)
+        second = session.match(po1, po2, strategy="All(Max,Both,MaxN(1),Average)")
+        info = session.cache_info()
+        assert info["cube_hits"] == 1 and info["cube_misses"] == 1
+        assert second.cube is first.cube  # same matcher usage -> same cube object
+        # ... while the combination differs
+        assert _rows(second) != _rows(first) or second.schema_similarity != first.schema_similarity
+
+    def test_cached_results_stay_equivalent(self, session, po1, po2):
+        spec = "All(Max,Both,MaxN(1),Dice)"
+        session.match(po1, po2)  # populate the cube cache
+        cached = session.match(po1, po2, strategy=spec)
+        fresh = core_match_with_strategy(po1, po2, MatchStrategy.parse(spec))
+        assert _rows(cached) == _rows(fresh)
+        assert cached.schema_similarity == fresh.schema_similarity
+
+    def test_instance_matchers_bypass_the_cache(self, session, po1, po2):
+        strategy = MatchStrategy(matchers=[NameMatcher()], name="inst")
+        session.match(po1, po2, strategy=strategy)
+        session.match(po1, po2, strategy=strategy)
+        info = session.cache_info()
+        assert info["cubes"] == 0 and info["cube_hits"] == 0
+
+    def test_cache_can_be_disabled_and_cleared(self, po1, po2):
+        session = MatchSession(cache_cubes=False)
+        session.match(po1, po2)
+        session.match(po1, po2)
+        assert session.cache_info()["cubes"] == 0
+        cached = MatchSession()
+        cached.match(po1, po2)
+        assert cached.cache_info()["cubes"] == 1
+        cached.clear_caches()
+        assert cached.cache_info()["cubes"] == 0
+        assert cached.cache_info()["profiles"] == 0
+
+
+class TestIterate:
+    def test_feedback_loop_through_session(self, session, po1, po2):
+        processor = session.iterate(po1, po2)
+        first = processor.run_iteration()
+        assert first.result.correspondences
+        processor.reject(
+            first.result.correspondences[0].source,
+            first.result.correspondences[0].target,
+        )
+        processor.run_iteration()
+        result = processor.current_result()
+        rejected = (
+            first.result.correspondences[0].source,
+            first.result.correspondences[0].target,
+        )
+        assert all((c.source, c.target) != rejected for c in result.correspondences)
+
+    def test_iterate_shares_the_profile_cache(self, session, po1, po2):
+        session.match(po1, po2)
+        profiles_before = session.cache_info()["profiles"]
+        processor = session.iterate(po1, po2)
+        processor.run_iteration()
+        assert session.cache_info()["profiles"] == profiles_before
+
+    def test_session_feedback_store_is_shared(self, po1, po2):
+        from repro.matchers.simple.user_feedback import UserFeedbackStore
+
+        store = UserFeedbackStore()
+        session = MatchSession(feedback=store)
+        processor = session.iterate(po1, po2)
+        assert processor.feedback is store
+
+
+class TestEvaluate:
+    def test_campaign_uses_session_contexts(self, session):
+        tasks = load_all_tasks()[:2]
+        campaign = session.evaluate(tasks=tasks, include_reuse=False)
+        campaign.prepare()
+        # the campaign's matcher executions populated the session profile cache
+        assert session.cache_info()["profiles"] >= 2
+        workbench = campaign.workbench(tasks[0].name)
+        assert workbench.context.profile_cache is campaign.workbench(tasks[1].name).context.profile_cache
+
+
+class TestNamedStrategies:
+    def test_in_memory_registry(self, session, po1, po2):
+        saved = session.save_strategy("quick", "Name(Average,Both,MaxN(1),Average)")
+        assert saved.name == "quick"
+        assert session.strategy_names() == ("quick",)
+        outcome = session.match(po1, po2, strategy="quick")
+        assert outcome.strategy.matcher_names() == ("Name",)
+
+    def test_repository_persistence(self, tmp_path, po1, po2):
+        db = str(tmp_path / "repo.db")
+        with Repository(db) as repository:
+            session = MatchSession(repository=repository)
+            session.save_strategy("tuned", "All(Max,Both,Thr(0.6),Dice)")
+        # a brand-new session over the same repository sees the strategy
+        with Repository(db) as repository:
+            fresh = MatchSession(repository=repository)
+            assert "tuned" in fresh.strategy_names()
+            loaded = fresh.load_strategy("tuned")
+            assert loaded.to_spec() == "All(Max,Both,Thr(0.6),Dice)"
+            outcome = fresh.match(po1, po2, strategy="tuned")
+            assert str(outcome.strategy.combination.combined_similarity) == "Dice"
+
+    def test_missing_strategy_raises(self, session):
+        with pytest.raises(SessionError):
+            session.load_strategy("absent")
+
+    def test_strategy_names_must_not_look_like_specs(self, session):
+        with pytest.raises(SessionError, match="parentheses"):
+            session.save_strategy("bad(name)", "Name")
+
+    def test_repository_strategy_roundtrip_keeps_feedback_flag(self):
+        repository = Repository(":memory:")
+        strategy = default_strategy().replaced(apply_feedback_overrides=False)
+        repository.store_strategy("nofeedback", strategy)
+        loaded = repository.load_strategy("nofeedback")
+        assert loaded.apply_feedback_overrides is False
+        assert loaded == strategy
+
+    def test_repository_rejects_unserialisable_strategies_at_store_time(self):
+        from repro.combination.aggregation import WeightedAggregation
+        from repro.exceptions import RepositoryError
+
+        repository = Repository(":memory:")
+        weighted = default_strategy().replaced(
+            combination=default_strategy().combination.replaced(
+                aggregation=WeightedAggregation({"Name": 1.0})
+            )
+        )
+        with pytest.raises(RepositoryError, match="does not reload"):
+            repository.store_strategy("weighted", weighted)
+        assert repository.strategy_names() == ()
+        # a failed save must not leave the name resolvable in the session either
+        session = MatchSession(repository=repository)
+        with pytest.raises(RepositoryError):
+            session.save_strategy("weighted", weighted)
+        with pytest.raises(SessionError):
+            session.load_strategy("weighted")
+
+    def test_constructor_accepts_stored_strategy_names(self, po1, po2):
+        repository = Repository(":memory:")
+        repository.store_strategy("tuned", "All(Max,Both,Thr(0.6),Dice)")
+        session = MatchSession(repository=repository, strategy="tuned")
+        assert session.default_strategy.to_spec() == "All(Max,Both,Thr(0.6),Dice)"
+
+    def test_cache_bounds_evict_oldest(self, po1, po2):
+        session = MatchSession(max_cached_cubes=1, max_cached_profiles=2)
+        session.match(po1, po2)
+        session.match(po2, po1)  # a second (reversed) pair evicts the first cube
+        info = session.cache_info()
+        assert info["cubes"] == 1
+        assert info["profiles"] <= 2
+        with pytest.raises(SessionError):
+            MatchSession(max_cached_cubes=0)
+
+
+class TestDeprecatedShims:
+    @pytest.fixture(autouse=True)
+    def _fresh_default_session(self):
+        reset_default_session()
+        yield
+        reset_default_session()
+
+    def test_match_warns_and_matches_session(self, po1, po2):
+        with pytest.warns(DeprecationWarning, match="MatchSession.match"):
+            outcome = repro.match(po1, po2)
+        assert _rows(outcome) == _rows(MatchSession().match(po1, po2))
+
+    def test_shim_ignores_reconfigured_session_default(self, po1, po2):
+        """Legacy match() always starts from the paper default strategy."""
+        default_session().set_default_strategy("Leaves")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            outcome = repro.match(po1, po2)
+        assert outcome.strategy.matcher_names() == default_strategy().matcher_names()
+
+    def test_match_with_strategy_warns(self, po1, po2):
+        strategy = MatchStrategy.parse("Name(Average,Both,MaxN(1),Average)")
+        with pytest.warns(DeprecationWarning):
+            outcome = repro.match_with_strategy(po1, po2, strategy)
+        assert outcome.strategy is strategy
+
+    def test_build_context_and_execute_matchers_warn(self, po1, po2):
+        with pytest.warns(DeprecationWarning):
+            context = repro.build_context(po1, po2)
+        with pytest.warns(DeprecationWarning):
+            cube = repro.execute_matchers([NameMatcher()], context)
+        assert cube.matcher_names == ("Name",)
+
+    def test_schema_similarity_warns(self, po1, po2):
+        with pytest.warns(DeprecationWarning):
+            value = repro.schema_similarity(po1, po2)
+        assert value == core_match(po1, po2).schema_similarity
+
+    def test_shims_share_the_default_session(self, po1, po2):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            repro.match(po1, po2)
+            repro.match(po1, po2)
+        assert default_session().cache_info()["cube_hits"] >= 1
+
+    def test_resource_overrides_fall_back_to_stateless_path(self, po1, po2):
+        from repro.auxiliary.synonyms import SynonymDictionary
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            outcome = repro.match(po1, po2, synonyms=SynonymDictionary())
+        assert default_session().cache_info()["cubes"] == 0
+        assert outcome.result is not None

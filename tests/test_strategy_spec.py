@@ -1,0 +1,189 @@
+"""Tests for the declarative strategy spec grammar and its dict/JSON form."""
+
+import pytest
+
+from repro.combination.combined import combined_similarity_by_name
+from repro.combination.selection import CombinedSelection, MaxDelta, MaxN, Threshold
+from repro.combination.strategy import (
+    CombinationStrategy,
+    combination_from_spec,
+    default_combination,
+    parse_selection,
+    split_top_level,
+)
+from repro.core.strategy import MatchStrategy, default_strategy
+from repro.evaluation.grid import full_grid
+from repro.exceptions import StrategyError
+from repro.matchers.hybrid import NameMatcher
+from repro.matchers.registry import DEFAULT_LIBRARY, EVALUATION_HYBRID_MATCHERS
+
+
+class TestSelectionParsing:
+    def test_delta_modes_round_trip(self):
+        relative = parse_selection("Delta(0.02,rel)")
+        absolute = parse_selection("Delta(0.02,abs)")
+        assert isinstance(relative, MaxDelta) and relative.relative
+        assert isinstance(absolute, MaxDelta) and not absolute.relative
+        assert parse_selection(str(relative)) == relative
+        assert parse_selection(str(absolute)) == absolute
+
+    def test_paper_style_trailing_counts(self):
+        assert parse_selection("Max1") == MaxN(1)
+        assert parse_selection("Max3") == MaxN(3)
+        assert parse_selection("MaxN2") == MaxN(2)
+
+    def test_threshold_aliases(self):
+        assert parse_selection("Threshold(0.7)") == Threshold(0.7)
+        assert parse_selection("Thr(0.7)") == Threshold(0.7)
+
+    def test_combined_selection_round_trip(self):
+        combined = CombinedSelection([Threshold(0.5), MaxDelta(0.02)])
+        assert parse_selection(str(combined)) == combined
+
+    def test_invalid_terms_raise(self):
+        with pytest.raises(StrategyError):
+            parse_selection("Bogus(1)")
+        with pytest.raises(StrategyError):
+            parse_selection("Delta(0.02,sideways)")
+        with pytest.raises(StrategyError):
+            parse_selection("")
+
+
+class TestSplitTopLevel:
+    def test_respects_parentheses(self):
+        assert split_top_level("Average,Both,Thr(0.5)+Delta(0.02,rel),Dice") == [
+            "Average", "Both", "Thr(0.5)+Delta(0.02,rel)", "Dice",
+        ]
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(StrategyError):
+            split_top_level("Thr(0.5")
+        with pytest.raises(StrategyError):
+            split_top_level("Thr0.5)")
+
+
+class TestCombinationSpec:
+    def test_round_trip_default(self):
+        combination = default_combination()
+        assert CombinationStrategy.parse(combination.to_spec()) == combination
+
+    def test_accepts_paper_tuple_notation(self):
+        combination = default_combination()
+        assert combination_from_spec(combination.describe()) == combination
+
+    def test_three_part_spec_defaults_combined_similarity(self):
+        combination = combination_from_spec("Max,Both,MaxN(1)")
+        assert str(combination.combined_similarity) == "Average"
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(StrategyError):
+            combination_from_spec("Average,Both")
+        with pytest.raises(StrategyError):
+            combination_from_spec("Average,Both,MaxN(1),Dice,Extra")
+
+
+class TestStrategySpec:
+    def test_default_strategy_round_trips(self):
+        strategy = default_strategy()
+        spec = strategy.to_spec()
+        assert spec.startswith("All(")
+        assert MatchStrategy.parse(spec) == strategy
+
+    def test_all_alias_expands_in_order(self):
+        strategy = MatchStrategy.parse("All")
+        assert strategy.matcher_names() == tuple(EVALUATION_HYBRID_MATCHERS)
+        assert strategy.name == "All"
+
+    def test_all_plus_reuse_label(self):
+        strategy = MatchStrategy.parse("All+SchemaM(Average,Both,Thr(0.5)+Delta(0.02),Average)")
+        assert strategy.matcher_names() == tuple(EVALUATION_HYBRID_MATCHERS) + ("SchemaM",)
+        assert strategy.to_spec().startswith("All+SchemaM(")
+
+    def test_bare_matcher_uses_default_combination(self):
+        strategy = MatchStrategy.parse("Name")
+        assert strategy.matcher_names() == ("Name",)
+        assert strategy.combination == default_combination()
+
+    def test_library_validation(self):
+        with pytest.raises(StrategyError):
+            MatchStrategy.parse("NoSuchMatcher", library=DEFAULT_LIBRARY)
+        # without a library, resolution is deferred to resolve_matchers
+        deferred = MatchStrategy.parse("NoSuchMatcher")
+        assert deferred.matcher_names() == ("NoSuchMatcher",)
+
+    def test_malformed_specs_raise(self):
+        for bad in ("", "  ", "(Average,Both,MaxN(1))", "All(Average,Both",
+                    "All()", "Name++Leaves"):
+            with pytest.raises(StrategyError):
+                MatchStrategy.parse(bad)
+
+    def test_instance_matchers_serialise_by_name(self):
+        strategy = MatchStrategy(matchers=[NameMatcher()], name="custom")
+        assert MatchStrategy.parse(strategy.to_spec()).matcher_names() == ("Name",)
+
+    def test_table6_grid_round_trips(self):
+        """Every strategy of the Table 6 evaluation grid survives parse(to_spec())."""
+        grid = full_grid()
+        assert len(grid) > 10_000  # the full enumeration, not the reduced one
+        for series in grid:
+            strategy = MatchStrategy(
+                matchers=list(series.matchers),
+                combination=CombinationStrategy(
+                    aggregation=series.aggregation,
+                    direction=series.direction,
+                    selection=series.selection,
+                    combined_similarity=combined_similarity_by_name(
+                        series.combined_similarity
+                    ),
+                ),
+            )
+            spec = strategy.to_spec()
+            assert MatchStrategy.parse(spec) == strategy, spec
+            # the spec is stable: serialising the parsed strategy reproduces it
+            assert MatchStrategy.parse(spec).to_spec() == spec
+
+
+class TestStrategyDictForm:
+    def test_round_trip_includes_feedback_flag(self):
+        strategy = default_strategy().replaced(apply_feedback_overrides=False)
+        data = strategy.to_dict()
+        assert data["apply_feedback_overrides"] is False
+        rebuilt = MatchStrategy.from_dict(data)
+        assert rebuilt == strategy
+        assert rebuilt.name == strategy.name
+
+    def test_combination_as_spec_string(self):
+        rebuilt = MatchStrategy.from_dict(
+            {"matchers": ["Name"], "combination": "Max,Both,MaxN(1),Dice"}
+        )
+        assert str(rebuilt.combination.aggregation) == "Max"
+        assert str(rebuilt.combination.combined_similarity) == "Dice"
+
+    def test_invalid_dicts_raise(self):
+        with pytest.raises(StrategyError):
+            MatchStrategy.from_dict({"matchers": []})
+        with pytest.raises(StrategyError):
+            MatchStrategy.from_dict({"matchers": "Name"})  # a bare string, not a list
+        with pytest.raises(StrategyError):
+            MatchStrategy.from_dict({"matchers": [42]})
+        with pytest.raises(StrategyError):
+            MatchStrategy.from_dict({"matchers": ["Name"], "combination": 7})
+        with pytest.raises(StrategyError):
+            MatchStrategy.from_dict("not a mapping")
+
+
+class TestReplaced:
+    def test_apply_feedback_overrides_is_replaceable(self):
+        strategy = default_strategy()
+        assert strategy.apply_feedback_overrides is True
+        disabled = strategy.replaced(apply_feedback_overrides=False)
+        assert disabled.apply_feedback_overrides is False
+        # the other fields are carried over unchanged
+        assert disabled.matcher_names() == strategy.matcher_names()
+        assert disabled.combination == strategy.combination
+        # and the flag survives further copies that do not touch it
+        assert disabled.replaced(name="x").apply_feedback_overrides is False
+
+    def test_name_is_a_display_label_only(self):
+        strategy = default_strategy()
+        assert strategy.replaced(name="renamed") == strategy
