@@ -12,6 +12,8 @@ This package is a full reproduction of the COMA schema matching system:
   (:mod:`repro.engine`),
 * the session layer: the long-lived service front-end owning shared resources
   and caches (:mod:`repro.session`),
+* the service layer: the session pool behind a stdlib-only HTTP JSON API with
+  a matching client -- ``coma serve`` / :mod:`repro.service`,
 * the match operation and the iterative/interactive processor (:mod:`repro.core`),
 * a SQLite-backed repository for schemas, cubes, mappings and named
   strategies (:mod:`repro.repository`),
@@ -78,7 +80,7 @@ from repro.model import (
 from repro.repository import Repository
 from repro.session import MatchSession, default_session, reset_default_session
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def _deprecated(old: str, new: str) -> None:

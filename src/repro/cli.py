@@ -11,6 +11,7 @@ Usage examples::
     coma strategies --repository coma.db --save tuned "All(Max,Both,Thr(0.6),Dice)"
     coma stats po.xsd
     coma tasks            # list the bundled evaluation tasks and their sizes
+    coma serve --port 8765 --pool-size 4  # the HTTP match service (docs/service.md)
 
 The CLI is intentionally thin: everything it does is a few calls into the
 session-based public API, so it doubles as a usage example.  ``--strategy``
@@ -81,6 +82,21 @@ def _build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("schema", help="schema file (.sql, .xsd, .json)")
 
     subparsers.add_parser("tasks", help="list the bundled evaluation tasks (Figure 8 data)")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the HTTP match service (see docs/service.md)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="bind port (default 8765; 0 picks an ephemeral port)")
+    serve_parser.add_argument("--pool-size", type=int, default=4,
+                              help="number of warm worker sessions (default 4)")
+    serve_parser.add_argument("--repository", default=None,
+                              help="SQLite repository shared by all worker sessions "
+                                   "(stored strategies, reuse matchers)")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="do not log request lines to stderr")
     return parser
 
 
@@ -109,7 +125,27 @@ def _resolve_cli_strategy(session: MatchSession, arguments: argparse.Namespace) 
                 f"--strategy conflicts with {', '.join(given)}; "
                 "put the combination inside the strategy spec instead"
             )
-        return session.resolve_strategy(arguments.strategy)
+        try:
+            return session.resolve_strategy(arguments.strategy)
+        except ComaError as error:
+            if "(" in arguments.strategy:
+                raise  # a spec string: the parse error is the useful message
+            # A bare name that is neither stored nor a known matcher: point at
+            # the stored-strategy listing instead of the raw lookup error.
+            stored = session.strategy_names()
+            listing = (
+                f"stored strategies: {', '.join(stored)}"
+                if stored
+                else "no strategies are stored"
+                + ("" if arguments.repository else " (no --repository given)")
+            )
+            raise ComaError(
+                f"unknown strategy {arguments.strategy!r}: not a stored strategy "
+                f"name or matcher spec; {listing} -- run `coma strategies"
+                + (f" --repository {arguments.repository}" if arguments.repository else "")
+                + "` to list them, or pass a full spec such as "
+                '"All(Average,Both,Thr(0.5)+Delta(0.02),Average)"'
+            ) from error
     combination = parse_combination(
         aggregation=arguments.aggregation or "Average",
         direction=arguments.direction or "Both",
@@ -187,6 +223,19 @@ def _command_stats(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    serve(
+        host=arguments.host,
+        port=arguments.port,
+        verbose=not arguments.quiet,
+        pool_size=arguments.pool_size,
+        repository_path=arguments.repository,
+    )
+    return 0
+
+
 def _command_tasks() -> int:
     rows = []
     for task in load_all_tasks():
@@ -216,9 +265,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_stats(arguments)
     if arguments.command == "tasks":
         return _command_tasks()
+    if arguments.command == "serve":
+        return _command_serve(arguments)
     parser.error(f"unknown command {arguments.command!r}")
     return 2
 
 
+def console_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Script entry point: library errors become a clean message, not a traceback."""
+    try:
+        return main(argv)
+    except ComaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
-    sys.exit(main())
+    sys.exit(console_main())

@@ -17,6 +17,13 @@ pipeline with a three-stage batch scheme:
 ``MatchEngine(use_batch=False)`` runs the original pairwise reference
 implementation through the same interface, which is how the equivalence tests
 and the speed-up benchmark compare the two paths.
+
+The engine itself is stateless and therefore safe to share across threads --
+the module-level :data:`DEFAULT_ENGINE` serves every session of a process.
+Per-operation state lives in the :class:`~repro.matchers.base.MatchContext`;
+when several engine calls share one context (a session's shared profile
+cache), profile publication is ``setdefault``-based so concurrent operations
+converge on one profile instance per schema.
 """
 
 from __future__ import annotations
@@ -45,6 +52,17 @@ class MatchEngine:
         When set (> 1), the matcher layers of one operation are computed on a
         thread pool of this size; layer order in the resulting cube is
         preserved regardless.
+
+    Raises
+    ------
+    ValueError
+        If ``max_workers`` is given and below 1.
+
+    Examples
+    --------
+    >>> engine = MatchEngine()
+    >>> engine.use_batch, engine.max_workers
+    (True, None)
     """
 
     def __init__(self, use_batch: bool = True, max_workers: Optional[int] = None):
@@ -57,12 +75,24 @@ class MatchEngine:
 
     @property
     def use_batch(self) -> bool:
-        """Whether the vectorized batch path is active."""
+        """Whether the vectorized batch path is active.
+
+        Examples
+        --------
+        >>> MatchEngine(use_batch=False).use_batch
+        False
+        """
         return self._use_batch
 
     @property
     def max_workers(self) -> Optional[int]:
-        """The thread-pool size (``None`` = sequential execution)."""
+        """The thread-pool size (``None`` = sequential execution).
+
+        Examples
+        --------
+        >>> MatchEngine(max_workers=4).max_workers
+        4
+        """
         return self._max_workers
 
     # -- execution -------------------------------------------------------------
@@ -74,7 +104,35 @@ class MatchEngine:
         target_paths: Sequence["SchemaPath"],
         context: "MatchContext",
     ) -> SimilarityMatrix:
-        """Run one matcher over two path sets through the configured path."""
+        """Run one matcher over two path sets through the configured path.
+
+        Parameters
+        ----------
+        matcher:
+            The matcher to execute.
+        source_paths / target_paths:
+            The two path sets spanning the similarity matrix.
+        context:
+            The match context carrying the shared resources and profile cache.
+
+        Returns
+        -------
+        SimilarityMatrix
+            The matcher's ``len(source_paths) x len(target_paths)`` matrix;
+            numerically identical between the batch and pairwise paths.
+
+        Examples
+        --------
+        >>> from repro.core.match_operation import build_context
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> from repro.matchers.registry import DEFAULT_LIBRARY
+        >>> a, b = load_po1(), load_po2()
+        >>> context = build_context(a, b)
+        >>> matrix = MatchEngine().compute_matrix(
+        ...     DEFAULT_LIBRARY.create("Name"), a.paths(), b.paths(), context)
+        >>> matrix.values.shape == (len(a.paths()), len(b.paths()))
+        True
+        """
         if self._use_batch:
             return matcher.compute_batch(source_paths, target_paths, context)
         return matcher.compute(source_paths, target_paths, context)
@@ -90,6 +148,33 @@ class MatchEngine:
 
         This is the engine's main entry point, used by
         :func:`repro.core.match_operation.execute_matchers`.
+
+        Parameters
+        ----------
+        matchers:
+            The matchers whose layers form the cube, in layer order.
+        context:
+            The match context; its schemas provide the path sets unless
+            overridden.
+        source_paths / target_paths:
+            Optional explicit path sets (default: all paths of the context's
+            schemas).
+
+        Returns
+        -------
+        SimilarityCube
+            One layer per matcher, stacked in matcher order.
+
+        Examples
+        --------
+        >>> from repro.core.match_operation import build_context
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> from repro.matchers.registry import DEFAULT_LIBRARY
+        >>> context = build_context(load_po1(), load_po2())
+        >>> cube = MatchEngine().execute(
+        ...     DEFAULT_LIBRARY.create_many(["Name", "Leaves"]), context)
+        >>> cube.matcher_names
+        ('Name', 'Leaves')
         """
         sources = (
             tuple(source_paths) if source_paths is not None else context.source_schema.paths()

@@ -20,6 +20,7 @@ indexing (:meth:`~repro.combination.matrix.SimilarityMatrix.from_unique`).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple, TypeVar
 
 import numpy as np
@@ -89,6 +90,10 @@ class PathSetProfile:
         self.unique_types, self.type_inverse = unique_index(types)
 
         # -- lazy caches --
+        # Profiles are shared across matchers and (through a session) across
+        # threads; the lock makes each lazy derivation below compute-once
+        # under concurrency instead of racing to duplicate the work.
+        self._lock = threading.Lock()
         self._name_tokens: Dict[str, Tuple[str, ...]] = {}
         self._token_profiles: Dict[str, TokenProfile] = {}
         self._ngram_sets: Dict[Tuple[int, bool], List[FrozenSet[str]]] = {}
@@ -114,23 +119,27 @@ class PathSetProfile:
         profile = self._token_profiles.get(mode)
         if profile is not None:
             return profile
-        if mode == TOKEN_MODE_NAME:
-            keys = [self._tokens_of_name(path.name) for path in self.paths]
-        elif mode in (TOKEN_MODE_PATH, TOKEN_MODE_PATH_WITH_ROOT):
-            keys = []
-            for path in self.paths:
-                names = path.names
-                if mode == TOKEN_MODE_PATH:
-                    names = names[1:] or names
-                tokens: List[str] = []
-                for name in names:
-                    tokens.extend(self._tokens_of_name(name))
-                keys.append(tuple(tokens))
-        else:
-            raise ValueError(f"unknown token mode {mode!r}")
-        profile = TokenProfile(keys)
-        self._token_profiles[mode] = profile
-        return profile
+        with self._lock:
+            profile = self._token_profiles.get(mode)
+            if profile is not None:
+                return profile
+            if mode == TOKEN_MODE_NAME:
+                keys = [self._tokens_of_name(path.name) for path in self.paths]
+            elif mode in (TOKEN_MODE_PATH, TOKEN_MODE_PATH_WITH_ROOT):
+                keys = []
+                for path in self.paths:
+                    names = path.names
+                    if mode == TOKEN_MODE_PATH:
+                        names = names[1:] or names
+                    tokens: List[str] = []
+                    for name in names:
+                        tokens.extend(self._tokens_of_name(name))
+                    keys.append(tuple(tokens))
+            else:
+                raise ValueError(f"unknown token mode {mode!r}")
+            profile = TokenProfile(keys)
+            self._token_profiles[mode] = profile
+            return profile
 
     # -- n-gram sets ----------------------------------------------------------
 
@@ -141,9 +150,12 @@ class PathSetProfile:
         if sets is None:
             from repro.matchers.string.ngram import ngrams
 
-            words = self.unique_names if case_sensitive else self.lowered_names
-            sets = [ngrams(word, n) for word in words]
-            self._ngram_sets[key] = sets
+            with self._lock:
+                sets = self._ngram_sets.get(key)
+                if sets is None:
+                    words = self.unique_names if case_sensitive else self.lowered_names
+                    sets = [ngrams(word, n) for word in words]
+                    self._ngram_sets[key] = sets
         return sets
 
     # -- soundex codes ---------------------------------------------------------
@@ -154,8 +166,11 @@ class PathSetProfile:
         if codes is None:
             from repro.matchers.string.soundex import soundex_code
 
-            codes = [soundex_code(name, length) for name in self.unique_names]
-            self._soundex_codes[length] = codes
+            with self._lock:
+                codes = self._soundex_codes.get(length)
+                if codes is None:
+                    codes = [soundex_code(name, length) for name in self.unique_names]
+                    self._soundex_codes[length] = codes
         return codes
 
     # -- misc ------------------------------------------------------------------

@@ -59,5 +59,17 @@ class RepositoryError(ComaError):
     """Raised when the persistent repository cannot store or retrieve an object."""
 
 
+class ServiceError(ComaError):
+    """Raised by the match service and its client for failed service requests.
+
+    Carries the HTTP ``status`` of the failed request (0 when the failure
+    happened before a response was received, e.g. a connection error).
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = int(status)
+
+
 class EvaluationError(ComaError):
     """Raised by the evaluation harness (missing gold standard, empty task list, ...)."""

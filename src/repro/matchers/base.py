@@ -99,7 +99,10 @@ class MatchContext:
             from repro.engine.profiles import PathSetProfile
 
             profile = PathSetProfile(key, self.tokenizer)
-            self.profile_cache[key] = profile
+            # Publish via setdefault: when several threads share the cache (a
+            # session's cross-operation dict) and race to build the same
+            # profile, all of them converge on the first published instance.
+            profile = self.profile_cache.setdefault(key, profile)
         return profile
 
 

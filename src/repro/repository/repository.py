@@ -22,8 +22,11 @@ protocol, so it can be handed directly to the reuse matchers via
 
 from __future__ import annotations
 
+import contextlib
+import functools
 import json
 import sqlite3
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.combination.cube import SimilarityCube
@@ -76,12 +79,38 @@ CREATE TABLE IF NOT EXISTS strategies (
 """
 
 
-class Repository:
-    """SQLite-backed store for schemas, mappings and similarity cubes."""
+def _locked(method):
+    """Run ``method`` under the repository lock (a no-op lock by default)."""
 
-    def __init__(self, path: str = ":memory:"):
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+class Repository:
+    """SQLite-backed store for schemas, mappings and similarity cubes.
+
+    Parameters
+    ----------
+    path:
+        The database file (``":memory:"`` for an in-memory repository).
+    threadsafe:
+        When True, the single underlying connection may be used from any
+        thread and every repository method runs under an internal reentrant
+        lock (statement sequences such as a mapping insert stay atomic).
+        This is how the :mod:`repro.service` layer shares one repository
+        across its worker sessions.  The default (False) keeps SQLite's
+        same-thread check for single-threaded use.
+    """
+
+    def __init__(self, path: str = ":memory:", threadsafe: bool = False):
         self._path = path
-        self._connection = sqlite3.connect(path)
+        self._threadsafe = bool(threadsafe)
+        self._lock = threading.RLock() if threadsafe else contextlib.nullcontext()
+        self._connection = sqlite3.connect(path, check_same_thread=not threadsafe)
         self._connection.execute("PRAGMA foreign_keys = ON")
         self._connection.executescript(_SCHEMA_DDL)
         self._connection.commit()
@@ -93,6 +122,12 @@ class Repository:
         """The database path (``":memory:"`` for an in-memory repository)."""
         return self._path
 
+    @property
+    def threadsafe(self) -> bool:
+        """Whether this repository serialises cross-thread access internally."""
+        return self._threadsafe
+
+    @_locked
     def close(self) -> None:
         """Close the underlying database connection."""
         self._connection.close()
@@ -105,6 +140,7 @@ class Repository:
 
     # -- schemas -----------------------------------------------------------------
 
+    @_locked
     def store_schema(self, schema: Schema, replace: bool = True) -> None:
         """Persist a schema graph under its name."""
         document = schema_to_json(schema)
@@ -123,6 +159,7 @@ class Repository:
             raise RepositoryError(f"schema {schema.name!r} is already stored") from error
         self._connection.commit()
 
+    @_locked
     def load_schema(self, name: str) -> Schema:
         """Load a previously stored schema graph by name."""
         row = self._connection.execute(
@@ -132,11 +169,13 @@ class Repository:
             raise RepositoryError(f"no schema named {name!r} in the repository")
         return schema_from_json(row[0])
 
+    @_locked
     def schema_names(self) -> Tuple[str, ...]:
         """Names of all stored schemas, sorted."""
         rows = self._connection.execute("SELECT name FROM schemas ORDER BY name").fetchall()
         return tuple(r[0] for r in rows)
 
+    @_locked
     def has_schema(self, name: str) -> bool:
         """True if a schema with this name is stored."""
         row = self._connection.execute(
@@ -144,6 +183,7 @@ class Repository:
         ).fetchone()
         return row is not None
 
+    @_locked
     def delete_schema(self, name: str) -> bool:
         """Delete a stored schema; returns True if one was removed."""
         cursor = self._connection.execute("DELETE FROM schemas WHERE name = ?", (name,))
@@ -152,6 +192,7 @@ class Repository:
 
     # -- mappings -----------------------------------------------------------------------
 
+    @_locked
     def store_mapping(
         self,
         mapping: MatchResult | StoredMapping,
@@ -198,6 +239,7 @@ class Repository:
         ).fetchall()
         return tuple((r[0], r[1], float(r[2])) for r in rows)
 
+    @_locked
     def stored_mappings(self, origin: Optional[str] = None) -> Sequence[StoredMapping]:
         """All stored mappings (the :class:`MappingProvider` protocol method)."""
         if origin is None:
@@ -223,6 +265,7 @@ class Repository:
             )
         return tuple(mappings)
 
+    @_locked
     def mappings_between(
         self, first: str, second: str, origin: Optional[str] = None
     ) -> Tuple[StoredMapping, ...]:
@@ -233,6 +276,7 @@ class Repository:
             if {m.source_schema, m.target_schema} == {first, second}
         )
 
+    @_locked
     def delete_mappings(
         self, source: Optional[str] = None, target: Optional[str] = None,
         origin: Optional[str] = None,
@@ -268,6 +312,7 @@ class Repository:
         self._connection.commit()
         return cursor.rowcount
 
+    @_locked
     def mapping_count(self, origin: Optional[str] = None) -> int:
         """The number of stored mappings, optionally restricted by origin."""
         if origin is None:
@@ -280,6 +325,7 @@ class Repository:
 
     # -- strategies ----------------------------------------------------------------------------
 
+    @_locked
     def store_strategy(
         self, name: str, strategy: "MatchStrategy | str", replace: bool = True
     ) -> None:
@@ -322,6 +368,7 @@ class Repository:
             raise RepositoryError(f"strategy {name!r} is already stored") from error
         self._connection.commit()
 
+    @_locked
     def load_strategy(
         self, name: str, library: Optional["MatcherLibrary"] = None
     ) -> "MatchStrategy":
@@ -335,6 +382,7 @@ class Repository:
             raise RepositoryError(f"no strategy named {name!r} in the repository")
         return MatchStrategy.from_dict(json.loads(row[0]), library=library)
 
+    @_locked
     def strategy_spec(self, name: str) -> str:
         """The compact spec form of a stored strategy (for listings)."""
         row = self._connection.execute(
@@ -344,6 +392,7 @@ class Repository:
             raise RepositoryError(f"no strategy named {name!r} in the repository")
         return row[0]
 
+    @_locked
     def strategy_names(self) -> Tuple[str, ...]:
         """Names of all stored strategies, sorted."""
         rows = self._connection.execute(
@@ -351,6 +400,7 @@ class Repository:
         ).fetchall()
         return tuple(r[0] for r in rows)
 
+    @_locked
     def has_strategy(self, name: str) -> bool:
         """True if a strategy with this name is stored."""
         row = self._connection.execute(
@@ -358,6 +408,7 @@ class Repository:
         ).fetchone()
         return row is not None
 
+    @_locked
     def delete_strategy(self, name: str) -> bool:
         """Delete a stored strategy; returns True if one was removed."""
         cursor = self._connection.execute("DELETE FROM strategies WHERE name = ?", (name,))
@@ -366,6 +417,7 @@ class Repository:
 
     # -- similarity cubes ----------------------------------------------------------------------
 
+    @_locked
     def store_cube(self, task: str, cube: SimilarityCube, replace: bool = True) -> None:
         """Persist the non-zero entries of a similarity cube under a task label."""
         if replace:
@@ -377,6 +429,7 @@ class Repository:
         )
         self._connection.commit()
 
+    @_locked
     def load_cube_entries(
         self, task: str, matcher: Optional[str] = None
     ) -> Tuple[Tuple[str, str, str, float], ...]:
@@ -395,6 +448,7 @@ class Repository:
             ).fetchall()
         return tuple((r[0], r[1], r[2], float(r[3])) for r in rows)
 
+    @_locked
     def cube_tasks(self) -> Tuple[str, ...]:
         """All task labels for which cube entries are stored."""
         rows = self._connection.execute(

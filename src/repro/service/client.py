@@ -1,0 +1,296 @@
+"""A stdlib-only client for the match service.
+
+:class:`ServiceClient` wraps the JSON API of
+:class:`~repro.service.server.MatchServiceServer` in typed convenience
+methods (``urllib.request`` underneath, no third-party dependencies), so
+programs talk to a remote matcher with the same vocabulary the in-process
+:class:`~repro.session.session.MatchSession` uses::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    client.upload_schema(text=PO1_DDL, format="sql", name="PO1")
+    client.upload_schema(text=PO2_XSD, format="xsd", name="PO2")
+    client.save_strategy("tuned", "All(Max,Both,Thr(0.6),Dice)")
+    result = client.match("PO1", "PO2", strategy="tuned")
+    for row in result["correspondences"]:
+        print(row["source"], "<->", row["target"], row["similarity"])
+
+Failed requests raise :class:`~repro.exceptions.ServiceError` carrying the
+HTTP status and the server's error message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import urllib.parse
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ServiceError
+
+#: One batch entry: ``{"source": ..., "target": ..., "strategy": ...}``.
+BatchRequest = Dict[str, Union[str, float, None]]
+
+
+def _quoted(name: str) -> str:
+    """Percent-encode a name used as a path segment (the server unquotes)."""
+    return urllib.parse.quote(str(name), safe="")
+
+
+class _NoDelayHTTPConnection(http.client.HTTPConnection):
+    """An HTTPConnection with Nagle's algorithm disabled.
+
+    The client writes headers and body as separate segments; with Nagle on,
+    that write-write-read pattern interacts with delayed ACKs into ~40ms
+    stalls per request under concurrent load.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class ServiceClient:
+    """A convenience client for one match-service base URL.
+
+    The client keeps one persistent (keep-alive) HTTP connection *per
+    thread*, so request streams skip the TCP handshake and the instance can
+    be shared across threads (each thread talks over its own connection).
+
+    Parameters
+    ----------
+    base_url:
+        The service root, e.g. ``"http://127.0.0.1:8765"`` (a trailing slash
+        is tolerated).
+    timeout:
+        Per-request socket timeout in seconds.
+
+    Raises
+    ------
+    ServiceError
+        If ``base_url`` is not a plain http URL with a host.
+
+    Examples
+    --------
+    >>> client = ServiceClient("http://127.0.0.1:8765/")
+    >>> client.base_url
+    'http://127.0.0.1:8765'
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+        parsed = urllib.parse.urlsplit(self._base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ServiceError(
+                f"the service client speaks plain http to a host:port base URL, "
+                f"got {base_url!r}"
+            )
+        self._host = parsed.hostname
+        self._port = parsed.port if parsed.port is not None else 80
+        self._prefix = parsed.path.rstrip("/")
+        self._local = threading.local()
+
+    @property
+    def base_url(self) -> str:
+        """The normalised service root URL."""
+        return self._base_url
+
+    # -- transport -------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = _NoDelayHTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._local.connection = connection
+        return connection
+
+    def close(self) -> None:
+        """Close the calling thread's persistent connection (if any)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    #: Transport failures that indicate a *stale keep-alive* connection (the
+    #: server closed it between requests).  Only these are retried, and only
+    #: when the connection was reused -- a timeout or a failure on a fresh
+    #: connection must surface, not silently re-submit the request (a /match
+    #: that timed out may still be computing server-side).
+    _STALE_CONNECTION_ERRORS = (
+        http.client.RemoteDisconnected,
+        http.client.CannotSendRequest,
+        ConnectionResetError,
+        BrokenPipeError,
+    )
+
+    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        """Issue one JSON request and return the decoded response payload.
+
+        The request rides the calling thread's keep-alive connection; a stale
+        reused connection (e.g. after a server restart) is re-opened and the
+        request retried once.  Timeouts are never retried.
+
+        Raises
+        ------
+        ServiceError
+            For non-2xx responses (with the server's error message and the
+            HTTP status) and for transport-level failures (status 0).
+        """
+        target = f"{self._prefix}/{path.lstrip('/')}"
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            reused = getattr(self._local, "connection", None) is not None
+            connection = self._connection()
+            try:
+                connection.request(method.upper(), target, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except TimeoutError as error:
+                self.close()
+                raise ServiceError(
+                    f"{method} {path} timed out after {self._timeout}s (the "
+                    f"server may still be processing it; not retrying)"
+                ) from error
+            except self._STALE_CONNECTION_ERRORS as error:
+                self.close()
+                if attempt == 2 or not reused:
+                    raise ServiceError(
+                        f"cannot reach the match service at {self._base_url}: {error}"
+                    ) from error
+            except (http.client.HTTPException, OSError) as error:
+                self.close()
+                raise ServiceError(
+                    f"cannot reach the match service at {self._base_url}: {error}"
+                ) from error
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"{method} {path} returned a non-JSON response "
+                f"(status {response.status})", status=response.status,
+            ) from error
+        if response.status >= 400:
+            message = decoded.get("error") if isinstance(decoded, dict) else None
+            raise ServiceError(
+                message or f"{method} {path} failed with status {response.status}",
+                status=response.status,
+            )
+        return decoded
+
+    # -- service endpoints -----------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``GET /health`` payload (raises if the service is unreachable)."""
+        return self.request("GET", "/health")
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload: cache, pool and request statistics."""
+        return self.request("GET", "/stats")
+
+    def upload_schema(
+        self,
+        name: Optional[str] = None,
+        text: Optional[str] = None,
+        format: Optional[str] = None,  # noqa: A002 - mirrors the API field
+        spec: Optional[dict] = None,
+    ) -> dict:
+        """Upload a schema (``POST /schemas``).
+
+        Pass either ``text`` + ``format`` (any registered importer format:
+        ``sql``, ``xsd``, ``dict``) or an inline dict ``spec``.
+        Returns the registration summary (final name, path count,
+        statistics).
+        """
+        payload: dict = {}
+        if name is not None:
+            payload["name"] = name
+        if text is not None:
+            payload["text"] = text
+        if format is not None:
+            payload["format"] = format
+        if spec is not None:
+            payload["spec"] = spec
+        return self.request("POST", "/schemas", payload)
+
+    def schemas(self) -> List[dict]:
+        """The uploaded schemas (``GET /schemas``)."""
+        return self.request("GET", "/schemas")["schemas"]
+
+    def schema(self, name: str) -> dict:
+        """Details of one uploaded schema (``GET /schemas/{name}``)."""
+        return self.request("GET", f"/schemas/{_quoted(name)}")
+
+    def delete_schema(self, name: str) -> dict:
+        """Remove one uploaded schema (``DELETE /schemas/{name}``)."""
+        return self.request("DELETE", f"/schemas/{_quoted(name)}")
+
+    def match(
+        self,
+        source: str,
+        target: str,
+        strategy: Optional[str] = None,
+        min_similarity: Optional[float] = None,
+    ) -> dict:
+        """Match two uploaded schemas (``POST /match``).
+
+        ``strategy`` is a full spec string or a stored strategy name; the
+        result carries the spec actually used, the schema similarity and the
+        selected correspondences.
+        """
+        payload: dict = {"source": source, "target": target}
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if min_similarity is not None:
+            payload["min_similarity"] = min_similarity
+        return self.request("POST", "/match", payload)
+
+    def match_batch(
+        self,
+        requests: Sequence[BatchRequest],
+        strategy: Optional[str] = None,
+        min_similarity: Optional[float] = None,
+    ) -> List[dict]:
+        """Match many pairs in one request (``POST /match/batch``).
+
+        Each entry is ``{"source": ..., "target": ...}`` with optional
+        per-entry ``"strategy"`` / ``"min_similarity"`` overriding the
+        batch-level values.
+        """
+        payload: dict = {"requests": list(requests)}
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if min_similarity is not None:
+            payload["min_similarity"] = min_similarity
+        return self.request("POST", "/match/batch", payload)["results"]
+
+    def save_strategy(self, name: str, spec: str) -> dict:
+        """Store a named strategy spec (``POST /strategies``)."""
+        return self.request("POST", "/strategies", {"name": name, "spec": spec})
+
+    def strategies(self) -> List[dict]:
+        """The stored named strategies (``GET /strategies``)."""
+        return self.request("GET", "/strategies")["strategies"]
+
+    def strategy(self, name: str) -> dict:
+        """One stored strategy with its dict form (``GET /strategies/{name}``)."""
+        return self.request("GET", f"/strategies/{_quoted(name)}")
+
+    def delete_strategy(self, name: str) -> dict:
+        """Delete a stored strategy (``DELETE /strategies/{name}``)."""
+        return self.request("DELETE", f"/strategies/{_quoted(name)}")
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop serving (``POST /shutdown``)."""
+        return self.request("POST", "/shutdown", {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceClient({self._base_url!r})"

@@ -1,0 +1,126 @@
+"""The session pool: N lock-guarded :class:`MatchSession` shards.
+
+The service keeps a small fixed pool of warm sessions instead of a single
+shared one.  A request acquires one shard exclusively for the duration of its
+match operation, so a session never executes two operations at the same time
+-- its FIFO caches fill in a deterministic per-shard order and lock
+contention inside the session is zero.  Free shards live on a LIFO free-list
+behind a condition variable: with more concurrent requests than shards,
+surplus requests block until *any* shard is released (never on one specific
+shard, which would convoy under load).
+
+:class:`MatchSession` is itself thread-safe, so sharding is a *throughput*
+choice, not a correctness requirement: one shard per expected concurrent
+request keeps every request on a warm exclusive session, while the total
+cache memory stays bounded by ``size`` times the per-session cache bounds.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.exceptions import ServiceError
+from repro.session.session import MatchSession
+
+#: A callable building one worker session (one per shard).
+SessionFactory = Callable[[], MatchSession]
+
+
+class SessionPool:
+    """A fixed pool of lock-guarded :class:`MatchSession` shards.
+
+    Parameters
+    ----------
+    size:
+        The number of worker sessions (one per expected concurrent request).
+    session_factory:
+        A zero-argument callable building one worker session; defaults to
+        ``MatchSession()``.  Called ``size`` times at construction, so every
+        shard starts warm and identically configured.
+
+    Raises
+    ------
+    ServiceError
+        If ``size`` is below 1.
+
+    Examples
+    --------
+    >>> pool = SessionPool(size=2)
+    >>> with pool.session() as session:
+    ...     isinstance(session, MatchSession)
+    True
+    >>> pool.size
+    2
+    """
+
+    def __init__(self, size: int = 4, session_factory: Optional[SessionFactory] = None):
+        if size < 1:
+            raise ServiceError(f"a session pool needs size >= 1, got {size}")
+        factory = session_factory if session_factory is not None else MatchSession
+        self._sessions: List[MatchSession] = [factory() for _ in range(size)]
+        # LIFO free-list guarded by a condition: an acquirer takes *any* free
+        # shard or waits until one is released (never on a specific shard --
+        # waiting on one shard while others free up convoys under load).
+        self._free: List[int] = list(range(size))
+        self._condition = threading.Condition()
+
+    @property
+    def size(self) -> int:
+        """The number of shards."""
+        return len(self._sessions)
+
+    @property
+    def sessions(self) -> List[MatchSession]:
+        """The worker sessions (for configuration fan-out and statistics)."""
+        return list(self._sessions)
+
+    @contextlib.contextmanager
+    def session(self) -> Iterator[MatchSession]:
+        """Acquire one shard exclusively for the duration of the ``with`` block.
+
+        Takes any free shard (most-recently-released first, which keeps a
+        lightly loaded pool on few, warm shards); when every shard is busy
+        the caller blocks until the next release, whichever shard that is.
+        """
+        with self._condition:
+            while not self._free:
+                self._condition.wait()
+            index = self._free.pop()
+        try:
+            yield self._sessions[index]
+        finally:
+            with self._condition:
+                self._free.append(index)
+                self._condition.notify()
+
+    def cache_info(self) -> Dict[str, object]:
+        """Aggregated cache statistics over all shards.
+
+        Returns
+        -------
+        dict
+            ``shards`` (the per-shard ``cache_info`` list) plus the summed
+            ``profiles`` / ``cubes`` / ``cube_hits`` / ``cube_misses``.
+
+        Examples
+        --------
+        >>> info = SessionPool(size=2).cache_info()
+        >>> info["cube_hits"], len(info["shards"])
+        (0, 2)
+        """
+        shards = [session.cache_info() for session in self._sessions]
+        totals = {
+            key: sum(shard[key] for shard in shards)
+            for key in ("profiles", "cubes", "cube_hits", "cube_misses")
+        }
+        return {"shards": shards, **totals}
+
+    def clear_caches(self) -> None:
+        """Drop the caches of every shard."""
+        for session in self._sessions:
+            session.clear_caches()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SessionPool(size={self.size})"

@@ -1,0 +1,673 @@
+"""The match service: COMA's session layer behind an HTTP boundary.
+
+A stdlib-only JSON API (``http.server.ThreadingHTTPServer``) wrapping a
+:class:`~repro.service.pool.SessionPool` of warm
+:class:`~repro.session.session.MatchSession` shards, so the session's
+cross-operation caches (path profiles, similarity cubes) keep paying off
+across *network* requests, not just in-process calls.
+
+Endpoints (all request/response bodies are JSON):
+
+=======  ====================  ==============================================
+method   path                  purpose
+=======  ====================  ==============================================
+GET      ``/health``           liveness probe with registry/pool counts
+GET      ``/stats``            cache occupancy + request counters per shard
+GET      ``/schemas``          list the uploaded schemas
+POST     ``/schemas``          upload a schema through the importers registry
+GET      ``/schemas/{name}``   statistics of one uploaded schema
+DELETE   ``/schemas/{name}``   remove one uploaded schema
+POST     ``/match``            match two uploaded schemas
+POST     ``/match/batch``      match many pairs in one session acquisition
+GET      ``/strategies``       list the stored named strategies
+POST     ``/strategies``       store a named strategy spec
+GET      ``/strategies/{name}``  one stored strategy (spec + dict form)
+DELETE   ``/strategies/{name}``  delete a stored strategy
+POST     ``/shutdown``         stop the server (used by tests and ops)
+=======  ====================  ==============================================
+
+Errors are JSON too -- ``{"error": "<message>"}`` with a 4xx/5xx status; the
+:class:`~repro.service.client.ServiceClient` raises them as
+:class:`~repro.exceptions.ServiceError`.
+
+See ``docs/service.md`` for the full endpoint reference and deployment guide.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.strategy import MatchStrategy
+from repro.exceptions import ComaError, ServiceError
+from repro.importers.registry import DEFAULT_IMPORTERS, ImporterRegistry
+from repro.model.schema import Schema
+from repro.service.pool import SessionFactory, SessionPool
+from repro.session.session import MatchSession, StrategyLike
+
+__version__ = "1.0"
+
+#: Response payload limit guard: refuse request bodies beyond this size.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class MatchService:
+    """The service core: schema registry, strategy registry and session pool.
+
+    The service is transport-agnostic -- :meth:`handle_request` maps a
+    ``(method, path, payload)`` triple to a ``(status, payload)`` pair, and
+    the HTTP layer (:class:`MatchServiceServer`) is a thin shell around it.
+    All registry state is guarded by one lock; match execution happens on an
+    exclusively acquired pool shard outside that lock, so slow matches do not
+    serialise unrelated requests.
+
+    Parameters
+    ----------
+    pool_size:
+        The number of warm worker sessions (one per expected concurrent
+        request).
+    repository_path:
+        Optional SQLite file backing the strategy registry (and the reuse
+        matchers of every worker session).  Opened ``threadsafe=True`` and
+        shared by all shards; strategies stored through the service are
+        visible to other sessions over the same file.
+    importers:
+        The importer registry resolving upload formats (default: the
+        built-in relational / xsd / dict importers).
+    session_factory:
+        Overrides worker-session construction (e.g. to configure a custom
+        library or default strategy).  The repository is not attached
+        automatically when a factory is given.
+    default_strategy:
+        The strategy spec worker sessions fall back to when a match request
+        names none (default: the paper's default operation).
+
+    Examples
+    --------
+    >>> service = MatchService(pool_size=1)
+    >>> status, payload = service.handle_request("GET", "/health", None)
+    >>> status, payload["status"]
+    (200, 'ok')
+    """
+
+    def __init__(
+        self,
+        pool_size: int = 4,
+        repository_path: Optional[str] = None,
+        importers: Optional[ImporterRegistry] = None,
+        session_factory: Optional[SessionFactory] = None,
+        default_strategy: Optional[str] = None,
+    ):
+        self._repository = None
+        if repository_path:
+            from repro.repository.repository import Repository
+
+            self._repository = Repository(repository_path, threadsafe=True)
+        if session_factory is None:
+            repository = self._repository
+
+            def session_factory() -> MatchSession:
+                return MatchSession(repository=repository, strategy=default_strategy)
+
+        self._pool = SessionPool(pool_size, session_factory)
+        self._library = self._pool.sessions[0].library
+        self._importers = importers if importers is not None else DEFAULT_IMPORTERS
+        self._schemas: Dict[str, Schema] = {}
+        self._strategies: Dict[str, MatchStrategy] = {}
+        self._state_lock = threading.RLock()
+        self._request_counts: Dict[str, int] = {}
+        self._started = time.monotonic()
+
+    # -- registries ------------------------------------------------------------
+
+    @property
+    def pool(self) -> SessionPool:
+        """The underlying session pool."""
+        return self._pool
+
+    def schema(self, name: str) -> Schema:
+        """The uploaded schema registered under ``name``.
+
+        Raises
+        ------
+        ServiceError
+            With status 404 when no schema of that name was uploaded.
+        """
+        with self._state_lock:
+            schema = self._schemas.get(name)
+            known = ", ".join(sorted(self._schemas)) or "none uploaded yet"
+        if schema is None:
+            raise ServiceError(
+                f"no schema named {name!r}; known schemas: {known}", status=404
+            )
+        return schema
+
+    def register_schema(self, schema: Schema) -> bool:
+        """Register a schema under its own name; True when it replaced one."""
+        with self._state_lock:
+            replaced = schema.name in self._schemas
+            self._schemas[schema.name] = schema
+        return replaced
+
+    def resolve_strategy(self, reference: StrategyLike) -> Optional[MatchStrategy]:
+        """Resolve a request's strategy reference at the service level.
+
+        ``None`` keeps the worker session's default.  A spec string (it
+        contains parentheses) is parsed against the library; any other string
+        is looked up in the service strategy registry, then the repository.
+
+        Raises
+        ------
+        ServiceError
+            With status 404 for an unknown stored name, 400 for an invalid
+            spec or reference type.
+        """
+        if reference is None:
+            return None
+        if isinstance(reference, MatchStrategy):
+            return reference
+        if not isinstance(reference, str):
+            raise ServiceError(
+                f"'strategy' must be a spec string or a stored name, "
+                f"got {type(reference).__name__}", status=400,
+            )
+        if "(" in reference:
+            try:
+                return MatchStrategy.parse(reference, library=self._library)
+            except ComaError as error:
+                raise ServiceError(f"invalid strategy spec: {error}", status=400)
+        with self._state_lock:
+            stored = self._strategies.get(reference)
+        if stored is not None:
+            return stored
+        if self._repository is not None and self._repository.has_strategy(reference):
+            loaded = self._repository.load_strategy(reference, library=self._library)
+            with self._state_lock:
+                self._strategies.setdefault(reference, loaded)
+            return loaded
+        known = ", ".join(self.strategy_names()) or "none stored yet"
+        raise ServiceError(
+            f"no stored strategy named {reference!r}; stored strategies: {known}",
+            status=404,
+        )
+
+    def strategy_names(self) -> Tuple[str, ...]:
+        """Sorted names of all stored strategies (registry + repository)."""
+        with self._state_lock:
+            names = set(self._strategies)
+        if self._repository is not None:
+            names.update(self._repository.strategy_names())
+        return tuple(sorted(names))
+
+    # -- request dispatch ------------------------------------------------------
+
+    def handle_request(
+        self, method: str, path: str, payload: Optional[dict]
+    ) -> Tuple[int, dict]:
+        """Map one request to a ``(status, response payload)`` pair.
+
+        Unknown routes yield 404, method mismatches 405, all
+        :class:`~repro.exceptions.ServiceError` raises their carried status
+        and any other :class:`~repro.exceptions.ComaError` a 400.
+        """
+        segments = [
+            urllib.parse.unquote(part)
+            for part in path.split("?")[0].split("/")
+            if part
+        ]
+        route = (method.upper(), *segments)
+        self._count_request(segments)
+        try:
+            return self._dispatch(route, payload if payload is not None else {})
+        except ServiceError as error:
+            return (error.status or 400, {"error": str(error)})
+        except ComaError as error:
+            return (400, {"error": str(error)})
+
+    #: Top-level route segments with their own request counter; everything
+    #: else (unknown probes, arbitrary names) collapses into fixed templates
+    #: so the counter dict stays bounded on a long-lived server.
+    _COUNTED_ROUTES = frozenset(
+        {"schemas", "match", "strategies", "health", "stats", "shutdown"}
+    )
+
+    def _count_request(self, segments: List[str]) -> None:
+        if not segments:
+            key = "/"
+        elif segments[0] not in self._COUNTED_ROUTES:
+            key = "<other>"
+        elif len(segments) == 1:
+            key = segments[0]
+        elif segments[:2] == ["match", "batch"]:
+            key = "match/batch"
+        else:
+            key = f"{segments[0]}/*"
+        with self._state_lock:
+            self._request_counts[key] = self._request_counts.get(key, 0) + 1
+
+    def _dispatch(self, route: Tuple[str, ...], payload: dict) -> Tuple[int, dict]:
+        if route == ("GET", "health"):
+            return 200, self._health()
+        if route == ("GET", "stats"):
+            return 200, self._stats()
+        if route == ("GET", "schemas"):
+            return 200, self._list_schemas()
+        if route == ("POST", "schemas"):
+            return self._upload_schema(payload)
+        if len(route) == 3 and route[0] == "GET" and route[1] == "schemas":
+            return 200, self._schema_details(route[2])
+        if len(route) == 3 and route[0] == "DELETE" and route[1] == "schemas":
+            return self._delete_schema(route[2])
+        if route == ("POST", "match"):
+            return 200, self._match(payload)
+        if route == ("POST", "match", "batch"):
+            return 200, self._match_batch(payload)
+        if route == ("GET", "strategies"):
+            return 200, self._list_strategies()
+        if route == ("POST", "strategies"):
+            return self._store_strategy(payload)
+        if len(route) == 3 and route[0] == "GET" and route[1] == "strategies":
+            return 200, self._strategy_details(route[2])
+        if len(route) == 3 and route[0] == "DELETE" and route[1] == "strategies":
+            return self._delete_strategy(route[2])
+        if len(route) > 1 and route[1] in self._COUNTED_ROUTES:
+            return 405, {"error": f"method {route[0]} is not supported on /{route[1]}"}
+        return 404, {"error": f"unknown route /{'/'.join(route[1:])}"}
+
+    # -- endpoint implementations ----------------------------------------------
+
+    def _health(self) -> dict:
+        with self._state_lock:
+            schema_count = len(self._schemas)
+        return {
+            "status": "ok",
+            "service": f"coma-match-service/{__version__}",
+            "pool_size": self._pool.size,
+            "schemas": schema_count,
+            "strategies": len(self.strategy_names()),
+            "repository": self._repository.path if self._repository else None,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+        }
+
+    def _stats(self) -> dict:
+        with self._state_lock:
+            requests = dict(sorted(self._request_counts.items()))
+            schema_count = len(self._schemas)
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "schemas": schema_count,
+            "strategies": len(self.strategy_names()),
+            "requests": {"total": sum(requests.values()), "by_route": requests},
+            "pool": self._pool.cache_info(),
+        }
+
+    def _list_schemas(self) -> dict:
+        with self._state_lock:
+            schemas = dict(self._schemas)
+        return {
+            "schemas": [
+                {"name": name, "paths": len(schema.paths())}
+                for name, schema in sorted(schemas.items())
+            ]
+        }
+
+    def _upload_schema(self, payload: dict) -> Tuple[int, dict]:
+        if not isinstance(payload, dict):
+            raise ServiceError("the upload payload must be a JSON object", status=400)
+        name = payload.get("name")
+        spec = payload.get("spec")
+        text = payload.get("text")
+        format_name = payload.get("format")
+        if spec is not None and text is not None:
+            raise ServiceError(
+                "pass either 'text' (with a 'format') or an inline dict 'spec', "
+                "not both", status=400,
+            )
+        if spec is not None:
+            text = json.dumps(spec)
+            format_name = format_name or "dict"
+        if not isinstance(text, str) or not text.strip():
+            raise ServiceError(
+                "schema uploads need a non-empty 'text' (or a dict 'spec')",
+                status=400,
+            )
+        if not format_name:
+            raise ServiceError(
+                f"schema uploads need a 'format'; known formats: "
+                f"{', '.join(self._importers.formats())}", status=400,
+            )
+        importer = self._importers.by_format(str(format_name))
+        schema = importer.import_text(text, str(name) if name else "schema")
+        replaced = self.register_schema(schema)
+        statistics = schema.statistics()
+        return (200 if replaced else 201), {
+            "name": schema.name,
+            "format": importer.format_name,
+            "paths": len(schema.paths()),
+            "statistics": statistics.as_row(),
+            "replaced": replaced,
+        }
+
+    def _schema_details(self, name: str) -> dict:
+        schema = self.schema(name)
+        return {
+            "name": schema.name,
+            "paths": len(schema.paths()),
+            "statistics": schema.statistics().as_row(),
+        }
+
+    def _delete_schema(self, name: str) -> Tuple[int, dict]:
+        with self._state_lock:
+            removed = self._schemas.pop(name, None)
+        if removed is None:
+            raise ServiceError(f"no schema named {name!r}", status=404)
+        return 200, {"deleted": name}
+
+    def _match_request(
+        self, payload: dict, default_min_similarity: float = 0.0
+    ) -> Tuple[Schema, Schema, Optional[MatchStrategy], float]:
+        if not isinstance(payload, dict):
+            raise ServiceError("the match payload must be a JSON object", status=400)
+        for field in ("source", "target"):
+            if not isinstance(payload.get(field), str):
+                raise ServiceError(
+                    f"match requests need a {field!r} schema name", status=400
+                )
+        source = self.schema(payload["source"])
+        target = self.schema(payload["target"])
+        strategy = self.resolve_strategy(payload.get("strategy"))
+        try:
+            min_similarity = float(
+                payload.get("min_similarity", default_min_similarity)
+            )
+        except (TypeError, ValueError):
+            raise ServiceError("'min_similarity' must be a number", status=400)
+        return source, target, strategy, min_similarity
+
+    @staticmethod
+    def _outcome_payload(outcome, min_similarity: float) -> dict:
+        correspondences = [
+            {
+                "source": c.source.dotted(),
+                "target": c.target.dotted(),
+                "similarity": c.similarity,
+            }
+            for c in outcome.result.correspondences
+            if c.similarity >= min_similarity
+        ]
+        return {
+            "source": outcome.context.source_schema.name,
+            "target": outcome.context.target_schema.name,
+            "strategy": outcome.strategy.to_spec(),
+            "schema_similarity": outcome.schema_similarity,
+            "correspondences": correspondences,
+            "correspondence_count": len(correspondences),
+        }
+
+    def _match(self, payload: dict) -> dict:
+        source, target, strategy, min_similarity = self._match_request(payload)
+        with self._pool.session() as session:
+            outcome = session.match(source, target, strategy=strategy)
+        return self._outcome_payload(outcome, min_similarity)
+
+    def _match_batch(self, payload: dict) -> dict:
+        if not isinstance(payload, dict) or not isinstance(payload.get("requests"), list):
+            raise ServiceError(
+                "batch matches need a 'requests' list of "
+                "{source, target[, strategy]} objects", status=400,
+            )
+        default = self.resolve_strategy(payload.get("strategy"))
+        try:
+            default_threshold = float(payload.get("min_similarity", 0.0))
+        except (TypeError, ValueError):
+            raise ServiceError("'min_similarity' must be a number", status=400)
+        items: List[Tuple[Schema, Schema, Optional[MatchStrategy]]] = []
+        thresholds: List[float] = []
+        # Resolve everything up front: a bad entry fails the whole batch
+        # before any work is spent.
+        for entry in payload["requests"]:
+            source, target, strategy, min_similarity = self._match_request(
+                entry if isinstance(entry, dict) else {},
+                default_min_similarity=default_threshold,
+            )
+            items.append((source, target, strategy if strategy is not None else default))
+            thresholds.append(min_similarity)
+        with self._pool.session() as session:
+            outcomes = session.match_many(items)
+        return {
+            "results": [
+                self._outcome_payload(outcome, threshold)
+                for outcome, threshold in zip(outcomes, thresholds)
+            ],
+            "count": len(outcomes),
+        }
+
+    def _list_strategies(self) -> dict:
+        entries = []
+        for name in self.strategy_names():
+            strategy = self.resolve_strategy(name)
+            entries.append({"name": name, "spec": strategy.to_spec()})
+        return {"strategies": entries}
+
+    def _store_strategy(self, payload: dict) -> Tuple[int, dict]:
+        if not isinstance(payload, dict):
+            raise ServiceError("the strategy payload must be a JSON object", status=400)
+        name = payload.get("name")
+        spec = payload.get("spec")
+        if not isinstance(name, str) or not name:
+            raise ServiceError("stored strategies need a non-empty 'name'", status=400)
+        if "(" in name or ")" in name:
+            raise ServiceError(
+                f"strategy names must not contain parentheses (got {name!r})",
+                status=400,
+            )
+        if not isinstance(spec, str) or not spec:
+            raise ServiceError("stored strategies need a 'spec' string", status=400)
+        try:
+            strategy = MatchStrategy.parse(spec, library=self._library).replaced(name=name)
+        except ComaError as error:
+            raise ServiceError(f"invalid strategy spec: {error}", status=400)
+        with self._state_lock:
+            replaced = name in self._strategies
+            if self._repository is not None:
+                replaced = replaced or self._repository.has_strategy(name)
+                self._repository.store_strategy(name, strategy)
+            self._strategies[name] = strategy
+        return (200 if replaced else 201), {
+            "name": name,
+            "spec": strategy.to_spec(),
+            "replaced": replaced,
+        }
+
+    def _strategy_details(self, name: str) -> dict:
+        # A *stored-name* lookup only: resolve_strategy would happily parse a
+        # spec-shaped name and answer 200 for something never stored.
+        with self._state_lock:
+            strategy = self._strategies.get(name)
+        if strategy is None and self._repository is not None \
+                and self._repository.has_strategy(name):
+            strategy = self._repository.load_strategy(name, library=self._library)
+            with self._state_lock:
+                strategy = self._strategies.setdefault(name, strategy)
+        if strategy is None:
+            known = ", ".join(self.strategy_names()) or "none stored yet"
+            raise ServiceError(
+                f"no stored strategy named {name!r}; stored strategies: {known}",
+                status=404,
+            )
+        return {"name": name, "spec": strategy.to_spec(), "document": strategy.to_dict()}
+
+    def _delete_strategy(self, name: str) -> Tuple[int, dict]:
+        with self._state_lock:
+            removed = self._strategies.pop(name, None) is not None
+            if self._repository is not None:
+                removed = self._repository.delete_strategy(name) or removed
+        if not removed:
+            raise ServiceError(f"no stored strategy named {name!r}", status=404)
+        return 200, {"deleted": name}
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Thin HTTP shell: JSON in, JSON out, everything else in MatchService."""
+
+    server_version = f"coma-match-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+    #: Headers and body go out as separate writes; without TCP_NODELAY the
+    #: write-write-read pattern triggers Nagle + delayed-ACK stalls (~40ms
+    #: per response) under concurrent load.
+    disable_nagle_algorithm = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover - ops aid
+            super().log_message(format, *args)
+
+    def _read_payload(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            # Drain the oversized body first: responding with unread request
+            # bytes on the socket desynchronizes the keep-alive connection
+            # (the client is still sending and only sees a broken pipe).
+            # Truly huge bodies are not worth draining -- close instead.
+            if length <= 4 * MAX_BODY_BYTES:
+                remaining = length
+                while remaining > 0:
+                    chunk = self.rfile.read(min(remaining, 1 << 20))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+            else:
+                self.close_connection = True
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES} byte limit", status=413,
+            )
+        raw = self.rfile.read(length)
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(f"request body is not valid JSON: {error}", status=400)
+        if not isinstance(decoded, dict):
+            raise ServiceError("the request body must be a JSON object", status=400)
+        return decoded
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle(self, method: str) -> None:
+        try:
+            payload = self._read_payload()
+            if method == "POST" and self.path.split("?")[0].rstrip("/") == "/shutdown":
+                self._respond(200, {"status": "shutting down"})
+                threading.Thread(target=self.server.shutdown, daemon=True).start()
+                return
+            status, response = self.server.service.handle_request(
+                method, self.path, payload
+            )
+        except ServiceError as error:
+            status, response = (error.status or 400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive 500 path
+            status, response = (500, {"error": f"internal error: {error}"})
+        self._respond(status, response)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("DELETE")
+
+
+class MatchServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MatchService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: The socketserver default backlog of 5 drops simultaneous connection
+    #: bursts (the SYN retransmit shows up as ~1s latency outliers).
+    request_queue_size = 128
+
+    def __init__(self, address: Tuple[str, int], service: MatchService,
+                 verbose: bool = False):
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        """The base URL clients should talk to."""
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    service: Optional[MatchService] = None,
+    verbose: bool = False,
+    **service_kwargs,
+) -> MatchServiceServer:
+    """Build a ready-to-serve :class:`MatchServiceServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The bind address (pass ``port=0`` for an ephemeral port, handy in
+        tests and benchmarks; read the chosen port off ``server.url``).
+    service:
+        An existing :class:`MatchService` to expose; by default a fresh one
+        is built from ``service_kwargs`` (``pool_size``, ``repository_path``,
+        ...).
+    verbose:
+        Log each request line to stderr (the default stays quiet).
+
+    Returns
+    -------
+    MatchServiceServer
+        Not yet serving: call ``serve_forever()`` (or run it on a thread).
+
+    Examples
+    --------
+    >>> server = create_server(port=0, pool_size=1)
+    >>> server.url.startswith("http://127.0.0.1:")
+    True
+    >>> server.server_close()
+    """
+    if service is None:
+        service = MatchService(**service_kwargs)
+    elif service_kwargs:
+        raise ServiceError(
+            f"pass either a service instance or service keyword arguments, "
+            f"not both (got {sorted(service_kwargs)})"
+        )
+    return MatchServiceServer((host, port), service, verbose=verbose)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    verbose: bool = True,
+    **service_kwargs,
+) -> None:
+    """Run the match service until interrupted (the ``coma serve`` entry point)."""
+    server = create_server(host=host, port=port, verbose=verbose, **service_kwargs)
+    print(f"coma match service listening on {server.url} "
+          f"(pool_size={server.service.pool.size}); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()

@@ -8,18 +8,26 @@ process-wide session backing the deprecated free-function shims in
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.session.session import MatchSession
 
 _default_session: Optional[MatchSession] = None
+_default_session_lock = threading.Lock()
 
 
 def default_session() -> MatchSession:
-    """The lazily created process-wide session used by the free-function shims."""
+    """The lazily created process-wide session used by the free-function shims.
+
+    Creation is guarded by a lock so concurrent first callers receive the
+    same session instance.
+    """
     global _default_session
     if _default_session is None:
-        _default_session = MatchSession()
+        with _default_session_lock:
+            if _default_session is None:
+                _default_session = MatchSession()
     return _default_session
 
 

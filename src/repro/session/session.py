@@ -38,10 +38,24 @@ Cubes are cached only for deterministic matcher usages (simple and hybrid
 library matchers referenced by name).  Strategies naming reuse matchers or
 ``UserFeedback``, or carrying pre-configured matcher instances, bypass the
 cube cache because their results depend on state outside the cube key.
+
+**Thread safety.**  A session may be shared by many threads -- that is how the
+:mod:`repro.service` layer keeps one warm session behind a network boundary.
+All cache structures are guarded by one reentrant lock: cache *lookups* are
+lock-free reads, cache *mutations* (inserts, trims, counter updates, named
+strategy registration) take the lock, and the shared profile dict itself is a
+lock-guarded mapping so contexts inserting profiles mid-execution serialise
+with cache trimming.  Matcher execution -- the expensive part -- always runs
+outside the lock, so concurrent match operations genuinely overlap.  Two
+threads racing to fill the same cache entry may both compute it; the first
+published entry wins and both threads return identical values, so results are
+byte-identical to serial execution and ``cube_hits + cube_misses`` always
+equals the number of cacheable executions.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
 
 from repro.auxiliary.synonyms import SynonymDictionary, default_purchase_order_synonyms
@@ -83,6 +97,51 @@ _CACHEABLE_KINDS = frozenset({"simple", "hybrid"})
 _UNSET = object()
 
 
+class _GuardedDict(dict):
+    """A dict whose mutating operations run under an owning reentrant lock.
+
+    The session hands this to every context it builds as the shared profile
+    cache: contexts insert profiles directly during matcher execution, and the
+    lock serialises those inserts with the session's cache trimming (which
+    iterates the dict).  Reads stay lock-free -- under CPython they are safe
+    against the guarded mutations, and a reader either sees a fully
+    constructed entry or none at all.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: threading.RLock):
+        super().__init__()
+        self._lock = lock
+
+    def __setitem__(self, key, value):
+        with self._lock:
+            super().__setitem__(key, value)
+
+    def setdefault(self, key, default=None):
+        with self._lock:
+            return super().setdefault(key, default)
+
+    def pop(self, *args):
+        with self._lock:
+            return super().pop(*args)
+
+    def popitem(self):
+        with self._lock:
+            return super().popitem()
+
+    def update(self, *args, **kwargs):
+        with self._lock:
+            super().update(*args, **kwargs)
+
+    def clear(self):
+        with self._lock:
+            super().clear()
+
+    def __reduce__(self):  # pragma: no cover - locks are not picklable
+        raise TypeError("session caches cannot be pickled")
+
+
 class MatchSession:
     """A long-lived match service owning the resources shared by all operations.
 
@@ -107,7 +166,9 @@ class MatchSession:
         operation (individual calls may override it).
     repository:
         An optional :class:`~repro.repository.repository.Repository` used by
-        reuse matchers and for persisting named strategies.
+        reuse matchers and for persisting named strategies.  Pass a
+        repository opened with ``threadsafe=True`` when the session is
+        shared across threads.
     cache_cubes:
         Keep similarity cubes per (schema pair, matcher usage) so repeated
         matches of a pair (e.g. under different combination strategies) skip
@@ -117,6 +178,20 @@ class MatchSession:
         long-lived session's memory finite under a stream of distinct schema
         pairs.  The defaults comfortably cover the bundled evaluation
         workloads; pass ``None`` for an unbounded cache.
+
+    Raises
+    ------
+    SessionError
+        If a cache bound is below 1, or ``strategy`` is not a strategy
+        object, spec string or stored name.
+
+    Examples
+    --------
+    >>> from repro.datasets.figure1 import load_po1, load_po2
+    >>> session = MatchSession()
+    >>> outcome = session.match(load_po1(), load_po2())
+    >>> len(outcome.result) > 0
+    True
     """
 
     #: Default cache bounds: enough for the all-pairs Figure 8 campaign with
@@ -158,8 +233,13 @@ class MatchSession:
                 raise SessionError(f"{label} must be >= 1 or None, got {bound}")
         self._max_cached_cubes = max_cached_cubes
         self._max_cached_profiles = max_cached_profiles
-        self._profile_cache: Dict[Tuple[SchemaPath, ...], PathSetProfile] = {}
-        self._cube_cache: Dict[tuple, SimilarityCube] = {}
+        #: One reentrant lock guards every cache mutation of the session; see
+        #: the module docstring for the locking discipline.
+        self._lock = threading.RLock()
+        self._profile_cache: Dict[Tuple[SchemaPath, ...], PathSetProfile] = (
+            _GuardedDict(self._lock)
+        )
+        self._cube_cache: Dict[tuple, SimilarityCube] = _GuardedDict(self._lock)
         self._cube_hits = 0
         self._cube_misses = 0
         self._named_strategies: Dict[str, MatchStrategy] = {}
@@ -174,12 +254,25 @@ class MatchSession:
 
     @property
     def library(self) -> MatcherLibrary:
-        """The matcher library strategies are resolved against."""
+        """The matcher library strategies are resolved against.
+
+        Examples
+        --------
+        >>> session = MatchSession()
+        >>> "NamePath" in session.library
+        True
+        """
         return self._library
 
     @property
     def engine(self) -> MatchEngine:
-        """The engine executing matcher batches."""
+        """The engine executing matcher batches.
+
+        Examples
+        --------
+        >>> MatchSession().engine.use_batch
+        True
+        """
         return self._engine
 
     @property
@@ -194,11 +287,41 @@ class MatchSession:
 
     @property
     def default_strategy(self) -> MatchStrategy:
-        """The strategy used when a call does not specify one."""
+        """The strategy used when a call does not specify one.
+
+        Examples
+        --------
+        >>> MatchSession().default_strategy.to_spec()
+        'All(Average,Both,Thr(0.5)+Delta(0.02,rel),Average)'
+        """
         return self._default_strategy
 
     def set_default_strategy(self, strategy: StrategyLike) -> MatchStrategy:
-        """Replace the session's default strategy (object, spec or stored name)."""
+        """Replace the session's default strategy.
+
+        Parameters
+        ----------
+        strategy:
+            A :class:`~repro.core.strategy.MatchStrategy`, a spec string or a
+            stored strategy name (resolved via :meth:`resolve_strategy`).
+
+        Returns
+        -------
+        MatchStrategy
+            The resolved strategy now serving as the default.
+
+        Raises
+        ------
+        SessionError
+            If the reference is neither ``None``, a strategy object nor a
+            string (``None`` keeps the current default).
+
+        Examples
+        --------
+        >>> session = MatchSession()
+        >>> session.set_default_strategy("Name+Leaves(Max,Both,MaxN(1),Dice)").to_spec()
+        'Name+Leaves(Max,Both,MaxN(1),Dice)'
+        """
         self._default_strategy = self.resolve_strategy(strategy)
         return self._default_strategy
 
@@ -216,6 +339,28 @@ class MatchSession:
         :class:`~repro.matchers.base.MatchContext` documents): customising one
         operation's table cannot leak into others, while reconfiguring the
         session's own table affects all subsequently built contexts.
+
+        Parameters
+        ----------
+        source / target:
+            The schemas of the match operation.
+        feedback:
+            Overrides the session-wide feedback store for this context; pass
+            ``None`` to explicitly detach feedback.
+
+        Returns
+        -------
+        MatchContext
+            A fresh context sharing the session's tokenizer, synonyms,
+            repository and profile cache.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> session = MatchSession()
+        >>> context = session.context_for(load_po1(), load_po2())
+        >>> context.source_schema.name
+        'PO1'
         """
         return MatchContext(
             source_schema=source,
@@ -229,20 +374,71 @@ class MatchSession:
         )
 
     def profile_for(self, schema: Schema) -> PathSetProfile:
-        """The (session-cached) path-set profile of a schema's full path set."""
+        """The (session-cached) path-set profile of a schema's full path set.
+
+        Parameters
+        ----------
+        schema:
+            The schema whose paths are profiled.
+
+        Returns
+        -------
+        PathSetProfile
+            The cached profile; concurrent callers racing on the same schema
+            converge on one published instance.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1
+        >>> session = MatchSession()
+        >>> profile = session.profile_for(load_po1())
+        >>> len(profile) == len(load_po1().paths())
+        True
+        """
         key = tuple(schema.paths())
         profile = self._profile_cache.get(key)
         if profile is None:
             profile = PathSetProfile(key, self._tokenizer)
-            self._profile_cache[key] = profile
+            # setdefault: if another thread published a profile for this key
+            # in the meantime, every caller converges on that instance.
+            profile = self._profile_cache.setdefault(key, profile)
             self._trim_caches()
         return profile
 
     # -- strategies ------------------------------------------------------------
 
     def resolve_strategy(self, strategy: StrategyLike) -> MatchStrategy:
-        """Resolve a strategy reference: ``None`` (session default), an object,
-        a stored strategy name, or a declarative spec string."""
+        """Resolve a strategy reference.
+
+        Parameters
+        ----------
+        strategy:
+            ``None`` (the session default), a
+            :class:`~repro.core.strategy.MatchStrategy` object, a stored
+            strategy name, or a declarative spec string such as
+            ``"All(Average,Both,Thr(0.5)+Delta(0.02),Average)"``.
+
+        Returns
+        -------
+        MatchStrategy
+            The resolved strategy object.
+
+        Raises
+        ------
+        SessionError
+            If ``strategy`` is neither ``None``, a strategy object nor a
+            string.
+        StrategyError
+            If a spec string does not parse or names unknown matchers.
+
+        Examples
+        --------
+        >>> session = MatchSession()
+        >>> session.resolve_strategy(None) is session.default_strategy
+        True
+        >>> session.resolve_strategy("Name(Max,Both,MaxN(1),Dice)").matcher_names()
+        ('Name',)
+        """
         if strategy is None:
             return self._default_strategy
         if isinstance(strategy, MatchStrategy):
@@ -266,7 +462,37 @@ class MatchSession:
         )
 
     def save_strategy(self, name: str, strategy: StrategyLike) -> MatchStrategy:
-        """Register a named strategy, persisting it when a repository is attached."""
+        """Register a named strategy, persisting it when a repository is attached.
+
+        Parameters
+        ----------
+        name:
+            The name later calls (and other sessions over the same
+            repository) resolve the strategy by.  Must be non-empty and must
+            not contain parentheses.
+        strategy:
+            Any strategy reference accepted by :meth:`resolve_strategy`.
+
+        Returns
+        -------
+        MatchStrategy
+            The resolved strategy, relabelled with ``name``.
+
+        Raises
+        ------
+        SessionError
+            If ``name`` is empty or contains parentheses.
+        RepositoryError
+            If an attached repository cannot persist the strategy.
+
+        Examples
+        --------
+        >>> session = MatchSession()
+        >>> session.save_strategy("tuned", "All(Max,Both,Thr(0.6),Dice)").name
+        'tuned'
+        >>> "tuned" in session.strategy_names()
+        True
+        """
         if not name:
             raise SessionError("a named strategy needs a non-empty name")
         if "(" in name or ")" in name:
@@ -275,27 +501,69 @@ class MatchSession:
                 f"they would be indistinguishable from spec strings"
             )
         resolved = self.resolve_strategy(strategy).replaced(name=name)
-        # Persist first: a repository failure must not leave the name
-        # resolvable in this session but absent from the shared store.
-        if self._repository is not None:
-            self._repository.store_strategy(name, resolved)
-        self._named_strategies[name] = resolved
+        with self._lock:
+            # Persist first: a repository failure must not leave the name
+            # resolvable in this session but absent from the shared store.
+            if self._repository is not None:
+                self._repository.store_strategy(name, resolved)
+            self._named_strategies[name] = resolved
         return resolved
 
     def load_strategy(self, name: str) -> MatchStrategy:
-        """A previously saved strategy, from the session or its repository."""
+        """A previously saved strategy, from the session or its repository.
+
+        Parameters
+        ----------
+        name:
+            The stored strategy name.
+
+        Returns
+        -------
+        MatchStrategy
+            The named strategy (cached in the session after the first
+            repository load).
+
+        Raises
+        ------
+        SessionError
+            If no strategy of that name exists in the session or its
+            repository.
+
+        Examples
+        --------
+        >>> session = MatchSession()
+        >>> _ = session.save_strategy("tuned", "All(Max,Both,Thr(0.6),Dice)")
+        >>> session.load_strategy("tuned").to_spec()
+        'All(Max,Both,Thr(0.6),Dice)'
+        """
         named = self._named_strategies.get(name)
         if named is not None:
             return named
         if self._repository is not None and self._repository.has_strategy(name):
             loaded = self._repository.load_strategy(name, library=self._library)
-            self._named_strategies[name] = loaded
+            with self._lock:
+                # A concurrent load of the same name keeps the first entry.
+                loaded = self._named_strategies.setdefault(name, loaded)
             return loaded
         raise SessionError(f"no strategy named {name!r} in this session or its repository")
 
     def strategy_names(self) -> Tuple[str, ...]:
-        """Names of all saved strategies (session-local and repository-persisted)."""
-        names = set(self._named_strategies)
+        """Names of all saved strategies (session-local and repository-persisted).
+
+        Returns
+        -------
+        tuple of str
+            Sorted strategy names.
+
+        Examples
+        --------
+        >>> session = MatchSession()
+        >>> _ = session.save_strategy("tuned", "All(Max,Both,Thr(0.6),Dice)")
+        >>> session.strategy_names()
+        ('tuned',)
+        """
+        with self._lock:  # snapshot: concurrent saves mutate the registry
+            names = set(self._named_strategies)
         if self._repository is not None:
             names.update(self._repository.strategy_names())
         return tuple(sorted(names))
@@ -309,7 +577,40 @@ class MatchSession:
         strategy: StrategyLike = None,
         feedback: object = _UNSET,
     ) -> MatchOutcome:
-        """Run one automatic match operation through the session's resources."""
+        """Run one automatic match operation through the session's resources.
+
+        Parameters
+        ----------
+        source / target:
+            The schemas to match.
+        strategy:
+            Any reference accepted by :meth:`resolve_strategy`; ``None`` uses
+            the session default.
+        feedback:
+            Overrides the session-wide feedback store for this operation.
+
+        Returns
+        -------
+        MatchOutcome
+            The complete outcome: the selected mapping (``result``), the
+            matcher-specific similarity ``cube``, the ``aggregated`` matrix,
+            the combined ``schema_similarity`` and the resolved ``strategy``.
+
+        Raises
+        ------
+        StrategyError
+            If the strategy reference does not resolve.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> session = MatchSession()
+        >>> outcome = session.match(load_po1(), load_po2())
+        >>> 0.0 <= outcome.schema_similarity <= 1.0
+        True
+        >>> outcome.strategy.name
+        'All'
+        """
         active = self.resolve_strategy(strategy)
         context = self.context_for(source, target, feedback=feedback)
         cube = self._execute(active, context)
@@ -335,11 +636,38 @@ class MatchSession:
     ) -> List[MatchOutcome]:
         """Run a batch of match operations, amortising the session caches.
 
-        Each request is ``(source, target)`` or ``(source, target, strategy)``;
-        a per-request strategy overrides the batch-level ``strategy`` argument.
         Path-set profiles are pre-built once per distinct schema, so an
         all-pairs fan-out (the Figure 8 campaign) derives each schema's
         profile exactly once for the whole batch.
+
+        Parameters
+        ----------
+        requests:
+            An iterable of ``(source, target)`` or
+            ``(source, target, strategy)`` tuples; a per-request strategy
+            overrides the batch-level ``strategy`` argument.
+        strategy:
+            The batch-level default strategy reference.
+
+        Returns
+        -------
+        list of MatchOutcome
+            One outcome per request, in request order; byte-identical to
+            calling :meth:`match` per pair.
+
+        Raises
+        ------
+        SessionError
+            If a request tuple has a length other than 2 or 3.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> session = MatchSession()
+        >>> a, b = load_po1(), load_po2()
+        >>> outcomes = session.match_many([(a, b), (b, a)])
+        >>> len(outcomes)
+        2
         """
         items: List[Tuple[Schema, Schema, StrategyLike]] = []
         for request in requests:
@@ -371,7 +699,27 @@ class MatchSession:
     def schema_similarity(
         self, source: Schema, target: Schema, strategy: StrategyLike = None
     ) -> float:
-        """The combined schema similarity of one match operation (Figure 8)."""
+        """The combined schema similarity of one match operation (Figure 8).
+
+        Parameters
+        ----------
+        source / target:
+            The schemas to compare.
+        strategy:
+            Any reference accepted by :meth:`resolve_strategy`.
+
+        Returns
+        -------
+        float
+            The combined similarity in ``[0, 1]``.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> session = MatchSession()
+        >>> 0.0 <= session.schema_similarity(load_po1(), load_po2()) <= 1.0
+        True
+        """
         return self.match(source, target, strategy=strategy).schema_similarity
 
     # -- iterative / evaluation front-ends -------------------------------------
@@ -387,6 +735,29 @@ class MatchSession:
 
         The processor gets its own feedback store unless the session (or the
         call) provides one, and its context shares the session's caches.
+
+        Parameters
+        ----------
+        source / target:
+            The schemas of the interactive match task.
+        strategy:
+            Any reference accepted by :meth:`resolve_strategy`.
+        feedback:
+            The feedback store driving the iteration; defaults to the
+            session-wide store, else a fresh one.
+
+        Returns
+        -------
+        MatchProcessor
+            A processor whose context shares the session caches.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> session = MatchSession()
+        >>> processor = session.iterate(load_po1(), load_po2())
+        >>> processor.feedback is not None
+        True
         """
         store = feedback
         if store is None:
@@ -406,8 +777,27 @@ class MatchSession:
         """An :class:`~repro.evaluation.campaign.EvaluationCampaign` on this session.
 
         Per-task contexts are built through :meth:`context_for`, so the
-        campaign's matcher executions share the session's profile cache; extra
-        keyword arguments are forwarded to the campaign constructor.
+        campaign's matcher executions share the session's profile cache.
+
+        Parameters
+        ----------
+        tasks:
+            The evaluation tasks (default: the bundled gold-standard tasks).
+        **kwargs:
+            Forwarded to the campaign constructor; ``engine`` and
+            ``context_factory`` default to the session's.
+
+        Returns
+        -------
+        EvaluationCampaign
+            A campaign sharing the session's engine and caches.
+
+        Examples
+        --------
+        >>> session = MatchSession()
+        >>> campaign = session.evaluate()
+        >>> campaign is not None
+        True
         """
         from repro.evaluation.campaign import EvaluationCampaign
 
@@ -438,18 +828,27 @@ class MatchSession:
         return (source.paths(), target.paths(), tuple(names))
 
     def _execute(self, strategy: MatchStrategy, context: MatchContext) -> SimilarityCube:
-        """Execute the strategy's matchers, serving repeats from the cube cache."""
+        """Execute the strategy's matchers, serving repeats from the cube cache.
+
+        Matcher execution runs outside the session lock; only the cache
+        lookup, the insert and the counter updates are guarded.  Two threads
+        missing the same key both execute (both count as misses, keeping
+        ``hits + misses`` equal to the number of cacheable executions) and
+        converge on the first published cube.
+        """
         key = self._cube_key(context.source_schema, context.target_schema, strategy)
         if key is not None:
             cached = self._cube_cache.get(key)
             if cached is not None:
-                self._cube_hits += 1
+                with self._lock:
+                    self._cube_hits += 1
                 return cached
         matchers = strategy.resolve_matchers(self._library)
         cube = self._engine.execute(matchers, context)
         if key is not None:
-            self._cube_misses += 1
-            self._cube_cache[key] = cube
+            with self._lock:
+                self._cube_misses += 1
+                cube = self._cube_cache.setdefault(key, cube)
         self._trim_caches()
         return cube
 
@@ -459,23 +858,46 @@ class MatchSession:
         Contexts insert profiles into the shared dict directly during matcher
         execution, so trimming runs after every execution as well as after
         explicit :meth:`profile_for` inserts.  Evicted entries are simply
-        recomputed on next use.
+        recomputed on next use.  The whole sweep holds the session lock, so
+        the ``next(iter(...))`` walk cannot race with concurrent inserts
+        (which take the same lock through the guarded cache dicts).
         """
-        if self._max_cached_cubes is not None:
-            while len(self._cube_cache) > self._max_cached_cubes:
-                self._cube_cache.pop(next(iter(self._cube_cache)))
-        if self._max_cached_profiles is not None:
-            while len(self._profile_cache) > self._max_cached_profiles:
-                self._profile_cache.pop(next(iter(self._profile_cache)))
+        with self._lock:
+            if self._max_cached_cubes is not None:
+                while len(self._cube_cache) > self._max_cached_cubes:
+                    self._cube_cache.pop(next(iter(self._cube_cache)))
+            if self._max_cached_profiles is not None:
+                while len(self._profile_cache) > self._max_cached_profiles:
+                    self._profile_cache.pop(next(iter(self._profile_cache)))
 
     def cache_info(self) -> Dict[str, int]:
-        """Cache occupancy and hit counters (used by tests and the benchmark)."""
-        return {
-            "profiles": len(self._profile_cache),
-            "cubes": len(self._cube_cache),
-            "cube_hits": self._cube_hits,
-            "cube_misses": self._cube_misses,
-        }
+        """Cache occupancy and hit counters.
+
+        Returns
+        -------
+        dict
+            ``profiles`` / ``cubes`` (current occupancy) and ``cube_hits`` /
+            ``cube_misses`` (lifetime counters; their sum equals the number
+            of cacheable executions, also under concurrency).
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> session = MatchSession()
+        >>> a, b = load_po1(), load_po2()
+        >>> _ = session.match(a, b)
+        >>> _ = session.match(a, b)   # same pair again: served from the cube cache
+        >>> info = session.cache_info()
+        >>> info["cube_hits"], info["cube_misses"]
+        (1, 1)
+        """
+        with self._lock:
+            return {
+                "profiles": len(self._profile_cache),
+                "cubes": len(self._cube_cache),
+                "cube_hits": self._cube_hits,
+                "cube_misses": self._cube_misses,
+            }
 
     def clear_caches(self) -> None:
         """Drop all cached profiles and cubes (counters are kept).
@@ -483,9 +905,19 @@ class MatchSession:
         Call this after mutating a shared resource in place (synonym
         dictionary, type-compatibility table): cached cubes reflect the
         resources at execution time.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> session = MatchSession()
+        >>> _ = session.match(load_po1(), load_po2())
+        >>> session.clear_caches()
+        >>> session.cache_info()["cubes"]
+        0
         """
-        self._profile_cache.clear()
-        self._cube_cache.clear()
+        with self._lock:
+            self._profile_cache.clear()
+            self._cube_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         info = self.cache_info()

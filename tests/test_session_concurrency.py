@@ -1,0 +1,158 @@
+"""Concurrency tests: one shared MatchSession hammered from many threads.
+
+The session guarantees (see the module docstring of ``repro.session.session``):
+
+* results are byte-identical to serial execution,
+* the caches never corrupt (no lost inserts, no iteration races with trims),
+* ``cube_hits + cube_misses`` equals the number of cacheable executions.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datasets.figure1 import load_po1, load_po2
+from repro.datasets.gold_standard import load_task
+from repro.session import MatchSession
+
+#: Cacheable strategies (hybrid matchers only) with distinct combinations.
+SPECS = (
+    "All(Average,Both,Thr(0.5)+Delta(0.02),Average)",
+    "All(Max,Both,Thr(0.5)+MaxN(1),Average)",
+    "Name+Leaves(Average,Both,Thr(0.6),Dice)",
+)
+
+THREADS = 8
+
+
+def _result_rows(outcome):
+    return [
+        (c.source.dotted(), c.target.dotted(), c.similarity)
+        for c in outcome.result.correspondences
+    ]
+
+
+@pytest.fixture(scope="module")
+def schema_pairs():
+    """Shared schema objects: two distinct pairs, loaded once."""
+    task = load_task(1, 2)
+    return [(load_po1(), load_po2()), (task.source, task.target)]
+
+
+def _mixed_workload(session, pairs, worker_index):
+    """One thread's operation mix; returns labelled, comparable results."""
+    results = []
+    for round_index in range(3):
+        source, target = pairs[(worker_index + round_index) % len(pairs)]
+        spec = SPECS[(worker_index + round_index) % len(SPECS)]
+        kind = (worker_index + round_index) % 3
+        if kind == 0:
+            outcome = session.match(source, target, strategy=spec)
+            results.append(("match", source.name, target.name, spec,
+                            _result_rows(outcome)))
+        elif kind == 1:
+            outcomes = session.match_many(
+                [(source, target, spec), (target, source, spec)]
+            )
+            results.append(("match_many", source.name, target.name, spec,
+                            [_result_rows(outcome) for outcome in outcomes]))
+        else:
+            similarity = session.schema_similarity(source, target, strategy=spec)
+            results.append(("schema_similarity", source.name, target.name, spec,
+                            similarity))
+    return results
+
+
+def _cacheable_executions(results):
+    """How many cube executions a result list accounts for."""
+    count = 0
+    for kind, *_ in results:
+        count += 2 if kind == "match_many" else 1
+    return count
+
+
+class TestConcurrentSession:
+    def test_concurrent_results_byte_identical_to_serial(self, schema_pairs):
+        serial_session = MatchSession()
+        serial = [
+            _mixed_workload(serial_session, schema_pairs, index)
+            for index in range(THREADS)
+        ]
+
+        shared = MatchSession()
+        with ThreadPoolExecutor(max_workers=THREADS) as executor:
+            concurrent = list(
+                executor.map(
+                    lambda index: _mixed_workload(shared, schema_pairs, index),
+                    range(THREADS),
+                )
+            )
+        assert concurrent == serial
+
+    def test_counters_consistent_under_concurrency(self, schema_pairs):
+        session = MatchSession()
+        with ThreadPoolExecutor(max_workers=THREADS) as executor:
+            results = list(
+                executor.map(
+                    lambda index: _mixed_workload(session, schema_pairs, index),
+                    range(THREADS),
+                )
+            )
+        executions = sum(_cacheable_executions(result) for result in results)
+        info = session.cache_info()
+        # Every cacheable execution is accounted for exactly once.
+        assert info["cube_hits"] + info["cube_misses"] == executions
+        # Distinct (ordered pair, matcher usage) keys bound the cache; racing
+        # threads may only converge on fewer-or-equal distinct entries.
+        distinct_keys = len(
+            {(s.name, t.name, spec) for s, t in schema_pairs for spec in SPECS}
+        ) * 2  # both orientations appear via match_many
+        assert 0 < info["cubes"] <= distinct_keys
+        # One profile per distinct schema object (setdefault convergence).
+        assert info["profiles"] == 4
+
+    def test_concurrent_profile_for_converges(self, schema_pairs):
+        session = MatchSession()
+        schema = schema_pairs[0][0]
+        with ThreadPoolExecutor(max_workers=THREADS) as executor:
+            profiles = list(
+                executor.map(lambda _: session.profile_for(schema), range(32))
+            )
+        assert all(profile is profiles[0] for profile in profiles)
+        assert session.cache_info()["profiles"] == 1
+
+    def test_trim_races_with_inserts(self, schema_pairs):
+        """A tiny profile bound forces constant evictions while threads insert."""
+        session = MatchSession(max_cached_profiles=1, max_cached_cubes=1)
+        pairs = schema_pairs * 2
+
+        def churn(index):
+            source, target = pairs[index % len(pairs)]
+            outcome = session.match(source, target, strategy=SPECS[index % len(SPECS)])
+            return _result_rows(outcome)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as executor:
+            results = list(executor.map(churn, range(32)))
+        assert len(results) == 32
+        info = session.cache_info()
+        assert info["profiles"] <= 1
+        assert info["cubes"] <= 1
+
+    def test_concurrent_strategy_registry(self):
+        session = MatchSession()
+        barrier = threading.Barrier(THREADS)
+
+        def register(index):
+            barrier.wait(timeout=10)
+            session.save_strategy(f"strategy-{index % 4}", SPECS[index % len(SPECS)])
+            return session.load_strategy(f"strategy-{index % 4}")
+
+        with ThreadPoolExecutor(max_workers=THREADS) as executor:
+            loaded = list(executor.map(register, range(THREADS)))
+        assert len(loaded) == THREADS
+        assert session.strategy_names() == (
+            "strategy-0", "strategy-1", "strategy-2", "strategy-3",
+        )
