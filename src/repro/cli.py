@@ -10,8 +10,10 @@ Usage examples::
     coma strategies --repository coma.db  # ... plus the stored named strategies
     coma strategies --repository coma.db --save tuned "All(Max,Both,Thr(0.6),Dice)"
     coma stats po.xsd
+    coma stats --store coma-store.db      # persistent-reuse effectiveness counters
     coma tasks            # list the bundled evaluation tasks and their sizes
     coma serve --port 8765 --pool-size 4  # the HTTP match service (docs/service.md)
+    coma serve --store coma-store.db      # ... warm across restarts (persistent reuse)
 
 The CLI is intentionally thin: everything it does is a few calls into the
 session-based public API, so it doubles as a usage example.  ``--strategy``
@@ -78,8 +80,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="store a named strategy spec in the repository (requires --repository)",
     )
 
-    stats_parser = subparsers.add_parser("stats", help="print the Table 5 statistics of a schema file")
-    stats_parser.add_argument("schema", help="schema file (.sql, .xsd, .json)")
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="print the Table 5 statistics of a schema file, or -- with "
+             "--store -- the reuse effectiveness of a persistent similarity store",
+    )
+    stats_parser.add_argument("schema", nargs="?", default=None,
+                              help="schema file (.sql, .xsd, .json)")
+    stats_parser.add_argument("--store", default=None,
+                              help="persistent similarity store file: print its "
+                                   "occupancy and lifetime hit/miss counters")
 
     subparsers.add_parser("tasks", help="list the bundled evaluation tasks (Figure 8 data)")
 
@@ -95,6 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--repository", default=None,
                               help="SQLite repository shared by all worker sessions "
                                    "(stored strategies, reuse matchers)")
+    serve_parser.add_argument("--store", default=None,
+                              help="persistent similarity store shared by all worker "
+                                   "sessions: a restarted service stays warm across "
+                                   "processes (see docs/service.md)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="do not log request lines to stderr")
     return parser
@@ -217,10 +231,56 @@ def _command_strategies(arguments: argparse.Namespace) -> int:
 
 
 def _command_stats(arguments: argparse.Namespace) -> int:
-    schema = DEFAULT_IMPORTERS.import_file(arguments.schema)
-    statistics = schema.statistics()
-    print(format_table([statistics.as_row()], title="Schema statistics (cf. Table 5)"))
+    if arguments.schema is None and arguments.store is None:
+        raise ComaError("coma stats needs a schema file and/or --store <file>")
+    if arguments.schema is not None:
+        schema = DEFAULT_IMPORTERS.import_file(arguments.schema)
+        statistics = schema.statistics()
+        print(format_table([statistics.as_row()], title="Schema statistics (cf. Table 5)"))
+    if arguments.store is not None:
+        _print_reuse_stats(arguments.store)
     return 0
+
+
+def _print_reuse_stats(store_path: str) -> None:
+    """Reuse effectiveness: persistent-store and kernel-memo-pool counters.
+
+    The store counters are lifetime totals accumulated on disk across every
+    process that used the store; the kernel memo pool is process-local, so a
+    long-lived process (``coma serve``) reports it through ``/stats`` while
+    this command shows the current process (useful after batch runs in the
+    same interpreter).
+    """
+    import os
+
+    from repro.matchers.memo import DEFAULT_MEMO_POOL
+    from repro.repository.store import SimilarityStore
+
+    # A stats read must not conjure an empty database out of a typo.
+    if store_path != ":memory:" and not os.path.exists(store_path):
+        raise ComaError(f"no similarity store at {store_path!r}")
+    with SimilarityStore(store_path, writer=False) as store:
+        info = store.info()
+    consultations = info["lifetime_hits"] + info["lifetime_misses"]
+    hit_rate = info["lifetime_hits"] / consultations if consultations else 0.0
+    store_rows = [{
+        "cubes": info["cubes"],
+        "cube_mb": round(info["cube_bytes"] / 1e6, 2),
+        "tokens": info["tokens"],
+        "lifetime_hits": info["lifetime_hits"],
+        "lifetime_misses": info["lifetime_misses"],
+        "hit_rate": round(hit_rate, 3),
+    }]
+    print(format_table(store_rows, title=f"Persistent similarity store ({info['path']})"))
+    memo = DEFAULT_MEMO_POOL.info()
+    print()
+    if memo["hits"] or memo["misses"]:
+        print(format_table([memo], title="Kernel memo pool (this process)"))
+    else:
+        # A fresh CLI process has run no matches; zeros here would only
+        # mislead.  The live counters of a running service are on /stats.
+        print("kernel memo pool: no activity in this process "
+              "(live counters: GET /stats on a running `coma serve`)")
 
 
 def _command_serve(arguments: argparse.Namespace) -> int:
@@ -232,6 +292,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         verbose=not arguments.quiet,
         pool_size=arguments.pool_size,
         repository_path=arguments.repository,
+        store_path=arguments.store,
     )
     return 0
 

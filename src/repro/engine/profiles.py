@@ -21,7 +21,7 @@ indexing (:meth:`~repro.combination.matrix.SimilarityMatrix.from_unique`).
 from __future__ import annotations
 
 import threading
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple, TypeVar
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -76,7 +76,12 @@ class PathSetProfile:
     per unique value and with the inverse index that maps paths back to them.
     """
 
-    def __init__(self, paths: Sequence[SchemaPath], tokenizer: NameTokenizer):
+    def __init__(
+        self,
+        paths: Sequence[SchemaPath],
+        tokenizer: NameTokenizer,
+        token_memo: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ):
         self.paths: Tuple[SchemaPath, ...] = tuple(paths)
         self._tokenizer = tokenizer
 
@@ -94,7 +99,14 @@ class PathSetProfile:
         # threads; the lock makes each lazy derivation below compute-once
         # under concurrency instead of racing to duplicate the work.
         self._lock = threading.Lock()
-        self._name_tokens: Dict[str, Tuple[str, ...]] = {}
+        # The name-token memo may be handed in (a session-shared dict, itself
+        # possibly seeded from a persistent store): tokenization then happens
+        # once per name per memo lifetime instead of once per profile.
+        # Inserts are idempotent (the tokenizer is deterministic), so the
+        # benign get/set race under a shared dict cannot produce divergence.
+        self._name_tokens: Dict[str, Tuple[str, ...]] = (
+            token_memo if token_memo is not None else {}
+        )
         self._token_profiles: Dict[str, TokenProfile] = {}
         self._ngram_sets: Dict[Tuple[int, bool], List[FrozenSet[str]]] = {}
         self._soundex_codes: Dict[int, List[str]] = {}

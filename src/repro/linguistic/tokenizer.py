@@ -72,6 +72,16 @@ class NameTokenizer:
         """The abbreviation table used for token expansion."""
         return self._abbreviations
 
+    @property
+    def expands_abbreviations(self) -> bool:
+        """Whether abbreviation expansion is active (part of the config digest)."""
+        return self._expand
+
+    @property
+    def drops_digits(self) -> bool:
+        """Whether pure-digit tokens are dropped (part of the config digest)."""
+        return self._drop_digits
+
     def tokenize(self, name: str) -> Tuple[str, ...]:
         """Tokenize a single name into lower-case tokens (abbreviations expanded)."""
         tokens: List[str] = []

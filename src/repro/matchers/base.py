@@ -78,6 +78,13 @@ class MatchContext:
     profile_cache: Dict[Tuple[SchemaPath, ...], "PathSetProfile"] = dataclasses.field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Optional shared name-token memo handed to every profile this context
+    #: builds, so tokenization is computed once per name per *session* (and,
+    #: with a persistent store attached, once per name per *store lifetime* --
+    #: the session seeds this dict from the store's token artifacts).
+    token_memo: Optional[Dict[str, Tuple[str, ...]]] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def swapped(self) -> "MatchContext":
         """The same context with source and target schemas exchanged."""
@@ -98,7 +105,7 @@ class MatchContext:
         if profile is None:
             from repro.engine.profiles import PathSetProfile
 
-            profile = PathSetProfile(key, self.tokenizer)
+            profile = PathSetProfile(key, self.tokenizer, token_memo=self.token_memo)
             # Publish via setdefault: when several threads share the cache (a
             # session's cross-operation dict) and race to build the same
             # profile, all of them converge on the first published instance.
@@ -115,19 +122,50 @@ class StringMatcher(abc.ABC):
     def similarity(self, a: str, b: str) -> float:
         """The similarity of two strings."""
 
+    def memo_key(self) -> Optional[tuple]:
+        """Hashable matcher identity + configuration for the kernel memo pool.
+
+        Matchers returning a key share their per-pair results process-wide
+        through :data:`repro.matchers.memo.DEFAULT_MEMO_POOL` -- the same
+        (configuration, name pair) is then evaluated once per process, not
+        once per schema pair.  Only deterministic, context-free kernels may
+        opt in (the result must depend on nothing but the key and the two
+        strings), and -- because the base implementation canonicalises the
+        pair order (``pool.block(..., symmetric=True)``) -- the kernel must
+        also be *symmetric*: ``similarity(a, b) == similarity(b, a)``.  An
+        asymmetric matcher must override :meth:`similarity_many` and call
+        the pool with ``symmetric=False`` itself.  The default (``None``)
+        opts out.
+        """
+        return None
+
     def similarity_many(self, sources: Sequence[str], targets: Sequence[str]) -> np.ndarray:
         """The full cross-product similarity matrix of two string sequences.
 
-        The default evaluates :meth:`similarity` per pair; vectorizable
-        matchers (n-gram, Soundex) override this with bulk array operations.
-        Callers pass *unique* strings, so the result is the dense kernel that
-        :meth:`SimilarityMatrix.from_unique` scatters to all path pairs.
+        The default evaluates :meth:`similarity` per pair -- through the
+        process-wide kernel memo pool when :meth:`memo_key` opts in, so only
+        pairs never seen by *any* operation of the process are evaluated.
+        Vectorizable matchers (n-gram, Soundex, EditDistance) override this
+        with bulk array operations.  Callers pass *unique* strings, so the
+        result is the dense kernel that :meth:`SimilarityMatrix.from_unique`
+        scatters to all path pairs.
         """
+        key = self.memo_key()
+        if key is not None:
+            from repro.matchers.memo import active_pool
+
+            pool = active_pool()
+            if pool is not None:
+                return pool.block(key, sources, targets, self._pairwise_kernel)
         values = np.empty((len(sources), len(targets)), dtype=float)
         for i, a in enumerate(sources):
             for j, b in enumerate(targets):
                 values[i, j] = self.similarity(a, b)
         return values
+
+    def _pairwise_kernel(self, pairs: Sequence[Tuple[str, str]]) -> np.ndarray:
+        """Evaluate :meth:`similarity` over a list of pairs (memo-pool fill)."""
+        return np.array([self.similarity(a, b) for a, b in pairs], dtype=float)
 
     def similarity_profiled(
         self, source_profile: "PathSetProfile", target_profile: "PathSetProfile"

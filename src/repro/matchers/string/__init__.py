@@ -1,7 +1,11 @@
 """Simple approximate string matchers (Affix, n-gram, EditDistance, Soundex, Synonym)."""
 
 from repro.matchers.string.affix import AffixMatcher, common_prefix_length, common_suffix_length
-from repro.matchers.string.edit_distance import EditDistanceMatcher, levenshtein_distance
+from repro.matchers.string.edit_distance import (
+    EditDistanceMatcher,
+    levenshtein_distance,
+    levenshtein_distance_many,
+)
 from repro.matchers.string.ngram import DigramMatcher, NGramMatcher, TrigramMatcher, ngrams
 from repro.matchers.string.soundex import SoundexMatcher, soundex_code
 from repro.matchers.string.synonym import SynonymStringMatcher
@@ -17,6 +21,7 @@ __all__ = [
     "common_prefix_length",
     "common_suffix_length",
     "levenshtein_distance",
+    "levenshtein_distance_many",
     "ngrams",
     "soundex_code",
 ]

@@ -8,6 +8,8 @@ that identical strings score 1.0 and strings sharing no affix score 0.0.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.matchers.base import StringMatcher
 
 
@@ -50,6 +52,11 @@ class AffixMatcher(StringMatcher):
             raise ValueError(f"min_affix_length must be >= 1, got {min_affix_length}")
         self._min_affix_length = int(min_affix_length)
         self._case_sensitive = bool(case_sensitive)
+
+    def memo_key(self) -> Optional[tuple]:
+        # The affix scan is a scalar Python loop, so sharing results across
+        # schemas through the process-wide kernel memo pool is a clear win.
+        return ("Affix", self._min_affix_length, self._case_sensitive)
 
     def similarity(self, a: str, b: str) -> float:
         if not a or not b:

@@ -5,19 +5,68 @@ transform one string to another one (the Levenshtein metric)."
 
 The similarity is ``1 - distance / max(len(a), len(b))`` so that identical
 strings score 1.0 and completely different strings of equal length score 0.0.
-The implementation is the classic two-row dynamic program (O(len(a) * len(b))
-time, O(min) space).
+
+Two kernels implement the metric:
+
+* :func:`levenshtein_distance` -- the classic two-row dynamic program
+  (O(len(a) * len(b)) time, O(min) space), kept as the scalar reference.  It
+  accepts an optional ``upper_bound``: when the length-difference lower bound
+  ``abs(len(a) - len(b))`` already reaches the bound, the DP is skipped
+  entirely and the lower bound is returned (callers that map distances at or
+  beyond the bound to a fixed outcome -- e.g. similarity clamped to 0 -- lose
+  nothing).
+* :func:`levenshtein_distance_many` -- a numpy batch DP over padded code-point
+  arrays that advances the DP rows of *all* pairs simultaneously.  The inner
+  (insertion) recurrence is resolved with a vectorized prefix-scan, so the
+  Python-level loop runs ``max(len)`` times instead of
+  ``pairs * len(a) * len(b)`` times.  Equal and empty pairs (the cases the
+  length-difference bound decides outright) never enter the DP.
+
+:class:`EditDistanceMatcher` normalises case once per *unique* string (not
+once per pair), batches all unique pairs through the vectorized kernel, and
+shares results process-wide through the kernel memo pool
+(:mod:`repro.matchers.memo`).  Both kernels are exact; the fuzz suite in
+``tests/test_levenshtein_batch.py`` asserts they agree on arbitrary unicode
+input.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
 from repro.matchers.base import StringMatcher
 
 
-def levenshtein_distance(a: str, b: str) -> int:
-    """The Levenshtein edit distance between two strings."""
+def levenshtein_distance(a: str, b: str, upper_bound: Optional[int] = None) -> int:
+    """The Levenshtein edit distance between two strings.
+
+    Parameters
+    ----------
+    a / b:
+        The strings to compare.
+    upper_bound:
+        When given, and the length-difference lower bound
+        ``abs(len(a) - len(b))`` is already at or beyond it, the DP is
+        skipped and that lower bound is returned.  The result is then only
+        guaranteed to be ``>= upper_bound`` (and ``<= `` the true distance),
+        which is exactly what similarity computations clamping at a bound
+        need.
+
+    Examples
+    --------
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    >>> levenshtein_distance("po", "purchaseorder", upper_bound=11)
+    11
+    """
     if a == b:
         return 0
+    length_bound = abs(len(a) - len(b))
+    if upper_bound is not None and length_bound >= upper_bound:
+        # The DP cannot come in below the length difference; skip it.
+        return length_bound
     if not a:
         return len(b)
     if not b:
@@ -40,13 +89,142 @@ def levenshtein_distance(a: str, b: str) -> int:
     return previous[len(b)]
 
 
+#: Working-set budget of one batch-DP chunk, in DP-row cells.  The DP keeps a
+#: handful of ``chunk x (max_inner + 1)`` int arrays alive, so ~2M cells caps
+#: the kernel's peak memory around tens of MB regardless of how many unique
+#: pairs a huge schema pair funnels in at once.
+_BATCH_CELL_BUDGET = 2_000_000
+
+
+def levenshtein_distance_many(pairs: Sequence[Tuple[str, str]]) -> np.ndarray:
+    """Exact Levenshtein distances of many string pairs, computed in one batch.
+
+    All pairs advance their DP rows simultaneously over padded code-point
+    arrays: one Python-level iteration per character of the longest string,
+    with every array operation spanning all still-active pairs.  The
+    insertion recurrence (``current[j] = min(current[j], current[j-1] + 1)``)
+    is a running minimum of ``candidate[k] + (j - k)`` over ``k <= j`` and is
+    resolved with ``np.minimum.accumulate`` on ``candidate - j`` -- no inner
+    Python loop.
+
+    Pairs decided by the length-difference lower bound without any DP (equal
+    strings, one side empty) are short-circuited and never enter the batch,
+    and very large batches are processed in bounded-memory chunks (the
+    scalar loop this replaces ran in O(1) memory; the batch stays within a
+    fixed working-set budget however many pairs arrive).
+
+    Examples
+    --------
+    >>> levenshtein_distance_many([("kitten", "sitting"), ("", "abc"), ("x", "x")])
+    array([3, 3, 0])
+    """
+    count = len(pairs)
+    distances = np.zeros(count, dtype=np.intp)
+    active_indices: List[int] = []
+    for index, (a, b) in enumerate(pairs):
+        if a == b:
+            continue  # distance 0
+        if not a or not b:
+            # Length-difference bound is tight here: distance == abs diff.
+            distances[index] = abs(len(a) - len(b))
+            continue
+        active_indices.append(index)
+    if not active_indices:
+        return distances
+    # Budget per pair: a handful of (max_inner + 1)-wide DP rows plus one
+    # max_outer-wide code row, so one very long string on either side cannot
+    # blow the chunk's working set.
+    widest_inner = 0
+    widest_outer = 0
+    for index in active_indices:
+        a, b = pairs[index]
+        shorter, longer = sorted((len(a), len(b)))
+        widest_inner = max(widest_inner, shorter)
+        widest_outer = max(widest_outer, longer)
+    per_pair_cells = 4 * (widest_inner + 1) + widest_outer
+    chunk_size = max(256, _BATCH_CELL_BUDGET // per_pair_cells)
+    for start in range(0, len(active_indices), chunk_size):
+        _batch_dp(pairs, active_indices[start : start + chunk_size], distances)
+    return distances
+
+
+def _batch_dp(
+    pairs: Sequence[Tuple[str, str]],
+    active_indices: List[int],
+    distances: np.ndarray,
+) -> None:
+    """Run the simultaneous DP for one chunk, writing into ``distances``."""
+    # The longer string of each pair drives the outer loop; the shorter one
+    # spans the DP row, keeping the padded row matrix as narrow as possible.
+    outers: List[str] = []
+    inners: List[str] = []
+    for index in active_indices:
+        a, b = pairs[index]
+        if len(a) >= len(b):
+            outers.append(a)
+            inners.append(b)
+        else:
+            outers.append(b)
+            inners.append(a)
+    batch = len(active_indices)
+    outer_lengths = np.array([len(s) for s in outers], dtype=np.intp)
+    inner_lengths = np.array([len(s) for s in inners], dtype=np.intp)
+    max_outer = int(outer_lengths.max())
+    max_inner = int(inner_lengths.max())
+
+    # Padded code-point matrices; 0 never collides with a real character
+    # because padding is only read past a pair's own length, where the row
+    # values are never consulted for that pair's result.
+    outer_codes = np.zeros((batch, max_outer), dtype=np.int64)
+    inner_codes = np.zeros((batch, max_inner), dtype=np.int64)
+    for row, (outer, inner) in enumerate(zip(outers, inners)):
+        outer_codes[row, : len(outer)] = [ord(c) for c in outer]
+        inner_codes[row, : len(inner)] = [ord(c) for c in inner]
+
+    column = np.arange(max_inner + 1, dtype=np.intp)
+    previous = np.tile(column, (batch, 1))
+    current = np.empty_like(previous)
+    scratch = np.empty_like(previous)
+    row_index = np.arange(batch)
+    for i in range(1, max_outer + 1):
+        # candidate[j] = min(deletion, substitution); insertion is folded in
+        # below by the prefix scan.
+        np.not_equal(inner_codes, outer_codes[:, i - 1 : i], out=scratch[:, 1:])
+        scratch[:, 1:] += previous[:, :-1]          # substitution
+        np.minimum(previous[:, 1:] + 1, scratch[:, 1:], out=current[:, 1:])
+        current[:, 0] = i
+        # current[j] = min_{k <= j} candidate[k] + (j - k): subtract the
+        # column index, take the running minimum, add it back.
+        current -= column
+        np.minimum.accumulate(current, axis=1, out=current)
+        current += column
+        finished = outer_lengths == i
+        if finished.any():
+            rows = row_index[finished]
+            for row in rows.tolist():
+                distances[active_indices[row]] = current[row, inner_lengths[row]]
+        previous, current = current, previous
+
+
 class EditDistanceMatcher(StringMatcher):
-    """Normalised Levenshtein similarity between two strings."""
+    """Normalised Levenshtein similarity between two strings.
+
+    The batch entry point (:meth:`similarity_many`) folds case once per
+    unique input string, deduplicates the folded strings, serves known pairs
+    from the process-wide kernel memo pool and pushes only the remaining
+    distinct pairs through the vectorized batch DP
+    (:func:`levenshtein_distance_many`).
+    """
 
     name = "EditDistance"
 
     def __init__(self, case_sensitive: bool = False):
         self._case_sensitive = bool(case_sensitive)
+
+    def memo_key(self) -> Optional[tuple]:
+        # Folded strings enter the pool for the case-insensitive default, so
+        # the flag must separate the two key spaces.
+        return ("EditDistance", self._case_sensitive)
 
     def similarity(self, a: str, b: str) -> float:
         if not a and not b:
@@ -58,5 +236,62 @@ class EditDistanceMatcher(StringMatcher):
         longest = max(len(first), len(second))
         if longest == 0:
             return 0.0
-        distance = levenshtein_distance(first, second)
+        # ``longest`` is this matcher's zero-similarity cutoff.  For two
+        # non-empty strings the length-difference bound can never reach it
+        # (that would require an empty side, handled above), so the value is
+        # exact here; callers pruning against a real threshold pass a
+        # tighter bound, e.g. ``upper_bound=ceil((1 - thr) * longest)``.
+        distance = levenshtein_distance(first, second, upper_bound=longest)
         return max(0.0, 1.0 - distance / longest)
+
+    # -- batch evaluation -------------------------------------------------------
+
+    def similarity_many(self, sources, targets) -> np.ndarray:
+        """The full cross-product similarity matrix, vectorized and memoised.
+
+        Case is folded once per unique string; the memo pool then sees
+        canonical (folded) pairs, so results are shared across schemas and
+        sessions regardless of the casing each schema uses.
+        """
+        from repro.engine.profiles import unique_index
+        from repro.matchers.memo import active_pool
+
+        if self._case_sensitive:
+            folded_sources: Sequence[str] = list(sources)
+            folded_targets: Sequence[str] = list(targets)
+        else:
+            folded_sources = [word.lower() for word in sources]
+            folded_targets = [word.lower() for word in targets]
+        unique_sources, source_inverse = unique_index(folded_sources)
+        unique_targets, target_inverse = unique_index(folded_targets)
+        pool = active_pool()
+        if pool is not None:
+            unique = pool.block(
+                self.memo_key(), unique_sources, unique_targets, self._batch_kernel
+            )
+        else:
+            pairs = [(a, b) for a in unique_sources for b in unique_targets]
+            unique = self._batch_kernel(pairs).reshape(
+                len(unique_sources), len(unique_targets)
+            )
+        return unique[np.ix_(source_inverse, target_inverse)]
+
+    @staticmethod
+    def _batch_kernel(pairs: Sequence[Tuple[str, str]]) -> np.ndarray:
+        """Similarities of (already case-folded) string pairs via the batch DP."""
+        values = np.zeros(len(pairs), dtype=float)
+        lively: List[int] = []
+        for index, (a, b) in enumerate(pairs):
+            if a == b:
+                values[index] = 1.0 if a else 0.0
+            elif a and b:
+                lively.append(index)
+            # one side empty: similarity 0 (the length bound decides it)
+        if lively:
+            subset = [pairs[index] for index in lively]
+            distances = levenshtein_distance_many(subset)
+            longest = np.array(
+                [max(len(a), len(b)) for a, b in subset], dtype=float
+            )
+            values[lively] = np.maximum(0.0, 1.0 - distances / longest)
+        return values

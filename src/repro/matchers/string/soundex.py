@@ -82,10 +82,19 @@ class SoundexMatcher(StringMatcher):
     # -- batch evaluation -------------------------------------------------------
 
     def similarity_many(self, sources, targets) -> np.ndarray:
-        """Vectorized Soundex similarity over two string sequences."""
-        codes_a = [soundex_code(word, self._code_length) for word in sources]
-        codes_b = [soundex_code(word, self._code_length) for word in targets]
-        return self._similarity_from_codes(sources, targets, codes_a, codes_b)
+        """Vectorized Soundex similarity over two string sequences.
+
+        Case is folded once per unique input string; both the phonetic codes
+        and the identical-name check below then work on the folded form
+        instead of re-lowering inside every per-pair comparison.
+        """
+        lowered_a = [word.lower() for word in sources]
+        lowered_b = [word.lower() for word in targets]
+        codes_a = [soundex_code(word, self._code_length) for word in lowered_a]
+        codes_b = [soundex_code(word, self._code_length) for word in lowered_b]
+        return self._similarity_from_codes(
+            lowered_a, lowered_b, codes_a, codes_b, already_lowered=True
+        )
 
     def similarity_profiled(
         self, source_profile: "PathSetProfile", target_profile: "PathSetProfile"

@@ -1,4 +1,5 @@
-"""The SQLite-backed repository for schemas, mappings and similarity cubes."""
+"""The SQLite-backed repository for schemas, mappings and similarity cubes,
+plus the content-addressed persistent similarity store."""
 
 from repro.repository.repository import Repository
 from repro.repository.serialization import (
@@ -7,11 +8,23 @@ from repro.repository.serialization import (
     schema_to_dict,
     schema_to_json,
 )
+from repro.repository.store import (
+    SimilarityStore,
+    cube_store_key,
+    match_config_digest,
+    schema_content_digest,
+    tokenizer_digest,
+)
 
 __all__ = [
     "Repository",
+    "SimilarityStore",
+    "cube_store_key",
+    "match_config_digest",
+    "schema_content_digest",
     "schema_from_dict",
     "schema_from_json",
     "schema_to_dict",
     "schema_to_json",
+    "tokenizer_digest",
 ]

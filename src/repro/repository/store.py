@@ -1,0 +1,522 @@
+"""The persistent similarity store: content-addressed cross-process reuse.
+
+COMA's headline idea beyond matcher combination is the *reuse of previous
+match results* (Section 5): similarity cubes live in a repository so later
+match tasks start from work already done.  The in-process session caches
+(PR 2) realise that within one process; this module extends it across process
+restarts.  A :class:`SimilarityStore` is a small SQLite database holding
+
+* **similarity cubes** -- the matcher-specific ``k x m x n`` layers of a match
+  execution, stored as raw ``float64`` arrays so a reloaded cube is
+  bit-identical to the computed one (mappings derived from it are therefore
+  byte-identical to the uncached path);
+* **token artifacts** -- the name -> token-list memo feeding
+  :class:`~repro.engine.profiles.PathSetProfile`, so a fresh process skips
+  re-tokenizing names it has seen in any earlier run.
+
+Everything is **content-addressed**: cube keys are SHA-256 digests of
+``(source schema content, target schema content, matcher usage, linguistic
+configuration)`` and token rows are keyed by the tokenizer configuration
+digest.  There is no invalidation protocol -- changing a schema, the matcher
+usage, the synonym dictionary, the abbreviation table or the
+type-compatibility table changes the digest, and the store simply misses.
+Stale reads are impossible by construction.
+
+Writes go through a background writer thread (:meth:`SimilarityStore.flush`
+drains it), so a match request never waits on the disk; reads happen inline
+on the caller thread under the store's lock.  One store may be shared by many
+sessions and threads (the service attaches one store to every pool shard).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import queue
+import sqlite3
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.auxiliary.synonyms import SynonymDictionary, TermRelationship
+from repro.combination.cube import SimilarityCube
+from repro.combination.matrix import SimilarityMatrix
+from repro.exceptions import RepositoryError
+from repro.linguistic.tokenizer import NameTokenizer
+from repro.model.datatypes import TypeCompatibilityTable
+from repro.model.schema import Schema
+from repro.repository.serialization import schema_to_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matchers.registry import MatcherLibrary
+    from repro.model.path import SchemaPath
+
+#: Bump when the stored representation changes; part of every digest, so old
+#: stores age out instead of being misread.
+STORE_FORMAT_VERSION = 1
+
+_STORE_DDL = """
+CREATE TABLE IF NOT EXISTS cubes (
+    key            TEXT PRIMARY KEY,
+    source_digest  TEXT NOT NULL,
+    target_digest  TEXT NOT NULL,
+    matchers       TEXT NOT NULL,
+    config_digest  TEXT NOT NULL,
+    matcher_names  TEXT NOT NULL,
+    shape          TEXT NOT NULL,
+    data           BLOB NOT NULL,
+    created_at     REAL NOT NULL DEFAULT (julianday('now'))
+);
+CREATE TABLE IF NOT EXISTS tokens (
+    config_digest  TEXT NOT NULL,
+    name           TEXT NOT NULL,
+    tokens         TEXT NOT NULL,
+    PRIMARY KEY (config_digest, name)
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name   TEXT PRIMARY KEY,
+    value  INTEGER NOT NULL
+);
+"""
+
+def _sha256(document: object) -> str:
+    """The SHA-256 hex digest of a canonical-JSON-serialisable document."""
+    text = json.dumps(document, sort_keys=True, ensure_ascii=False)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def schema_content_digest(schema: Schema) -> str:
+    """A stable digest of a schema's *content* (names, types, links).
+
+    Two schemas with identical content -- e.g. the same file imported in two
+    different processes -- digest identically, which is what lets a restarted
+    service hit cubes stored by its predecessor.  The digest is recomputed
+    from the current graph on every call (schemas are mutable); callers on a
+    hot path memoise it with a lifetime they control -- the session keeps a
+    per-instance cache dropped by ``clear_caches()``, so the documented
+    remedy after in-place mutation re-addresses schemas too.
+    """
+    return _sha256([STORE_FORMAT_VERSION, schema_to_json(schema)])
+
+
+def tokenizer_digest(tokenizer: NameTokenizer) -> str:
+    """A stable digest of a tokenizer's configuration (flags + abbreviations)."""
+    abbreviations = sorted(
+        (key, list(expansion)) for key, expansion in tokenizer.abbreviations.items()
+    )
+    return _sha256(
+        [
+            STORE_FORMAT_VERSION,
+            bool(tokenizer.expands_abbreviations),
+            bool(tokenizer.drops_digits),
+            abbreviations,
+        ]
+    )
+
+
+def library_digest(library: "MatcherLibrary") -> str:
+    """A digest of a matcher library's registrations (names, kinds, factories).
+
+    Factories are identified by their ``module.qualname``: re-registering a
+    name with a different factory (including any locally defined function or
+    lambda) changes the digest, so two processes whose libraries resolve the
+    same matcher names differently do not share store entries.  Factory
+    *closure state* is invisible to this digest -- which is why sessions on
+    custom libraries additionally bypass the store altogether and only the
+    (unmutated) default library is fully content-addressed.
+    """
+    entries = sorted(
+        (
+            info.name.lower(),
+            info.kind,
+            f"{getattr(info.factory, '__module__', '?')}."
+            f"{getattr(info.factory, '__qualname__', repr(info.factory))}",
+        )
+        for info in library.entries()
+    )
+    return _sha256(entries)
+
+
+def match_config_digest(
+    tokenizer: NameTokenizer,
+    synonyms: SynonymDictionary,
+    type_compatibility: TypeCompatibilityTable,
+    library: Optional["MatcherLibrary"] = None,
+) -> str:
+    """A stable digest of every linguistic/auxiliary input a cube depends on.
+
+    Cached cube values are a pure function of (schema contents, matcher
+    usage, this configuration); any change here -- a new synonym pair, an
+    adjusted relationship similarity, an abbreviation entry, a type
+    compatibility override, a re-registered library matcher -- changes the
+    digest and therefore invalidates all previously stored cubes for the new
+    configuration.
+    """
+    synonym_pairs = sorted(
+        (pair[0], pair[1], relationship.value) for pair, relationship in synonyms.items()
+    )
+    relationship_values = [
+        (relationship.value, synonyms.relationship_similarity(relationship))
+        for relationship in TermRelationship
+    ]
+    type_rows = sorted(
+        (a.value, b.value, value) for a, b, value in type_compatibility.items()
+    )
+    return _sha256(
+        [
+            tokenizer_digest(tokenizer),
+            synonym_pairs,
+            relationship_values,
+            type_rows,
+            library_digest(library) if library is not None else None,
+        ]
+    )
+
+
+def cube_store_key(
+    source_digest: str,
+    target_digest: str,
+    matcher_usage: Sequence[str],
+    config_digest: str,
+) -> str:
+    """The content address of one (schema pair, matcher usage, config) cube."""
+    return _sha256(
+        [source_digest, target_digest, [str(name) for name in matcher_usage], config_digest]
+    )
+
+
+class SimilarityStore:
+    """A content-addressed SQLite store for similarity cubes and token artifacts.
+
+    Parameters
+    ----------
+    path:
+        The database file (``":memory:"`` works for tests, though an
+        in-memory store obviously does not survive a restart).
+    writer:
+        Run the background writer thread (default).  With ``False`` every
+        ``store_*_async`` call writes inline -- useful for deterministic
+        tests.
+
+    Thread safety: one internal lock serialises database access; reads run on
+    the caller thread, writes on the writer thread.  The store may be shared
+    by any number of sessions.
+
+    Examples
+    --------
+    >>> store = SimilarityStore(":memory:")
+    >>> store.cube_count()
+    0
+    >>> store.close()
+    """
+
+    def __init__(self, path: str, writer: bool = True):
+        self._path = path
+        self._lock = threading.RLock()
+        try:
+            self._connection = sqlite3.connect(path, check_same_thread=False)
+            self._connection.executescript(_STORE_DDL)
+            self._connection.commit()
+        except sqlite3.Error as error:
+            # A corrupt file, a non-SQLite file passed by mistake, or an
+            # unwritable path must surface as a clean library error, not a
+            # raw sqlite traceback.
+            raise RepositoryError(
+                f"cannot open similarity store {path!r}: {error}"
+            ) from error
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._closed = False
+        self._queue: "queue.Queue[Optional[Tuple]]" = queue.Queue()
+        self._writer: Optional[threading.Thread] = None
+        if writer:
+            self._writer = threading.Thread(
+                target=self._drain_writes, name="similarity-store-writer", daemon=True
+            )
+            self._writer.start()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """The database path."""
+        return self._path
+
+    def flush(self) -> None:
+        """Block until every queued asynchronous write has reached the database."""
+        with self._lock:
+            if self._closed:
+                return
+        if self._writer is not None:
+            self._queue.join()
+
+    def close(self) -> None:
+        """Flush pending writes, persist counters and close the database."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._writer is not None:
+            self._queue.join()
+            self._queue.put(None)
+            self._writer.join()
+        self._persist_counters()
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "SimilarityStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- cubes -----------------------------------------------------------------
+
+    def load_cube(
+        self,
+        key: str,
+        source_paths: Sequence["SchemaPath"],
+        target_paths: Sequence["SchemaPath"],
+    ) -> Optional[SimilarityCube]:
+        """The stored cube under ``key``, rebuilt over the caller's path axes.
+
+        The caller's path sets come from a schema whose *content* digest is
+        part of ``key``, so their order and cardinality match the arrays that
+        were stored; any unusable row -- a shape mismatch, a truncated blob,
+        a corrupt or concurrently closed database -- is treated as a miss
+        rather than an error (persistence is an optimisation; a failed read
+        must degrade to recomputation, never fail the match).  Returns
+        ``None`` when nothing (usable) is stored.
+        """
+        try:
+            with self._lock:
+                row = self._connection.execute(
+                    "SELECT matcher_names, shape, data FROM cubes WHERE key = ?", (key,)
+                ).fetchone()
+            if row is not None:
+                matcher_names: List[str] = json.loads(row[0])
+                shape = tuple(json.loads(row[1]))
+                expected = (len(matcher_names), len(source_paths), len(target_paths))
+                if shape != expected:
+                    row = None
+                else:
+                    stack = np.frombuffer(row[2], dtype=np.float64).reshape(shape)
+        except (sqlite3.Error, ValueError, TypeError, json.JSONDecodeError):
+            row = None
+        if row is None:
+            with self._lock:
+                self._misses += 1
+            return None
+        layers = [
+            (name, SimilarityMatrix(source_paths, target_paths, stack[index]))
+            for index, name in enumerate(matcher_names)
+        ]
+        with self._lock:
+            self._hits += 1
+        return SimilarityCube.from_layers(source_paths, target_paths, layers)
+
+    def store_cube(
+        self,
+        key: str,
+        cube: SimilarityCube,
+        source_digest: str,
+        target_digest: str,
+        matcher_usage: Sequence[str],
+        config_digest: str,
+    ) -> None:
+        """Persist a cube under its content address (synchronously)."""
+        stack = cube.as_array()  # k x m x n float64, C-order
+        record = (
+            key,
+            source_digest,
+            target_digest,
+            json.dumps(list(matcher_usage)),
+            config_digest,
+            json.dumps(list(cube.matcher_names)),
+            json.dumps(list(stack.shape)),
+            np.ascontiguousarray(stack, dtype=np.float64).tobytes(),
+        )
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO cubes (key, source_digest, target_digest, "
+                "matchers, config_digest, matcher_names, shape, data) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                record,
+            )
+            self._connection.commit()
+            self._writes += 1
+
+    def store_cube_async(self, *args, **kwargs) -> None:
+        """Queue :meth:`store_cube` onto the writer thread (inline without one)."""
+        self._submit(("cube", args, kwargs))
+
+    def cube_count(self) -> int:
+        """The number of stored cubes."""
+        with self._lock:
+            row = self._connection.execute("SELECT COUNT(*) FROM cubes").fetchone()
+        return int(row[0])
+
+    def prune_cubes(self, max_cubes: int) -> int:
+        """Drop the oldest cubes beyond ``max_cubes``; returns the number removed.
+
+        Content-addressed entries never go stale, so eviction is purely a
+        disk-budget decision; oldest-first matches the session caches'
+        insertion-order policy.
+        """
+        if max_cubes < 0:
+            raise RepositoryError(f"max_cubes must be >= 0, got {max_cubes}")
+        with self._lock:
+            cursor = self._connection.execute(
+                "DELETE FROM cubes WHERE key NOT IN ("
+                "SELECT key FROM cubes ORDER BY created_at DESC, key LIMIT ?)",
+                (max_cubes,),
+            )
+            self._connection.commit()
+        return cursor.rowcount
+
+    # -- token artifacts -------------------------------------------------------
+
+    def load_tokens(
+        self, config_digest: str, limit: Optional[int] = 200_000
+    ) -> Dict[str, Tuple[str, ...]]:
+        """The stored name -> token-tuple memo of one tokenizer configuration.
+
+        ``limit`` bounds the rows loaded into memory (a long-lived store can
+        accumulate more names than one session wants to hold).
+        """
+        statement = "SELECT name, tokens FROM tokens WHERE config_digest = ?"
+        parameters: Tuple = (config_digest,)
+        if limit is not None:
+            statement += " LIMIT ?"
+            parameters = (config_digest, int(limit))
+        with self._lock:
+            rows = self._connection.execute(statement, parameters).fetchall()
+        return {name: tuple(json.loads(tokens)) for name, tokens in rows}
+
+    def store_tokens(
+        self, config_digest: str, items: Sequence[Tuple[str, Sequence[str]]]
+    ) -> None:
+        """Persist name -> token-list pairs for one tokenizer configuration."""
+        if not items:
+            return
+        rows = [
+            (config_digest, name, json.dumps(list(tokens))) for name, tokens in items
+        ]
+        with self._lock:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO tokens (config_digest, name, tokens) "
+                "VALUES (?, ?, ?)",
+                rows,
+            )
+            self._connection.commit()
+            self._writes += 1
+
+    def store_tokens_async(self, *args, **kwargs) -> None:
+        """Queue :meth:`store_tokens` onto the writer thread (inline without one)."""
+        self._submit(("tokens", args, kwargs))
+
+    def token_count(self) -> int:
+        """The number of stored token rows (over all configurations)."""
+        with self._lock:
+            row = self._connection.execute("SELECT COUNT(*) FROM tokens").fetchone()
+        return int(row[0])
+
+    # -- counters and statistics -----------------------------------------------
+
+    def info(self) -> Dict[str, object]:
+        """Occupancy, size and reuse counters (process-local and lifetime).
+
+        ``hits`` / ``misses`` / ``writes`` cover this process;
+        ``lifetime_hits`` / ``lifetime_misses`` accumulate across every
+        process that called :meth:`close` (or :meth:`_persist_counters`) on
+        this store file, so operators can judge reuse effectiveness from
+        ``coma stats --store`` without instrumenting the service.
+        """
+        with self._lock:
+            cube_rows = self._connection.execute(
+                "SELECT COUNT(*), COALESCE(SUM(LENGTH(data)), 0) FROM cubes"
+            ).fetchone()
+            token_rows = self._connection.execute(
+                "SELECT COUNT(*) FROM tokens"
+            ).fetchone()
+            persisted = dict(
+                self._connection.execute("SELECT name, value FROM counters").fetchall()
+            )
+            hits, misses, writes = self._hits, self._misses, self._writes
+        return {
+            "path": self._path,
+            "cubes": int(cube_rows[0]),
+            "cube_bytes": int(cube_rows[1]),
+            "tokens": int(token_rows[0]),
+            "hits": hits,
+            "misses": misses,
+            "writes": writes,
+            "lifetime_hits": int(persisted.get("hits", 0)) + hits,
+            "lifetime_misses": int(persisted.get("misses", 0)) + misses,
+        }
+
+    def _persist_counters(self) -> None:
+        """Fold the process-local counters into the persistent totals."""
+        with self._lock:
+            deltas = (("hits", self._hits), ("misses", self._misses))
+            for name, value in deltas:
+                if value:
+                    self._connection.execute(
+                        "INSERT INTO counters (name, value) VALUES (?, ?) "
+                        "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+                        (name, value),
+                    )
+            self._connection.commit()
+            self._hits = 0
+            self._misses = 0
+
+    # -- background writer -----------------------------------------------------
+
+    def _submit(self, item: Tuple) -> None:
+        kind, args, kwargs = item
+        with self._lock:
+            if self._closed:
+                # A write-back racing close() is dropped: the next process
+                # simply recomputes (reuse lost, correctness kept).  Taking
+                # the lock here also orders the check against close(), so an
+                # accepted item always precedes the writer's shutdown
+                # sentinel and a dropped item can never deadlock flush().
+                return
+            if self._writer is not None:
+                self._queue.put(item)
+                return
+            # Writer-less mode writes inline -- still under the (reentrant)
+            # lock, so a concurrent close() cannot slip between the closed
+            # check and the write and leave us on a closed connection.
+            self._apply_write(kind, args, kwargs)
+
+    def _apply_write(self, kind: str, args: Tuple, kwargs: Dict) -> None:
+        if kind == "cube":
+            self.store_cube(*args, **kwargs)
+        elif kind == "tokens":
+            self.store_tokens(*args, **kwargs)
+        else:  # pragma: no cover - internal invariant
+            raise RepositoryError(f"unknown store write kind {kind!r}")
+
+    def _drain_writes(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            kind, args, kwargs = item
+            try:
+                self._apply_write(kind, args, kwargs)
+            except Exception:  # noqa: BLE001 - a failed write must not kill the writer
+                # Persistence is an optimisation: losing one write degrades
+                # reuse, never correctness, so the writer soldiers on.
+                with contextlib.suppress(Exception):
+                    self._connection.rollback()
+            finally:
+                self._queue.task_done()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimilarityStore(path={self._path!r})"

@@ -102,18 +102,22 @@ class SessionPool:
         -------
         dict
             ``shards`` (the per-shard ``cache_info`` list) plus the summed
-            ``profiles`` / ``cubes`` / ``cube_hits`` / ``cube_misses``.
+            ``profiles`` / ``cubes`` / ``cube_hits`` / ``cube_misses`` /
+            ``store_hits`` / ``store_misses``.
 
         Examples
         --------
         >>> info = SessionPool(size=2).cache_info()
-        >>> info["cube_hits"], len(info["shards"])
-        (0, 2)
+        >>> info["cube_hits"], info["store_hits"], len(info["shards"])
+        (0, 0, 2)
         """
         shards = [session.cache_info() for session in self._sessions]
         totals = {
             key: sum(shard[key] for shard in shards)
-            for key in ("profiles", "cubes", "cube_hits", "cube_misses")
+            for key in (
+                "profiles", "cubes", "cube_hits", "cube_misses",
+                "store_hits", "store_misses",
+            )
         }
         return {"shards": shards, **totals}
 

@@ -75,6 +75,13 @@ class MatchService:
         matchers of every worker session).  Opened ``threadsafe=True`` and
         shared by all shards; strategies stored through the service are
         visible to other sessions over the same file.
+    store_path:
+        Optional persistent similarity store
+        (:class:`~repro.repository.store.SimilarityStore`) shared by all
+        pool shards: cube-cache misses are served by content address from
+        disk, so a restarted service answers repeated match workloads warm
+        from its very first request.  See ``docs/service.md`` for sizing and
+        invalidation guidance.
     importers:
         The importer registry resolving upload formats (default: the
         built-in relational / xsd / dict importers).
@@ -98,6 +105,7 @@ class MatchService:
         self,
         pool_size: int = 4,
         repository_path: Optional[str] = None,
+        store_path: Optional[str] = None,
         importers: Optional[ImporterRegistry] = None,
         session_factory: Optional[SessionFactory] = None,
         default_strategy: Optional[str] = None,
@@ -107,11 +115,19 @@ class MatchService:
             from repro.repository.repository import Repository
 
             self._repository = Repository(repository_path, threadsafe=True)
+        self._store = None
+        if store_path:
+            from repro.repository.store import SimilarityStore
+
+            self._store = SimilarityStore(store_path)
         if session_factory is None:
             repository = self._repository
+            store = self._store
 
             def session_factory() -> MatchSession:
-                return MatchSession(repository=repository, strategy=default_strategy)
+                return MatchSession(
+                    repository=repository, store=store, strategy=default_strategy
+                )
 
         self._pool = SessionPool(pool_size, session_factory)
         self._library = self._pool.sessions[0].library
@@ -290,10 +306,13 @@ class MatchService:
             "schemas": schema_count,
             "strategies": len(self.strategy_names()),
             "repository": self._repository.path if self._repository else None,
+            "store": self._store.path if self._store else None,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
         }
 
     def _stats(self) -> dict:
+        from repro.matchers.memo import DEFAULT_MEMO_POOL
+
         with self._state_lock:
             requests = dict(sorted(self._request_counts.items()))
             schema_count = len(self._schemas)
@@ -303,7 +322,18 @@ class MatchService:
             "strategies": len(self.strategy_names()),
             "requests": {"total": sum(requests.values()), "by_route": requests},
             "pool": self._pool.cache_info(),
+            "kernel_memo": DEFAULT_MEMO_POOL.info(),
+            "store": self._store.info() if self._store is not None else None,
         }
+
+    def close(self) -> None:
+        """Release persistent resources (flushes the similarity store).
+
+        Closing the store folds its process-local hit/miss counters into the
+        on-disk lifetime totals, which is what ``coma stats --store`` reads.
+        """
+        if self._store is not None:
+            self._store.close()
 
     def _list_schemas(self) -> dict:
         with self._state_lock:
@@ -605,6 +635,17 @@ class MatchServiceServer(ThreadingHTTPServer):
         self.service = service
         self.verbose = verbose
 
+    def server_close(self) -> None:
+        """Close the listening socket and the service's persistent resources.
+
+        Every shutdown path funnels through here (``serve()``'s finally
+        block, embedded ``create_server`` users, ``POST /shutdown``), so the
+        similarity store is always flushed and its lifetime counters
+        persisted; :meth:`MatchService.close` is idempotent.
+        """
+        super().server_close()
+        self.service.close()
+
     @property
     def url(self) -> str:
         """The base URL clients should talk to."""
@@ -670,4 +711,4 @@ def serve(
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
-        server.server_close()
+        server.server_close()  # also closes the service's persistent store

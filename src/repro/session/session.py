@@ -56,6 +56,7 @@ equals the number of cacheable executions.
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
 
 from repro.auxiliary.synonyms import SynonymDictionary, default_purchase_order_synonyms
@@ -77,6 +78,7 @@ from repro.model.schema import Schema
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.evaluation.campaign import EvaluationCampaign
     from repro.repository.repository import Repository
+    from repro.repository.store import SimilarityStore
 
 #: How callers may reference a strategy: an object, a spec / stored name, or
 #: ``None`` for the session default.
@@ -169,10 +171,23 @@ class MatchSession:
         reuse matchers and for persisting named strategies.  Pass a
         repository opened with ``threadsafe=True`` when the session is
         shared across threads.
+    store:
+        An optional persistent :class:`~repro.repository.store.SimilarityStore`
+        (or a path string, opened on the spot and closed by :meth:`close`):
+        cube-cache misses consult the store by content address before
+        executing matchers, computed cubes are written back asynchronously,
+        and the session's name-token memo is seeded from (and flushed back
+        to) the store's token artifacts.  A restarted process is then warm
+        from its first request.  Only cacheable executions (see
+        ``cache_cubes``) use the store, and only sessions on the *default*
+        matcher library consult it at all -- stored cubes are addressed by
+        matcher name, which is sound only when every process resolves those
+        names identically; a custom ``library`` silently bypasses the store.
     cache_cubes:
         Keep similarity cubes per (schema pair, matcher usage) so repeated
         matches of a pair (e.g. under different combination strategies) skip
-        matcher execution.  Enabled by default.
+        matcher execution.  Enabled by default.  Disabling this also
+        disables the persistent store path.
     max_cached_cubes / max_cached_profiles:
         Bounds on the two caches (oldest entries are evicted first), keeping a
         long-lived session's memory finite under a stream of distinct schema
@@ -198,6 +213,9 @@ class MatchSession:
     #: plenty of headroom, while keeping a serving session's memory finite.
     DEFAULT_MAX_CACHED_CUBES = 256
     DEFAULT_MAX_CACHED_PROFILES = 1024
+    #: Bound on the session-wide name-token memo (entries are tiny -- a name
+    #: plus a few short tokens -- so 100k entries stay in the tens of MB).
+    MAX_TOKEN_MEMO_ENTRIES = 100_000
 
     def __init__(
         self,
@@ -209,6 +227,7 @@ class MatchSession:
         type_compatibility: Optional[TypeCompatibilityTable] = None,
         feedback: Optional[UserFeedbackStore] = None,
         repository: Optional["Repository"] = None,
+        store: "SimilarityStore | str | None" = None,
         cache_cubes: bool = True,
         max_cached_cubes: Optional[int] = DEFAULT_MAX_CACHED_CUBES,
         max_cached_profiles: Optional[int] = DEFAULT_MAX_CACHED_PROFILES,
@@ -242,6 +261,38 @@ class MatchSession:
         self._cube_cache: Dict[tuple, SimilarityCube] = _GuardedDict(self._lock)
         self._cube_hits = 0
         self._cube_misses = 0
+        self._store_hits = 0
+        self._store_misses = 0
+        #: Session-wide name -> token-tuple memo shared by every profile the
+        #: session builds (and seeded from the persistent store when one is
+        #: attached).  Inserts are idempotent, so the dict needs no lock.
+        self._token_memo: Dict[str, Tuple[str, ...]] = {}
+        self._token_watermark = 0
+        self._store: Optional["SimilarityStore"] = None
+        self._owns_store = False
+        self._store_config: Optional[str] = None
+        self._tokenizer_digest: Optional[str] = None
+        #: Per-session schema-digest memo (dropped by clear_caches, so the
+        #: documented remedy after in-place mutation re-addresses schemas).
+        self._schema_digest_cache: "weakref.WeakKeyDictionary[Schema, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+        if store is not None:
+            # Stored cubes are addressed by *matcher names*: that is only
+            # sound when both the writing and the reading session resolve
+            # those names to identically configured matchers.  The default
+            # library guarantees it across processes; a custom library does
+            # not (names may be re-registered with different configuration),
+            # so such sessions keep their in-memory caches but never consult
+            # the persistent store.
+            if self._library is DEFAULT_LIBRARY:
+                if isinstance(store, str):
+                    from repro.repository.store import SimilarityStore
+
+                    store = SimilarityStore(store)
+                    self._owns_store = True
+                self._store = store
+                self._refresh_store_digests()
         self._named_strategies: Dict[str, MatchStrategy] = {}
         # resolve_strategy needs library / repository / named registry in place,
         # and accepts the same references (object, spec or stored name) here as
@@ -279,6 +330,39 @@ class MatchSession:
     def repository(self) -> Optional["Repository"]:
         """The attached repository (``None`` for a repository-less session)."""
         return self._repository
+
+    @property
+    def store(self) -> Optional["SimilarityStore"]:
+        """The attached persistent similarity store, if any."""
+        return self._store
+
+    def _refresh_store_digests(self) -> None:
+        """(Re)compute the content digests of the session's configuration.
+
+        Called at construction and from :meth:`clear_caches`, so mutating a
+        shared resource in place (synonyms, abbreviations, type table) and
+        clearing the caches also re-addresses the persistent store --
+        previously stored cubes for the old configuration simply stop
+        matching.
+        """
+        from repro.repository.store import match_config_digest, tokenizer_digest
+
+        self._store_config = match_config_digest(
+            self._tokenizer, self._synonyms, self._type_compatibility,
+            library=self._library,
+        )
+        self._tokenizer_digest = tokenizer_digest(self._tokenizer)
+        if self._store is not None:
+            # Seed to half the trim bound: the memo must have headroom for
+            # names the seed does not cover, or the first new name after a
+            # full seed would push it over the bound and the wholesale trim
+            # would wipe everything that was just loaded.
+            seeded = self._store.load_tokens(
+                self._tokenizer_digest, limit=self.MAX_TOKEN_MEMO_ENTRIES // 2
+            )
+            with self._lock:
+                self._token_memo.update(seeded)
+                self._token_watermark = len(self._token_memo)
 
     @property
     def feedback(self) -> Optional[UserFeedbackStore]:
@@ -371,6 +455,7 @@ class MatchSession:
             feedback=self._feedback if feedback is _UNSET else feedback,  # type: ignore[arg-type]
             repository=self._repository,
             profile_cache=self._profile_cache,
+            token_memo=self._token_memo,
         )
 
     def profile_for(self, schema: Schema) -> PathSetProfile:
@@ -398,7 +483,7 @@ class MatchSession:
         key = tuple(schema.paths())
         profile = self._profile_cache.get(key)
         if profile is None:
-            profile = PathSetProfile(key, self._tokenizer)
+            profile = PathSetProfile(key, self._tokenizer, token_memo=self._token_memo)
             # setdefault: if another thread published a profile for this key
             # in the meantime, every caller converges on that instance.
             profile = self._profile_cache.setdefault(key, profile)
@@ -828,13 +913,17 @@ class MatchSession:
         return (source.paths(), target.paths(), tuple(names))
 
     def _execute(self, strategy: MatchStrategy, context: MatchContext) -> SimilarityCube:
-        """Execute the strategy's matchers, serving repeats from the cube cache.
+        """Execute the strategy's matchers, serving repeats from the caches.
 
-        Matcher execution runs outside the session lock; only the cache
-        lookup, the insert and the counter updates are guarded.  Two threads
-        missing the same key both execute (both count as misses, keeping
-        ``hits + misses`` equal to the number of cacheable executions) and
-        converge on the first published cube.
+        The lookup order is the cache hierarchy, fastest first: the
+        in-memory cube cache, then the persistent store (by content
+        address), then matcher execution with an asynchronous store
+        write-back.  Matcher execution and store I/O run outside the session
+        lock; only cache lookups, inserts and counter updates are guarded.
+        Two threads missing the same key both execute (both count as misses,
+        keeping ``cube_hits + cube_misses`` equal to the number of cacheable
+        executions; likewise ``store_hits + store_misses`` equals the number
+        of store consultations) and converge on the first published cube.
         """
         key = self._cube_key(context.source_schema, context.target_schema, strategy)
         if key is not None:
@@ -843,14 +932,93 @@ class MatchSession:
                 with self._lock:
                     self._cube_hits += 1
                 return cached
+        # One snapshot of the store reference for the whole execution: a
+        # concurrent close() nulls self._store, and in-flight operations must
+        # keep using the object they started with (whose post-close writes
+        # are dropped safely) rather than crash on a None mid-way.
+        store = self._store
+        store_key = None
+        if key is not None and store is not None:
+            store_key = self._store_key_for(context, key[2])
+            stored = store.load_cube(store_key[0], key[0], key[1])
+            if stored is not None:
+                with self._lock:
+                    self._cube_misses += 1
+                    self._store_hits += 1
+                    stored = self._cube_cache.setdefault(key, stored)
+                self._trim_caches()
+                return stored
         matchers = strategy.resolve_matchers(self._library)
         cube = self._engine.execute(matchers, context)
         if key is not None:
             with self._lock:
                 self._cube_misses += 1
+                if store_key is not None:
+                    self._store_misses += 1
                 cube = self._cube_cache.setdefault(key, cube)
+            if store_key is not None:
+                store.store_cube_async(
+                    store_key[0],
+                    cube,
+                    store_key[1],
+                    store_key[2],
+                    key[2],
+                    self._store_config,
+                )
+                self._flush_new_tokens(store)
         self._trim_caches()
         return cube
+
+    def _store_key_for(
+        self, context: MatchContext, usage: Tuple[str, ...]
+    ) -> Tuple[str, str, str]:
+        """``(store key, source digest, target digest)`` of one execution."""
+        from repro.repository.store import cube_store_key
+
+        source_digest = self._schema_digest(context.source_schema)
+        target_digest = self._schema_digest(context.target_schema)
+        return (
+            cube_store_key(source_digest, target_digest, usage, self._store_config),
+            source_digest,
+            target_digest,
+        )
+
+    def _schema_digest(self, schema: Schema) -> str:
+        """The (session-memoised) content digest of a schema.
+
+        The memo lives on the session so :meth:`clear_caches` drops it --
+        mutating a schema in place and clearing the caches re-addresses it,
+        exactly like the configuration digests.
+        """
+        from repro.repository.store import schema_content_digest
+
+        with self._lock:
+            digest = self._schema_digest_cache.get(schema)
+        if digest is None:
+            digest = schema_content_digest(schema)
+            with self._lock:
+                self._schema_digest_cache[schema] = digest
+        return digest
+
+    def _flush_new_tokens(self, store: "SimilarityStore") -> None:
+        """Queue token-memo entries added since the last flush to ``store``.
+
+        The memo dict is insertion-ordered and never shrinks between trims,
+        so a watermark index identifies the new slice.  A concurrent insert
+        while the snapshot is taken simply defers those entries to the next
+        flush.
+        """
+        memo = self._token_memo
+        with self._lock:
+            if len(memo) <= self._token_watermark:
+                return
+            watermark = self._token_watermark
+            try:
+                items = list(memo.items())
+            except RuntimeError:  # pragma: no cover - concurrent insert mid-snapshot
+                return
+            self._token_watermark = len(items)
+        store.store_tokens_async(self._tokenizer_digest, items[watermark:])
 
     def _trim_caches(self) -> None:
         """Evict oldest entries beyond the configured bounds (insertion order).
@@ -869,6 +1037,12 @@ class MatchSession:
             if self._max_cached_profiles is not None:
                 while len(self._profile_cache) > self._max_cached_profiles:
                     self._profile_cache.pop(next(iter(self._profile_cache)))
+            # The token memo has no per-entry eviction (the store watermark
+            # relies on insertion order): beyond the bound it is dropped
+            # wholesale and simply refills on demand.
+            if len(self._token_memo) > self.MAX_TOKEN_MEMO_ENTRIES:
+                self._token_memo.clear()
+                self._token_watermark = 0
 
     def cache_info(self) -> Dict[str, int]:
         """Cache occupancy and hit counters.
@@ -876,9 +1050,11 @@ class MatchSession:
         Returns
         -------
         dict
-            ``profiles`` / ``cubes`` (current occupancy) and ``cube_hits`` /
+            ``profiles`` / ``cubes`` (current occupancy), ``cube_hits`` /
             ``cube_misses`` (lifetime counters; their sum equals the number
-            of cacheable executions, also under concurrency).
+            of cacheable executions, also under concurrency) and
+            ``store_hits`` / ``store_misses`` (persistent-store
+            consultations; both stay 0 without an attached store).
 
         Examples
         --------
@@ -897,14 +1073,20 @@ class MatchSession:
                 "cubes": len(self._cube_cache),
                 "cube_hits": self._cube_hits,
                 "cube_misses": self._cube_misses,
+                "store_hits": self._store_hits,
+                "store_misses": self._store_misses,
             }
 
     def clear_caches(self) -> None:
-        """Drop all cached profiles and cubes (counters are kept).
+        """Drop all cached profiles, cubes and tokens (counters are kept).
 
         Call this after mutating a shared resource in place (synonym
-        dictionary, type-compatibility table): cached cubes reflect the
-        resources at execution time.
+        dictionary, abbreviation table, type-compatibility table) or a
+        schema graph itself: cached cubes reflect the inputs at execution
+        time.  With a persistent store attached, the session's
+        configuration *and* schema content digests are recomputed as well,
+        so the store stops serving cubes addressed under the old inputs
+        (they remain on disk for sessions still using them).
 
         Examples
         --------
@@ -918,6 +1100,44 @@ class MatchSession:
         with self._lock:
             self._profile_cache.clear()
             self._cube_cache.clear()
+            self._token_memo.clear()
+            self._token_watermark = 0
+            self._schema_digest_cache = weakref.WeakKeyDictionary()
+        if self._store is not None:
+            self._refresh_store_digests()
+
+    def close(self) -> None:
+        """Release persistent resources the session opened itself.
+
+        A store the session opened from a path string is flushed and closed
+        (persisting its lifetime hit/miss counters for ``coma stats
+        --store``); a store object handed in by the caller -- typically
+        shared with other sessions -- is left running.  The session remains
+        usable for in-memory work afterwards.  Idempotent.
+
+        Examples
+        --------
+        >>> import tempfile, os
+        >>> path = os.path.join(tempfile.mkdtemp(), "store.db")
+        >>> with MatchSession(store=path) as session:
+        ...     session.store is not None
+        True
+        """
+        with self._lock:
+            store = self._store if self._owns_store else None
+            if store is not None:
+                self._store = None
+                self._owns_store = False
+        if store is not None:
+            # In-flight executions hold their own snapshot of the reference;
+            # their post-close async writes are dropped by the store itself.
+            store.close()
+
+    def __enter__(self) -> "MatchSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         info = self.cache_info()

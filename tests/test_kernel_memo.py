@@ -1,0 +1,184 @@
+"""Tests for the process-wide kernel memo pool (:mod:`repro.matchers.memo`)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets.figure1 import load_po1, load_po2
+from repro.matchers.memo import (
+    DEFAULT_MEMO_POOL,
+    KernelMemoPool,
+    active_pool,
+    set_active_pool,
+)
+from repro.matchers.string.affix import AffixMatcher
+from repro.matchers.string.edit_distance import EditDistanceMatcher
+from repro.session import MatchSession
+
+
+@pytest.fixture()
+def pool():
+    """A fresh pool installed as the active one for the duration of a test."""
+    fresh = KernelMemoPool(max_entries=10_000)
+    previous = set_active_pool(fresh)
+    yield fresh
+    set_active_pool(previous)
+
+
+class TestPoolMechanics:
+    def test_block_computes_then_serves(self, pool):
+        calls = []
+
+        def kernel(pairs):
+            calls.append(list(pairs))
+            return np.array([float(len(a) + len(b)) for a, b in pairs])
+
+        first = pool.block(("k",), ["aa", "b"], ["ccc"], kernel)
+        assert first.tolist() == [[5.0], [4.0]]
+        second = pool.block(("k",), ["aa", "b"], ["ccc"], kernel)
+        assert second.tolist() == first.tolist()
+        assert len(calls) == 1  # second block fully served from the pool
+        info = pool.info()
+        assert info["hits"] == 2 and info["misses"] == 2
+
+    def test_symmetric_pairs_share_one_entry(self, pool):
+        kernel = lambda pairs: np.array([1.0] * len(pairs))
+        pool.block(("k",), ["x"], ["y"], kernel)
+        assert len(pool) == 1
+        # The mirrored orientation is a hit, not a new entry.
+        pool.block(("k",), ["y"], ["x"], kernel)
+        assert len(pool) == 1
+        assert pool.info()["hits"] == 1
+
+    def test_asymmetric_keys_are_distinct(self, pool):
+        kernel = lambda pairs: np.array([float(a < b) for a, b in pairs])
+        forward = pool.block(("k",), ["a"], ["b"], kernel, symmetric=False)
+        backward = pool.block(("k",), ["b"], ["a"], kernel, symmetric=False)
+        assert forward[0, 0] == 1.0 and backward[0, 0] == 0.0
+        assert len(pool) == 2
+
+    def test_kernel_keys_partition_the_pool(self, pool):
+        pool.block(("a",), ["x"], ["y"], lambda pairs: np.array([0.25]))
+        other = pool.block(("b",), ["x"], ["y"], lambda pairs: np.array([0.75]))
+        assert other[0, 0] == 0.75
+        assert len(pool) == 2
+
+    def test_duplicate_cells_within_a_block(self, pool):
+        calls = []
+
+        def kernel(pairs):
+            calls.append(list(pairs))
+            return np.array([1.0] * len(pairs))
+
+        values = pool.block(("k",), ["x", "x"], ["x", "y"], kernel)
+        assert values.shape == (2, 2)
+        # (x, x) and (x, y) are the only distinct canonical pairs.
+        assert len(calls[0]) == 2
+
+    def test_lru_eviction_bounds_entries(self):
+        pool = KernelMemoPool(max_entries=3)
+        kernel = lambda pairs: np.array([1.0] * len(pairs))
+        for word in ("a", "b", "c", "d", "e"):
+            pool.block(("k",), [word], [word + "x"], kernel)
+        assert len(pool) == 3
+        assert pool.info()["evictions"] == 2
+
+    def test_lru_keeps_recently_used(self):
+        pool = KernelMemoPool(max_entries=2)
+        kernel = lambda pairs: np.array([1.0] * len(pairs))
+        pool.block(("k",), ["a"], ["b"], kernel)
+        pool.block(("k",), ["c"], ["d"], kernel)
+        pool.block(("k",), ["a"], ["b"], kernel)  # refresh (a, b)
+        pool.block(("k",), ["e"], ["f"], kernel)  # evicts (c, d)
+        assert pool.info()["hits"] == 1
+        pool.block(("k",), ["a"], ["b"], kernel)  # still present
+        assert pool.info()["hits"] == 2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            KernelMemoPool(max_entries=0)
+
+    def test_clear(self, pool):
+        pool.block(("k",), ["a"], ["b"], lambda pairs: np.array([1.0]))
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.info()["misses"] == 1
+        pool.clear(reset_counters=True)
+        assert pool.info()["misses"] == 0
+
+    def test_concurrent_blocks_converge(self, pool):
+        matcher = EditDistanceMatcher()
+        sources = [f"name{i}" for i in range(12)]
+        targets = [f"label{i}" for i in range(12)]
+        expected = np.array(
+            [[matcher.similarity(a, b) for b in targets] for a in sources]
+        )
+        results = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def work(slot):
+            barrier.wait()
+            results[slot] = matcher.similarity_many(sources, targets)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for result in results:
+            assert np.array_equal(result, expected)
+
+
+class TestMatcherIntegration:
+    def test_affix_opts_in(self, pool):
+        matcher = AffixMatcher()
+        got = matcher.similarity_many(["custNo", "city"], ["custName", "street"])
+        want = np.array(
+            [
+                [matcher.similarity(a, b) for b in ("custName", "street")]
+                for a in ("custNo", "city")
+            ]
+        )
+        assert np.array_equal(got, want)
+        assert pool.info()["misses"] > 0
+        repeat = matcher.similarity_many(["custNo"], ["custName"])
+        assert repeat[0, 0] == want[0, 0]
+        assert pool.info()["hits"] > 0
+
+    def test_cross_schema_dedup(self, pool):
+        """Matching a second schema pair with shared field names hits the pool."""
+        session = MatchSession()
+        session.match(load_po1(), load_po2(), strategy="EditDistance(Max,Both,MaxN(1),Average)")
+        after_first = pool.info()
+        # The swapped orientation re-uses the same (symmetric) name pairs.
+        session.match(load_po2(), load_po1(), strategy="EditDistance(Max,Both,MaxN(1),Average)")
+        after_second = pool.info()
+        assert after_second["hits"] > after_first["hits"]
+        # No new kernel evaluations were needed for the swapped pair.
+        assert after_second["misses"] == after_first["misses"]
+
+    def test_results_identical_with_and_without_pool(self):
+        spec = "All(Average,Both,Thr(0.5)+Delta(0.02),Average)"
+
+        def rows(outcome):
+            return [
+                (c.source.dotted(), c.target.dotted(), c.similarity)
+                for c in outcome.result.correspondences
+            ]
+
+        previous = set_active_pool(KernelMemoPool())
+        try:
+            pooled = rows(MatchSession().match(load_po1(), load_po2(), strategy=spec))
+        finally:
+            set_active_pool(None)
+        try:
+            plain = rows(MatchSession().match(load_po1(), load_po2(), strategy=spec))
+        finally:
+            set_active_pool(previous)
+        assert pooled == plain
+
+    def test_default_pool_is_active_by_default(self):
+        assert active_pool() is DEFAULT_MEMO_POOL

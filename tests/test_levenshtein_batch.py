@@ -1,0 +1,165 @@
+"""Fuzz/property tests: the numpy batch Levenshtein equals the scalar DP.
+
+The batch kernel (:func:`repro.matchers.string.edit_distance
+.levenshtein_distance_many`) advances all pairs' DP rows simultaneously over
+padded code-point arrays; these tests pin it to the scalar two-row reference
+on arbitrary unicode input, including the edges the padding machinery has to
+get right (empty strings, equal strings, single characters, wide code
+points), and check the upper-bound short-circuit contract of the scalar
+kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matchers.memo import KernelMemoPool, set_active_pool
+from repro.matchers.string.edit_distance import (
+    EditDistanceMatcher,
+    levenshtein_distance,
+    levenshtein_distance_many,
+)
+
+#: Unicode text including combining marks, CJK and astral code points -- the
+#: batch kernel works on raw code points, so anything ord() accepts is fair.
+unicode_names = st.text(min_size=0, max_size=16)
+ascii_names = st.text(
+    alphabet="abcdefghijklmnop_ -0123456789", min_size=0, max_size=12
+)
+
+
+def scalar_reference(a: str, b: str) -> int:
+    """The unbounded scalar DP (the ground truth for every comparison)."""
+    return levenshtein_distance(a, b)
+
+
+class TestBatchEqualsScalar:
+    @given(pairs=st.lists(st.tuples(unicode_names, unicode_names), max_size=30))
+    @settings(max_examples=150, deadline=None)
+    def test_random_unicode_pairs(self, pairs):
+        batch = levenshtein_distance_many(pairs)
+        expected = [scalar_reference(a, b) for a, b in pairs]
+        assert batch.tolist() == expected
+
+    @given(words=st.lists(unicode_names, min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_cross_product_blocks(self, words):
+        pairs = [(a, b) for a in words for b in words]
+        batch = levenshtein_distance_many(pairs)
+        expected = [scalar_reference(a, b) for a, b in pairs]
+        assert batch.tolist() == expected
+
+    def test_edge_cases(self):
+        pairs = [
+            ("", ""),
+            ("", "abc"),
+            ("abc", ""),
+            ("abc", "abc"),
+            ("a", "b"),
+            ("a", "a"),
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("日本語", "日本"),
+            ("naïve", "naive"),
+            ("\U0001f600", "\U0001f601"),  # astral plane code points
+            ("aaaa", "aaaa"),
+            ("ab" * 8, "ba" * 8),
+        ]
+        batch = levenshtein_distance_many(pairs)
+        assert batch.tolist() == [scalar_reference(a, b) for a, b in pairs]
+
+    def test_empty_batch(self):
+        assert levenshtein_distance_many([]).tolist() == []
+
+    def test_chunked_batches_agree_with_scalar(self):
+        """Chunked execution (the bounded-memory path) matches the scalar DP."""
+        import repro.matchers.string.edit_distance as module
+
+        pairs = [(f"name{i}", f"label{i % 7}") for i in range(40)]
+        distances = np.zeros(len(pairs), dtype=np.intp)
+        indices = list(range(len(pairs)))
+        for start in range(0, len(indices), 3):  # force 3-pair chunks
+            module._batch_dp(pairs, indices[start : start + 3], distances)
+        assert distances.tolist() == [scalar_reference(a, b) for a, b in pairs]
+        # The public entry point (whose chunk size floors at 1024) agrees too.
+        assert module.levenshtein_distance_many(pairs).tolist() == distances.tolist()
+
+    def test_mixed_lengths_in_one_batch(self):
+        # Pairs finishing at very different outer iterations share one batch:
+        # each must record its result at exactly its own final DP row.
+        pairs = [("a" * n, "b" * (17 - n)) for n in range(1, 17)]
+        batch = levenshtein_distance_many(pairs)
+        assert batch.tolist() == [scalar_reference(a, b) for a, b in pairs]
+
+
+class TestScalarUpperBound:
+    @given(a=unicode_names, b=unicode_names)
+    @settings(max_examples=150, deadline=None)
+    def test_bound_contract(self, a, b):
+        """With a bound, the result is exact below it and >= the bound otherwise."""
+        exact = scalar_reference(a, b)
+        bound = max(len(a), len(b))
+        result = levenshtein_distance(a, b, upper_bound=bound)
+        if exact < bound:
+            assert result == exact
+        else:
+            assert bound <= result <= exact
+
+    def test_length_difference_short_circuit(self):
+        # The length difference alone reaches the bound: the DP is skipped
+        # and the (lower-bound) length difference comes back.
+        assert levenshtein_distance("po", "purchaseorder", upper_bound=11) == 11
+        # One character less and the DP must run (bound not yet reached).
+        assert levenshtein_distance("po", "purchaseorder", upper_bound=12) == 11
+
+    def test_no_bound_is_exact(self):
+        assert levenshtein_distance("abcdef", "xyz") == 6
+
+
+class TestMatcherBatchEquivalence:
+    """EditDistanceMatcher.similarity_many == per-pair similarity, exactly."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_pool(self):
+        previous = set_active_pool(KernelMemoPool())
+        yield
+        set_active_pool(previous)
+
+    @given(
+        sources=st.lists(ascii_names, min_size=1, max_size=8),
+        targets=st.lists(ascii_names, min_size=1, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matrix_equals_pairwise(self, sources, targets):
+        matcher = EditDistanceMatcher()
+        got = matcher.similarity_many(sources, targets)
+        want = np.array(
+            [[matcher.similarity(a, b) for b in targets] for a in sources]
+        )
+        assert np.array_equal(got, want)
+
+    @given(
+        sources=st.lists(ascii_names, min_size=1, max_size=6),
+        targets=st.lists(ascii_names, min_size=1, max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pool_disabled_equals_pooled(self, sources, targets):
+        matcher = EditDistanceMatcher()
+        pooled = matcher.similarity_many(sources, targets)
+        previous = set_active_pool(None)
+        try:
+            plain = matcher.similarity_many(sources, targets)
+        finally:
+            set_active_pool(previous)
+        assert np.array_equal(pooled, plain)
+
+    def test_case_sensitive_variant(self):
+        matcher = EditDistanceMatcher(case_sensitive=True)
+        got = matcher.similarity_many(["Ab", "ab"], ["AB", "ab"])
+        want = np.array(
+            [[matcher.similarity(a, b) for b in ("AB", "ab")] for a in ("Ab", "ab")]
+        )
+        assert np.array_equal(got, want)

@@ -86,9 +86,9 @@ class TestMatchMany:
         built = []
         original = PathSetProfile.__init__
 
-        def counting_init(self, paths, tokenizer):
+        def counting_init(self, paths, tokenizer, token_memo=None):
             built.append(tuple(paths))
-            original(self, paths, tokenizer)
+            original(self, paths, tokenizer, token_memo=token_memo)
 
         monkeypatch.setattr(PathSetProfile, "__init__", counting_init)
         schemas = _campaign_schemas()
