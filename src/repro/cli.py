@@ -12,7 +12,9 @@ Usage examples::
     coma stats po.xsd
     coma stats --store coma-store.db      # persistent-reuse effectiveness counters
     coma tasks            # list the bundled evaluation tasks and their sizes
-    coma serve --port 8765 --pool-size 4  # the HTTP match service (docs/service.md)
+    coma serve --port 8765 --workers 4    # the HTTP match service (docs/service.md)
+    coma serve --backend process --workers 4  # worker processes: warm throughput
+                                              # scales with the cores, not the GIL
     coma serve --store coma-store.db      # ... warm across restarts (persistent reuse)
 
 The CLI is intentionally thin: everything it does is a few calls into the
@@ -100,8 +102,17 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="bind address (default 127.0.0.1)")
     serve_parser.add_argument("--port", type=int, default=8765,
                               help="bind port (default 8765; 0 picks an ephemeral port)")
-    serve_parser.add_argument("--pool-size", type=int, default=4,
-                              help="number of warm worker sessions (default 4)")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="number of warm workers: pooled sessions for "
+                                   "--backend thread, worker processes for "
+                                   "--backend process (default 4)")
+    serve_parser.add_argument("--backend", default="thread",
+                              help="execution backend: 'thread' (one process, "
+                                   "pooled sessions) or 'process' (spawned worker "
+                                   "processes; warm throughput scales with the "
+                                   "cores instead of the GIL)")
+    serve_parser.add_argument("--pool-size", type=int, default=None,
+                              help="deprecated alias for --workers")
     serve_parser.add_argument("--repository", default=None,
                               help="SQLite repository shared by all worker sessions "
                                    "(stored strategies, reuse matchers)")
@@ -284,13 +295,31 @@ def _print_reuse_stats(store_path: str) -> None:
 
 
 def _command_serve(arguments: argparse.Namespace) -> int:
+    # Validate everything *before* touching sockets or files, so a bad flag
+    # exits with one clean message instead of a traceback (or a half-started
+    # server).
+    if arguments.workers is not None and arguments.pool_size is not None:
+        raise ComaError("--pool-size is a deprecated alias for --workers; "
+                        "pass only one of them")
+    workers = arguments.workers if arguments.workers is not None else arguments.pool_size
+    if workers is None:
+        workers = 4
+    if workers < 1:
+        raise ComaError(f"--workers must be >= 1, got {workers}")
+    if arguments.backend not in ("thread", "process"):
+        raise ComaError(
+            f"unknown --backend {arguments.backend!r}: choose 'thread' "
+            f"(one process, pooled sessions) or 'process' (worker processes)"
+        )
+
     from repro.service.server import serve
 
     serve(
         host=arguments.host,
         port=arguments.port,
         verbose=not arguments.quiet,
-        pool_size=arguments.pool_size,
+        pool_size=workers,
+        backend=arguments.backend,
         repository_path=arguments.repository,
         store_path=arguments.store,
     )

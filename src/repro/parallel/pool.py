@@ -1,0 +1,556 @@
+"""The process session pool: N worker processes, each owning a warm session.
+
+The thread-backed :class:`~repro.service.pool.SessionPool` keeps every match
+on one interpreter, so on a multi-core machine warm service throughput flat-
+lines at the GIL instead of scaling with the hardware.  A
+:class:`ProcessSessionPool` breaks that ceiling: ``size`` spawned worker
+processes (see :mod:`repro.parallel.worker`) each hold a private warm
+:class:`~repro.session.session.MatchSession`, and requests travel over pipes
+as compact codec frames (:mod:`repro.parallel.codec`) -- schemas shipped once
+per worker by content digest, similarity layers returned as raw ``float64``
+buffers.  Results are **byte-identical** to the serial in-process path; the
+differential suite in ``tests/test_parallel_equivalence.py`` enforces it.
+
+Workers are spawned (never forked), so the pool is safe to create from a
+threaded server process.  When a persistent
+:class:`~repro.repository.store.SimilarityStore` path is configured, every
+worker opens its own connection to the shared file and starts warm from cubes
+any earlier process stored.
+
+Scheduling mirrors the thread pool: free workers live on a LIFO free-list
+behind a condition variable, an acquirer takes *any* free worker, and a
+worker is held exclusively for one round trip (pipes are not multiplexed).
+A worker that dies mid-request is respawned and the request replayed once --
+match execution is side-effect-free outside the worker's own caches, so the
+replay is safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.match_operation import build_context
+from repro.core.strategy import MatchStrategy
+from repro.exceptions import ServiceError
+from repro.parallel import codec
+from repro.parallel.worker import worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.match_operation import MatchOutcome
+    from repro.model.schema import Schema
+
+#: One fan-out item: ``(source, target, strategy)`` where the strategy is a
+#: spec string, a :class:`~repro.core.strategy.MatchStrategy`, or ``None``
+#: for the workers' default.
+PoolRequest = Tuple["Schema", "Schema", object]
+
+#: Seconds to wait for a spawned worker's ready handshake before giving up.
+HANDSHAKE_TIMEOUT = 120.0
+
+
+class _Worker:
+    """Parent-side record of one worker process."""
+
+    __slots__ = ("process", "connection", "shipped", "requests", "pid")
+
+    def __init__(self, process, connection):
+        self.process = process
+        self.connection = connection
+        #: Content digests of schemas this worker is known to hold.
+        self.shipped: set = set()
+        #: Match pairs dispatched to this worker (parent-side counter).
+        self.requests = 0
+        self.pid: Optional[int] = None
+
+
+class _WorkerDied(Exception):
+    """Internal signal: the pipe broke mid round trip (worker respawned)."""
+
+
+class ProcessSessionPool:
+    """A fixed pool of spawned worker processes with warm match sessions.
+
+    Parameters
+    ----------
+    size:
+        The number of worker processes.  On an N-core machine, N workers let
+        warm match throughput scale with the cores instead of the GIL.
+    store_path:
+        Optional persistent similarity store *file* shared by every worker
+        (each opens its own connection); workers then start warm from cubes
+        stored by any earlier process.
+    repository_path:
+        Optional SQLite repository file for repository-backed matchers in the
+        workers (opened per worker, ``threadsafe=True``).
+    default_strategy:
+        The strategy spec workers fall back to when a request names none.
+    start_method:
+        The multiprocessing start method (default ``"spawn"``, the only one
+        safe from threaded parents; ``"fork"``/``"forkserver"`` are accepted
+        where the platform offers them).
+
+    Raises
+    ------
+    ServiceError
+        If ``size`` is below 1, a worker fails its ready handshake, or the
+        workers disagree on their match-configuration digest.
+
+    Examples
+    --------
+    >>> from repro.datasets.figure1 import load_po1, load_po2
+    >>> with ProcessSessionPool(size=1) as pool:            # doctest: +SKIP
+    ...     outcome = pool.match(load_po1(), load_po2())
+    ...     len(outcome.result) > 0
+    True
+    """
+
+    #: Matches the service pool's vocabulary (``/stats`` reports it).
+    backend = "process"
+
+    def __init__(
+        self,
+        size: int = 2,
+        store_path: Optional[str] = None,
+        repository_path: Optional[str] = None,
+        default_strategy: Optional[str] = None,
+        start_method: str = "spawn",
+        schema_cache_bound: Optional[int] = None,
+    ):
+        if size < 1:
+            raise ServiceError(f"a process pool needs size >= 1, got {size}")
+        self._context = multiprocessing.get_context(start_method)
+        self._options: Dict[str, object] = {
+            "store_path": store_path,
+            "repository_path": repository_path,
+            "default_strategy": default_strategy,
+            "schema_cache_bound": schema_cache_bound,
+        }
+        self._closed = False
+        self._condition = threading.Condition()
+        self._free: List[int] = []
+        # Start every process first, then collect the ready handshakes: the
+        # expensive part of a spawn (interpreter boot + imports) overlaps
+        # across workers instead of serialising.
+        self._workers: List[_Worker] = [self._spawn() for _ in range(size)]
+        digests = {self._handshake(worker) for worker in self._workers}
+        if len(digests) != 1:  # pragma: no cover - would need a racing config change
+            self.close()
+            raise ServiceError("match workers disagree on their configuration digest")
+        self._config_digest = digests.pop()
+        self._free = list(range(size))
+        #: Parent-side schema-digest memo (content digests are stable unless
+        #: a schema mutates; ``clear_caches`` drops the memo).
+        self._digests: "weakref.WeakKeyDictionary[Schema, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._digest_lock = threading.Lock()
+        #: Parsed-strategy memo for specs coming back from worker defaults.
+        self._spec_memo: Dict[str, MatchStrategy] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_connection, child_connection = self._context.Pipe()
+        process = self._context.Process(
+            target=worker_main,
+            args=(child_connection, dict(self._options)),
+            name="coma-match-worker",
+            daemon=True,
+        )
+        process.start()
+        child_connection.close()
+        return _Worker(process, parent_connection)
+
+    def _handshake(self, worker: _Worker) -> str:
+        if not worker.connection.poll(HANDSHAKE_TIMEOUT):
+            self.close()
+            raise ServiceError(
+                f"match worker (pid {worker.process.pid}) did not become "
+                f"ready within {HANDSHAKE_TIMEOUT:.0f}s"
+            )
+        try:
+            header, _ = codec.decode_frame(worker.connection.recv_bytes())
+        except (EOFError, OSError) as error:
+            self.close()
+            raise ServiceError(
+                f"match worker (pid {worker.process.pid}) died during "
+                f"startup: {error}"
+            ) from error
+        if header.get("kind") == "error":  # pragma: no cover - startup failure path
+            self.close()
+            codec.raise_remote_error(header)
+        if header.get("kind") != "ready":
+            self.close()
+            raise ServiceError(
+                f"match worker sent {header.get('kind')!r} instead of the "
+                f"ready handshake"
+            )
+        worker.pid = int(header["pid"])
+        return str(header["config_digest"])
+
+    @property
+    def size(self) -> int:
+        """The number of worker processes."""
+        return len(self._workers)
+
+    @property
+    def config_digest(self) -> str:
+        """The workers' match-configuration content digest.
+
+        Compare against :meth:`MatchSession.config_digest
+        <repro.session.session.MatchSession.config_digest>` before fanning a
+        session out: equal digests guarantee the workers resolve names,
+        tokens, synonyms and type compatibilities exactly like the parent.
+        """
+        return self._config_digest
+
+    def close(self) -> None:
+        """Shut every worker down (politely, then forcefully). Idempotent."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            self._condition.notify_all()
+        for worker in self._workers:
+            try:
+                worker.connection.send_bytes(codec.encode_frame({"kind": "shutdown"}))
+                if worker.connection.poll(5.0):
+                    worker.connection.recv_bytes()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            worker.connection.close()
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+
+    def __enter__(self) -> "ProcessSessionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- worker scheduling ---------------------------------------------------------
+
+    def _acquire(self) -> int:
+        with self._condition:
+            while True:
+                if self._closed:
+                    raise ServiceError("the process pool is closed")
+                if self._free:
+                    return self._free.pop()
+                self._condition.wait()
+
+    def _release(self, index: int) -> None:
+        with self._condition:
+            self._free.append(index)
+            self._condition.notify()
+
+    def _respawn(self, index: int) -> None:
+        """Replace a dead worker in place (its shipped-schema set resets)."""
+        with self._condition:
+            if self._closed:
+                raise ServiceError("the process pool is closed")
+        old = self._workers[index]
+        try:
+            old.connection.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(timeout=5.0)
+        worker = self._spawn()
+        self._handshake(worker)
+        worker.requests = old.requests
+        self._workers[index] = worker
+
+    def _roundtrip(self, index: int, frame: bytes) -> Tuple[Dict[str, object], List[memoryview]]:
+        """One exclusive request/reply on worker ``index`` (caller holds it)."""
+        worker = self._workers[index]
+        try:
+            worker.connection.send_bytes(frame)
+            header, buffers = codec.decode_frame(worker.connection.recv_bytes())
+        except (BrokenPipeError, EOFError, OSError) as error:
+            self._respawn(index)
+            raise _WorkerDied(str(error)) from error
+        if header.get("kind") == "error":
+            codec.raise_remote_error(header)
+        return header, buffers
+
+    # -- schema shipping -------------------------------------------------------------
+
+    def _digest(self, schema: "Schema") -> str:
+        from repro.repository.store import schema_content_digest
+
+        with self._digest_lock:
+            digest = self._digests.get(schema)
+        if digest is None:
+            digest = schema_content_digest(schema)
+            with self._digest_lock:
+                self._digests[schema] = digest
+        return digest
+
+    def _match_frame(
+        self,
+        worker: _Worker,
+        pairs: Sequence[Tuple[str, str, Optional[str]]],
+        payloads: Dict[str, bytes],
+    ) -> bytes:
+        """Build one ``match`` frame, shipping schemas the worker lacks."""
+        schemas = []
+        buffers: List[bytes] = []
+        for digest, payload in payloads.items():
+            if digest not in worker.shipped:
+                schemas.append({"digest": digest, "buffer": len(buffers)})
+                buffers.append(payload)
+        header = {
+            "kind": "match",
+            "pairs": [
+                {"source": source, "target": target, "strategy": spec}
+                for source, target, spec in pairs
+            ],
+            "schemas": schemas,
+        }
+        return codec.encode_frame(header, buffers)
+
+    def _execute_chunk(
+        self,
+        items: Sequence[PoolRequest],
+        context_factory: Optional[Callable],
+    ) -> List["MatchOutcome"]:
+        """Run one contiguous chunk of requests on one exclusively held worker."""
+        pairs: List[Tuple[str, str, Optional[str]]] = []
+        payloads: Dict[str, bytes] = {}
+        strategies: List[Optional[MatchStrategy]] = []
+        for source, target, strategy in items:
+            if isinstance(strategy, MatchStrategy):
+                spec: Optional[str] = strategy.to_spec()
+                strategies.append(strategy)
+            elif isinstance(strategy, str) or strategy is None:
+                spec = strategy
+                strategies.append(None)
+            else:
+                raise ServiceError(
+                    f"process-pool strategies must be MatchStrategy objects, "
+                    f"spec strings or None, got {type(strategy).__name__}"
+                )
+            source_digest = self._digest(source)
+            target_digest = self._digest(target)
+            payloads.setdefault(source_digest, codec.schema_payload(source))
+            payloads.setdefault(target_digest, codec.schema_payload(target))
+            pairs.append((source_digest, target_digest, spec))
+        index = self._acquire()
+        try:
+            header, buffers = self._execute_on_worker(index, pairs, payloads)
+            worker = self._workers[index]
+            worker.shipped.update(payloads)
+            worker.requests += len(pairs)
+        finally:
+            self._release(index)
+        items_header = header["items"]
+        outcomes: List["MatchOutcome"] = []
+        factory = context_factory if context_factory is not None else build_context
+        for (source, target, _), strategy, item in zip(items, strategies, items_header):
+            if strategy is None:
+                spec = str(item["strategy"])
+                strategy = self._spec_memo.get(spec)
+                if strategy is None:
+                    strategy = MatchStrategy.parse(spec)
+                    self._spec_memo[spec] = strategy
+            outcomes.append(
+                codec.rebuild_outcome(
+                    item, buffers, source, target, strategy, factory(source, target)
+                )
+            )
+        return outcomes
+
+    def _execute_on_worker(self, index, pairs, payloads):
+        """Round-trip with the two recovery paths: re-ship and replay-once.
+
+        ``unknown-schema`` means the worker evicted (or never had) a digest
+        the parent believed was shipped -- the parent forgets its shipped-set
+        optimism and re-sends with full payloads.  A broken pipe means the
+        worker died; it was respawned by ``_roundtrip`` and the request is
+        replayed once on the fresh process (match execution has no effects
+        outside the worker, so the replay cannot double-apply anything).
+        """
+        worker = self._workers[index]
+        replayed = False
+        for _ in range(3):
+            frame = self._match_frame(worker, pairs, payloads)
+            try:
+                header, buffers = self._roundtrip(index, frame)
+            except _WorkerDied as error:
+                worker = self._workers[index]
+                if replayed:
+                    raise ServiceError(
+                        f"match worker died twice executing one request: {error}"
+                    ) from error
+                replayed = True
+                continue
+            if header.get("kind") == "unknown-schema":
+                worker.shipped.difference_update(header.get("digests", ()))
+                continue
+            if header.get("kind") != "outcomes":
+                raise ServiceError(
+                    f"match worker sent {header.get('kind')!r} instead of outcomes"
+                )
+            return header, buffers
+        raise ServiceError("match worker kept rejecting shipped schemas")
+
+    # -- match entry points -----------------------------------------------------------
+
+    def match(
+        self,
+        source: "Schema",
+        target: "Schema",
+        strategy: object = None,
+        context_factory: Optional[Callable] = None,
+    ) -> "MatchOutcome":
+        """Match one pair on some free worker; byte-identical to the serial path."""
+        return self._execute_chunk([(source, target, strategy)], context_factory)[0]
+
+    def match_many(
+        self,
+        items: Sequence[PoolRequest],
+        context_factory: Optional[Callable] = None,
+    ) -> List["MatchOutcome"]:
+        """Fan a batch out across the workers, preserving request order.
+
+        The batch is split into up to ``size`` contiguous chunks; each chunk
+        acquires one worker for one framed round trip (so per-pair IPC cost
+        is amortised across the chunk).  ``context_factory(source, target)``
+        builds the context attached to each reassembled outcome (defaults to
+        a fresh default-resource context).
+        """
+        items = [self._normalized(item) for item in items]
+        if not items:
+            return []
+        chunk_count = min(self.size, len(items))
+        if chunk_count == 1:
+            return self._execute_chunk(items, context_factory)
+        bounds = [
+            (len(items) * part // chunk_count, len(items) * (part + 1) // chunk_count)
+            for part in range(chunk_count)
+        ]
+        with ThreadPoolExecutor(max_workers=chunk_count) as executor:
+            chunks = list(
+                executor.map(
+                    lambda span: self._execute_chunk(
+                        items[span[0]:span[1]], context_factory
+                    ),
+                    bounds,
+                )
+            )
+        return [outcome for chunk in chunks for outcome in chunk]
+
+    @staticmethod
+    def _normalized(item) -> PoolRequest:
+        if len(item) == 2:
+            return (item[0], item[1], None)
+        if len(item) == 3:
+            return (item[0], item[1], item[2])
+        raise ServiceError(
+            f"process-pool requests must be (source, target[, strategy]) "
+            f"tuples, got a tuple of length {len(item)}"
+        )
+
+    # -- statistics and maintenance ------------------------------------------------------
+
+    def worker_stats(self, timeout: float = 5.0) -> List[Dict[str, object]]:
+        """Live per-worker statistics (pid, requests handled, cache counters).
+
+        Each worker is queried over its (exclusively held) pipe, waiting at
+        most ``timeout`` seconds per worker: a worker staying busy with a
+        long match is reported from the parent-side counters with
+        ``"busy": True`` instead of blocking the caller -- ``GET /stats`` is
+        a monitoring endpoint and must never starve behind match traffic.
+        """
+        stats: List[Dict[str, object]] = []
+        for index in range(self.size):
+            acquired = self._acquire_specific(index, timeout=timeout)
+            if acquired is None:
+                stats.append({
+                    "pid": self._workers[index].pid,
+                    "requests": self._workers[index].requests,
+                    "busy": True,
+                })
+                continue
+            try:
+                header, _ = self._roundtrip(acquired, codec.encode_frame({"kind": "stats"}))
+            except _WorkerDied:
+                stats.append({"pid": self._workers[index].pid, "requests":
+                              self._workers[index].requests, "alive": False})
+                continue
+            finally:
+                self._release(acquired)
+            info = dict(header["info"])
+            info["requests_dispatched"] = self._workers[index].requests
+            stats.append(info)
+        return stats
+
+    def _acquire_specific(
+        self, index: int, timeout: Optional[float] = None
+    ) -> Optional[int]:
+        """Take worker ``index`` specifically; ``None`` on timeout (if given)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while True:
+                if self._closed:
+                    raise ServiceError("the process pool is closed")
+                if index in self._free:
+                    self._free.remove(index)
+                    return index
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._condition.wait(remaining)
+
+    def cache_info(self) -> Dict[str, object]:
+        """Aggregated cache statistics over all workers.
+
+        Mirrors :meth:`repro.service.pool.SessionPool.cache_info` -- the same
+        ``shards`` list and summed totals -- plus ``backend`` and a
+        ``workers`` list with per-process pid / request counters, which is
+        what ``GET /stats`` exposes for the process backend.
+        """
+        stats = self.worker_stats()
+        keys = ("profiles", "cubes", "cube_hits", "cube_misses",
+                "store_hits", "store_misses")
+        shards = [
+            {key: shard.get(key, 0) for key in keys} for shard in stats
+        ]
+        totals = {key: sum(shard[key] for shard in shards) for key in keys}
+        workers = [
+            {
+                "pid": shard.get("pid"),
+                "requests": shard.get("requests", 0),
+                "schemas": shard.get("schemas", 0),
+            }
+            for shard in stats
+        ]
+        return {"backend": self.backend, "shards": shards, "workers": workers, **totals}
+
+    def clear_caches(self) -> None:
+        """Drop every worker's session caches (and shipped-schema sets)."""
+        for index in range(self.size):
+            acquired = self._acquire_specific(index)
+            try:
+                self._roundtrip(acquired, codec.encode_frame({"kind": "clear"}))
+                self._workers[index].shipped.clear()
+            except _WorkerDied:  # pragma: no cover - a fresh worker is clear
+                pass
+            finally:
+                self._release(acquired)
+        with self._digest_lock:
+            self._digests = weakref.WeakKeyDictionary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessSessionPool(size={self.size})"

@@ -212,11 +212,40 @@ class SimilarityStore:
     >>> store.close()
     """
 
+    #: How long a connection waits on another process's write lock before
+    #: giving up.  30s comfortably covers a slow checkpoint; the store's read
+    #: paths additionally degrade lock errors to cache misses, so this bound
+    #: is a latency ceiling, not a correctness knob.
+    BUSY_TIMEOUT_SECONDS = 30.0
+
     def __init__(self, path: str, writer: bool = True):
         self._path = path
         self._lock = threading.RLock()
         try:
-            self._connection = sqlite3.connect(path, check_same_thread=False)
+            self._connection = sqlite3.connect(
+                path, check_same_thread=False, timeout=self.BUSY_TIMEOUT_SECONDS
+            )
+            # One store file is routinely shared by many *processes* (every
+            # worker of `coma serve --backend process` opens its own
+            # connection).  WAL lets those readers proceed while a writer
+            # commits -- the rollback-journal default would instead escalate
+            # concurrent access into SQLITE_BUSY storms (and its
+            # writer-vs-reader lock upgrade can deadlock outright, which a
+            # busy timeout only converts into a 30s stall).  The busy timeout
+            # then serialises concurrent writers.  synchronous=NORMAL is the
+            # documented WAL pairing: commits stop waiting on fsync, and a
+            # power-cut loses at most the final commits of a *cache*.
+            self._connection.execute(
+                f"PRAGMA busy_timeout = {int(self.BUSY_TIMEOUT_SECONDS * 1000)}"
+            )
+            if path != ":memory:":
+                try:
+                    self._connection.execute("PRAGMA journal_mode = WAL")
+                    self._connection.execute("PRAGMA synchronous = NORMAL")
+                except sqlite3.Error:
+                    # Some filesystems cannot memory-map the WAL side files;
+                    # the store still works, just with coarser locking.
+                    pass
             self._connection.executescript(_STORE_DDL)
             self._connection.commit()
         except sqlite3.Error as error:

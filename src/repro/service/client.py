@@ -115,11 +115,14 @@ class ServiceClient:
             connection.close()
             self._local.connection = None
 
-    #: Transport failures that indicate a *stale keep-alive* connection (the
-    #: server closed it between requests).  Only these are retried, and only
-    #: when the connection was reused -- a timeout or a failure on a fresh
-    #: connection must surface, not silently re-submit the request (a /match
-    #: that timed out may still be computing server-side).
+    #: Transport failures that indicate the server dropped the connection
+    #: between (or during) requests -- the signature of a *recycled
+    #: keep-alive* connection, e.g. across a server restart.  Only these are
+    #: retried, and only when it is safe: always for reused connections, and
+    #: for *idempotent GETs* even on a fresh connection (a restarting server
+    #: may reset the very first connection's request).  Non-GET requests on a
+    #: fresh connection are never re-submitted, and neither is any timeout --
+    #: a /match that timed out may still be computing server-side.
     _STALE_CONNECTION_ERRORS = (
         http.client.RemoteDisconnected,
         http.client.CannotSendRequest,
@@ -131,8 +134,11 @@ class ServiceClient:
         """Issue one JSON request and return the decoded response payload.
 
         The request rides the calling thread's keep-alive connection; a stale
-        reused connection (e.g. after a server restart) is re-opened and the
-        request retried once.  Timeouts are never retried.
+        connection (e.g. after a server restart) is re-opened and the request
+        retried once when that is safe -- always when the failed connection
+        was a recycled keep-alive one, and additionally for idempotent GETs
+        such as ``/health`` and ``/stats``, whose replay cannot duplicate
+        work.  Timeouts are never retried.
 
         Raises
         ------
@@ -146,6 +152,7 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        idempotent = method.upper() == "GET"
         for attempt in (1, 2):
             reused = getattr(self._local, "connection", None) is not None
             connection = self._connection()
@@ -162,7 +169,7 @@ class ServiceClient:
                 ) from error
             except self._STALE_CONNECTION_ERRORS as error:
                 self.close()
-                if attempt == 2 or not reused:
+                if attempt == 2 or not (reused or idempotent):
                     raise ServiceError(
                         f"cannot reach the match service at {self._base_url}: {error}"
                     ) from error

@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, TYPE_CHECKING
 
 from repro.exceptions import ServiceError
 from repro.session.session import MatchSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.match_operation import MatchOutcome
 
 #: A callable building one worker session (one per shard).
 SessionFactory = Callable[[], MatchSession]
@@ -54,6 +57,10 @@ class SessionPool:
     >>> pool.size
     2
     """
+
+    #: The execution backend this pool implements; the process counterpart
+    #: (:class:`~repro.parallel.pool.ProcessSessionPool`) reports "process".
+    backend = "thread"
 
     def __init__(self, size: int = 4, session_factory: Optional[SessionFactory] = None):
         if size < 1:
@@ -95,21 +102,36 @@ class SessionPool:
                 self._free.append(index)
                 self._condition.notify()
 
+    def match(self, source, target, strategy=None) -> "MatchOutcome":
+        """Match one pair on an exclusively acquired shard.
+
+        This mirrors :meth:`ProcessSessionPool.match
+        <repro.parallel.pool.ProcessSessionPool.match>`, so the service layer
+        drives either backend through one interface.
+        """
+        with self.session() as session:
+            return session.match(source, target, strategy=strategy)
+
+    def match_many(self, items) -> List["MatchOutcome"]:
+        """Match a batch of ``(source, target[, strategy])`` tuples on one shard."""
+        with self.session() as session:
+            return session.match_many(items)
+
     def cache_info(self) -> Dict[str, object]:
         """Aggregated cache statistics over all shards.
 
         Returns
         -------
         dict
-            ``shards`` (the per-shard ``cache_info`` list) plus the summed
-            ``profiles`` / ``cubes`` / ``cube_hits`` / ``cube_misses`` /
-            ``store_hits`` / ``store_misses``.
+            ``backend`` plus ``shards`` (the per-shard ``cache_info`` list)
+            plus the summed ``profiles`` / ``cubes`` / ``cube_hits`` /
+            ``cube_misses`` / ``store_hits`` / ``store_misses``.
 
         Examples
         --------
         >>> info = SessionPool(size=2).cache_info()
-        >>> info["cube_hits"], info["store_hits"], len(info["shards"])
-        (0, 0, 2)
+        >>> info["backend"], info["cube_hits"], len(info["shards"])
+        ('thread', 0, 2)
         """
         shards = [session.cache_info() for session in self._sessions]
         totals = {
@@ -119,12 +141,17 @@ class SessionPool:
                 "store_hits", "store_misses",
             )
         }
-        return {"shards": shards, **totals}
+        return {"backend": self.backend, "shards": shards, **totals}
 
     def clear_caches(self) -> None:
         """Drop the caches of every shard."""
         for session in self._sessions:
             session.clear_caches()
+
+    def close(self) -> None:
+        """Close every shard (releasing session-owned persistent resources)."""
+        for session in self._sessions:
+            session.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SessionPool(size={self.size})"

@@ -1,8 +1,11 @@
 """The match service: COMA's session layer behind an HTTP boundary.
 
-A stdlib-only JSON API (``http.server.ThreadingHTTPServer``) wrapping a
-:class:`~repro.service.pool.SessionPool` of warm
-:class:`~repro.session.session.MatchSession` shards, so the session's
+A stdlib-only JSON API (``http.server.ThreadingHTTPServer``) wrapping a pool
+of warm :class:`~repro.session.session.MatchSession` workers -- in-process
+shards (:class:`~repro.service.pool.SessionPool`, the default ``thread``
+backend) or spawned worker processes
+(:class:`~repro.parallel.pool.ProcessSessionPool`, the ``process`` backend
+that scales warm throughput past the GIL) -- so the session's
 cross-operation caches (path profiles, similarity cubes) keep paying off
 across *network* requests, not just in-process calls.
 
@@ -68,8 +71,16 @@ class MatchService:
     Parameters
     ----------
     pool_size:
-        The number of warm worker sessions (one per expected concurrent
-        request).
+        The number of warm workers (one per expected concurrent request):
+        pooled sessions for the thread backend, worker processes for the
+        process backend.
+    backend:
+        ``"thread"`` (default) keeps every worker session in this process
+        behind a :class:`~repro.service.pool.SessionPool`; ``"process"``
+        spawns a :class:`~repro.parallel.pool.ProcessSessionPool` of worker
+        processes, so warm match throughput scales with the cores instead of
+        the GIL.  Results are byte-identical either way; see
+        ``docs/service.md`` for the selection guide.
     repository_path:
         Optional SQLite file backing the strategy registry (and the reuse
         matchers of every worker session).  Opened ``threadsafe=True`` and
@@ -104,12 +115,24 @@ class MatchService:
     def __init__(
         self,
         pool_size: int = 4,
+        backend: str = "thread",
         repository_path: Optional[str] = None,
         store_path: Optional[str] = None,
         importers: Optional[ImporterRegistry] = None,
         session_factory: Optional[SessionFactory] = None,
         default_strategy: Optional[str] = None,
     ):
+        if backend not in ("thread", "process"):
+            raise ServiceError(
+                f"unknown service backend {backend!r}: choose 'thread' or 'process'"
+            )
+        if backend == "process" and session_factory is not None:
+            raise ServiceError(
+                "session_factory only applies to the thread backend (process "
+                "workers build their sessions from primitive options in their "
+                "own interpreter)"
+            )
+        self._backend = backend
         self._repository = None
         if repository_path:
             from repro.repository.repository import Repository
@@ -120,17 +143,32 @@ class MatchService:
             from repro.repository.store import SimilarityStore
 
             self._store = SimilarityStore(store_path)
-        if session_factory is None:
-            repository = self._repository
-            store = self._store
+        if backend == "process":
+            from repro.matchers.registry import DEFAULT_LIBRARY
+            from repro.parallel.pool import ProcessSessionPool
 
-            def session_factory() -> MatchSession:
-                return MatchSession(
-                    repository=repository, store=store, strategy=default_strategy
-                )
+            # Workers open their own connections to the shared repository /
+            # store files; the parent-side handles above serve the strategy
+            # registry and the /stats occupancy numbers.
+            self._pool = ProcessSessionPool(
+                pool_size,
+                store_path=store_path,
+                repository_path=repository_path,
+                default_strategy=default_strategy,
+            )
+            self._library = DEFAULT_LIBRARY
+        else:
+            if session_factory is None:
+                repository = self._repository
+                store = self._store
 
-        self._pool = SessionPool(pool_size, session_factory)
-        self._library = self._pool.sessions[0].library
+                def session_factory() -> MatchSession:
+                    return MatchSession(
+                        repository=repository, store=store, strategy=default_strategy
+                    )
+
+            self._pool = SessionPool(pool_size, session_factory)
+            self._library = self._pool.sessions[0].library
         self._importers = importers if importers is not None else DEFAULT_IMPORTERS
         self._schemas: Dict[str, Schema] = {}
         self._strategies: Dict[str, MatchStrategy] = {}
@@ -141,9 +179,15 @@ class MatchService:
     # -- registries ------------------------------------------------------------
 
     @property
-    def pool(self) -> SessionPool:
-        """The underlying session pool."""
+    def pool(self):
+        """The underlying worker pool (:class:`~repro.service.pool.SessionPool`
+        or :class:`~repro.parallel.pool.ProcessSessionPool`)."""
         return self._pool
+
+    @property
+    def backend(self) -> str:
+        """The execution backend: ``"thread"`` or ``"process"``."""
+        return self._backend
 
     def schema(self, name: str) -> Schema:
         """The uploaded schema registered under ``name``.
@@ -302,6 +346,7 @@ class MatchService:
         return {
             "status": "ok",
             "service": f"coma-match-service/{__version__}",
+            "backend": self._backend,
             "pool_size": self._pool.size,
             "schemas": schema_count,
             "strategies": len(self.strategy_names()),
@@ -318,6 +363,7 @@ class MatchService:
             schema_count = len(self._schemas)
         return {
             "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "backend": self._backend,
             "schemas": schema_count,
             "strategies": len(self.strategy_names()),
             "requests": {"total": sum(requests.values()), "by_route": requests},
@@ -327,11 +373,15 @@ class MatchService:
         }
 
     def close(self) -> None:
-        """Release persistent resources (flushes the similarity store).
+        """Release the worker pool and persistent resources.  Idempotent.
 
-        Closing the store folds its process-local hit/miss counters into the
-        on-disk lifetime totals, which is what ``coma stats --store`` reads.
+        Process-backend workers are shut down (each flushes its own store
+        connection); closing the parent store folds its process-local
+        hit/miss counters into the on-disk lifetime totals, which is what
+        ``coma stats --store`` reads.
         """
+        if self._backend == "process":
+            self._pool.close()
         if self._store is not None:
             self._store.close()
 
@@ -440,8 +490,9 @@ class MatchService:
 
     def _match(self, payload: dict) -> dict:
         source, target, strategy, min_similarity = self._match_request(payload)
-        with self._pool.session() as session:
-            outcome = session.match(source, target, strategy=strategy)
+        # Both pool flavours expose the same match interface: the thread pool
+        # acquires one warm shard, the process pool one worker process.
+        outcome = self._pool.match(source, target, strategy=strategy)
         return self._outcome_payload(outcome, min_similarity)
 
     def _match_batch(self, payload: dict) -> dict:
@@ -466,8 +517,7 @@ class MatchService:
             )
             items.append((source, target, strategy if strategy is not None else default))
             thresholds.append(min_similarity)
-        with self._pool.session() as session:
-            outcomes = session.match_many(items)
+        outcomes = self._pool.match_many(items)
         return {
             "results": [
                 self._outcome_payload(outcome, threshold)
@@ -705,7 +755,8 @@ def serve(
     """Run the match service until interrupted (the ``coma serve`` entry point)."""
     server = create_server(host=host, port=port, verbose=verbose, **service_kwargs)
     print(f"coma match service listening on {server.url} "
-          f"(pool_size={server.service.pool.size}); Ctrl-C to stop")
+          f"(backend={server.service.backend}, "
+          f"workers={server.service.pool.size}); Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

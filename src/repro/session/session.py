@@ -77,6 +77,7 @@ from repro.model.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.evaluation.campaign import EvaluationCampaign
+    from repro.parallel.pool import ProcessSessionPool
     from repro.repository.repository import Repository
     from repro.repository.store import SimilarityStore
 
@@ -368,6 +369,29 @@ class MatchSession:
     def feedback(self) -> Optional[UserFeedbackStore]:
         """The session-wide user-feedback store, if configured."""
         return self._feedback
+
+    def config_digest(self) -> str:
+        """The content digest of the session's match configuration.
+
+        Covers the tokenizer (flags + abbreviations), the synonym dictionary,
+        the type-compatibility table and the matcher library registrations --
+        every input a similarity cube depends on besides the schemas.  Two
+        sessions (in any two processes) with equal digests produce
+        byte-identical cubes for identical schemas, which is what the
+        process fan-out (:meth:`match_many` with ``processes=``) checks
+        before dispatching work to its workers.
+
+        Examples
+        --------
+        >>> MatchSession().config_digest() == MatchSession().config_digest()
+        True
+        """
+        from repro.repository.store import match_config_digest
+
+        return match_config_digest(
+            self._tokenizer, self._synonyms, self._type_compatibility,
+            library=self._library,
+        )
 
     @property
     def default_strategy(self) -> MatchStrategy:
@@ -718,12 +742,24 @@ class MatchSession:
         self,
         requests: Iterable[MatchRequest],
         strategy: StrategyLike = None,
+        processes: Optional[int] = None,
+        process_pool: Optional["ProcessSessionPool"] = None,
     ) -> List[MatchOutcome]:
         """Run a batch of match operations, amortising the session caches.
 
         Path-set profiles are pre-built once per distinct schema, so an
         all-pairs fan-out (the Figure 8 campaign) derives each schema's
         profile exactly once for the whole batch.
+
+        With ``processes`` (or an existing ``process_pool``) the batch is
+        chunked across worker *processes* -- each owning a warm session of
+        its own, so matcher execution escapes this interpreter's GIL and
+        scales with the cores.  Results stay byte-identical to the serial
+        path (same mappings, same similarity bits); computed cubes are folded
+        back into this session's cube cache.  Requests whose strategy cannot
+        travel over the wire (matcher instances, reuse matchers,
+        ``UserFeedback``) and pairs whose cube is already cached run locally;
+        everything else is dispatched.
 
         Parameters
         ----------
@@ -733,6 +769,14 @@ class MatchSession:
             overrides the batch-level ``strategy`` argument.
         strategy:
             The batch-level default strategy reference.
+        processes:
+            Fan the batch out over this many spawned worker processes (the
+            pool lives for this one call; prefer ``process_pool`` when
+            issuing several batches).  Workers share the session's
+            persistent store file, when one is attached.
+        process_pool:
+            An existing :class:`~repro.parallel.pool.ProcessSessionPool` to
+            dispatch on (kept open afterwards).
 
         Returns
         -------
@@ -743,7 +787,10 @@ class MatchSession:
         Raises
         ------
         SessionError
-            If a request tuple has a length other than 2 or 3.
+            If a request tuple has a length other than 2 or 3, if both
+            ``processes`` and ``process_pool`` are given, or if the session's
+            configuration digest differs from the workers' (fanning out would
+            silently break byte-identity).
 
         Examples
         --------
@@ -770,6 +817,8 @@ class MatchSession:
                     f"match requests must be (source, target[, strategy]) tuples, "
                     f"got a tuple of length {len(request)}"
                 )
+        if processes is not None or process_pool is not None:
+            return self._match_many_processes(items, processes, process_pool)
         seen_schemas: set = set()
         for source, target, _ in items:
             for schema in (source, target):
@@ -780,6 +829,99 @@ class MatchSession:
             self.match(source, target, strategy=item_strategy)
             for source, target, item_strategy in items
         ]
+
+    def _process_spec(self, strategy: MatchStrategy) -> Optional[str]:
+        """The wire spec of a strategy, or ``None`` when it cannot fan out.
+
+        A strategy is process-executable when a worker resolving its spec
+        against the default library reproduces this session's execution
+        exactly: every matcher is referenced by name, none depends on state
+        outside the wire (reuse matchers read mutable mapping stores,
+        ``UserFeedback`` reads the feedback store), and the session itself
+        carries no feedback overrides.  This is deliberately the same
+        criterion as cube cacheability plus the feedback/library checks.
+        """
+        if self._feedback is not None or self._library is not DEFAULT_LIBRARY:
+            return None
+        names: List[str] = []
+        for reference in strategy.matchers:
+            if not isinstance(reference, str):
+                return None
+            names.append(reference)
+        try:
+            infos = [self._library.info(name) for name in names]
+        except UnknownMatcherError:
+            return None
+        for info in infos:
+            if info.kind not in _CACHEABLE_KINDS or info.name == "UserFeedback":
+                return None
+        return strategy.to_spec()
+
+    def _match_many_processes(
+        self,
+        items: List[Tuple[Schema, Schema, StrategyLike]],
+        processes: Optional[int],
+        process_pool: Optional["ProcessSessionPool"],
+    ) -> List[MatchOutcome]:
+        """Fan a normalised batch out across worker processes (see match_many)."""
+        from repro.parallel.pool import ProcessSessionPool
+
+        if processes is not None and process_pool is not None:
+            raise SessionError("pass either processes=N or process_pool=..., not both")
+        owned = None
+        if process_pool is None:
+            store_path = None
+            if self._store is not None and self._store.path != ":memory:":
+                store_path = self._store.path
+            repository_path = (
+                self._repository.path if self._repository is not None else None
+            )
+            owned = process_pool = ProcessSessionPool(
+                processes, store_path=store_path, repository_path=repository_path
+            )
+        try:
+            if process_pool.config_digest != self.config_digest():
+                raise SessionError(
+                    "the process pool's workers run a different match "
+                    "configuration than this session (tokenizer, synonyms, "
+                    "type table or library differ); fanning out would not be "
+                    "byte-identical to the serial path"
+                )
+            resolved = [
+                self.resolve_strategy(item_strategy) for _, _, item_strategy in items
+            ]
+            outcomes: List[Optional[MatchOutcome]] = [None] * len(items)
+            remote: List[int] = []
+            for index, ((source, target, _), active) in enumerate(zip(items, resolved)):
+                spec = self._process_spec(active)
+                key = (
+                    self._cube_key(source, target, active) if spec is not None else None
+                )
+                if spec is None or (key is not None and key in self._cube_cache):
+                    continue  # runs locally (not wire-able, or already cached)
+                remote.append(index)
+            remote_outcomes = process_pool.match_many(
+                [(items[i][0], items[i][1], resolved[i]) for i in remote],
+                context_factory=self.context_for,
+            )
+            for index, outcome in zip(remote, remote_outcomes):
+                key = self._cube_key(items[index][0], items[index][1], resolved[index])
+                if key is not None:
+                    # A worker execution is a cacheable execution this session
+                    # did not serve from its cube cache: it counts as a miss,
+                    # and the computed cube is folded back for later hits.
+                    with self._lock:
+                        self._cube_misses += 1
+                        self._cube_cache.setdefault(key, outcome.cube)
+                    self._trim_caches()
+                outcomes[index] = outcome
+            for index, (source, target, _) in enumerate(items):
+                if outcomes[index] is None:
+                    outcomes[index] = self.match(source, target, strategy=resolved[index])
+            return outcomes  # type: ignore[return-value]
+        finally:
+            if owned is not None:
+                owned.close()
 
     def schema_similarity(
         self, source: Schema, target: Schema, strategy: StrategyLike = None

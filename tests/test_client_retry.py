@@ -1,0 +1,202 @@
+"""Client resilience: retries across recycled keep-alive connections.
+
+The regression these tests lock down: a long-lived :class:`ServiceClient`
+whose server is killed and restarted mid-lifetime must transparently recover
+on idempotent GETs (``/health``, ``/stats``) -- including when the dropped
+connection was *fresh* (a restarting server resetting the first request) --
+while non-GET requests are never silently re-submitted on a fresh connection.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.figure1 import PO1_DDL, PO2_XSD
+from repro.exceptions import ServiceError
+from repro.service import ServiceClient, create_server
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _free_port() -> int:
+    with socket.create_server(("127.0.0.1", 0)) as listener:
+        return listener.getsockname()[1]
+
+
+def _spawn_server(port: int) -> subprocess.Popen:
+    """Run ``coma serve`` in a real child process (a killable server).
+
+    An in-process ``server_close()`` is not a faithful restart: the
+    threading server's daemon handler threads keep serving *established*
+    keep-alive connections, so the client's pooled connection would never go
+    stale.  Killing a child process drops every connection the way a real
+    restart does.
+    """
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = SRC_DIR + os.pathsep + environment.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", str(port), "--workers", "1", "--quiet",
+        ],
+        env=environment,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    probe = ServiceClient(f"http://127.0.0.1:{port}", timeout=5.0)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            if probe.health()["status"] == "ok":
+                probe.close()
+                return process
+        except ServiceError:
+            time.sleep(0.1)
+    process.kill()
+    raise RuntimeError(f"coma serve did not come up on port {port}")
+
+
+def _kill(process: subprocess.Popen) -> None:
+    process.kill()
+    process.wait(timeout=10)
+
+
+class TestRestartMidClientLifetime:
+    def test_idempotent_gets_survive_a_server_restart(self):
+        port = _free_port()
+        first = _spawn_server(port)
+        client = ServiceClient(f"http://127.0.0.1:{port}")
+        try:
+            assert client.health()["status"] == "ok"  # keep-alive established
+        finally:
+            _kill(first)
+
+        # The client's pooled connection is now stale: the next GET hits a
+        # recycled keep-alive socket the dead server dropped.  With a fresh
+        # server on the same port, one retry must recover transparently.
+        second = _spawn_server(port)
+        try:
+            assert client.health()["status"] == "ok"
+            assert client.stats()["requests"]["total"] >= 1
+            # Non-GET traffic also flows again (on the re-opened connection).
+            client.upload_schema(name="PO1", text=PO1_DDL, format="sql")
+            client.upload_schema(name="PO2", text=PO2_XSD, format="xsd")
+            assert client.match("PO1", "PO2")["correspondences"]
+        finally:
+            _kill(second)
+
+    def test_requests_fail_cleanly_when_the_server_stays_down(self):
+        port = _free_port()
+        server = _spawn_server(port)
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
+        assert client.health()["status"] == "ok"
+        _kill(server)
+        with pytest.raises(ServiceError):
+            client.health()  # one retry, then a clean error -- no hang
+
+
+class _ResetFirstConnectionProxy(threading.Thread):
+    """A TCP proxy that resets its first connection, then tunnels the rest.
+
+    This reproduces the restart race the retry exists for: the *first*
+    connection a client opens is dropped without a response (as a restarting
+    server does), while subsequent connections reach the real server.
+    """
+
+    def __init__(self, target_port: int):
+        super().__init__(daemon=True)
+        self._target_port = target_port
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._dropped_one = False
+        self._running = True
+
+    def run(self) -> None:
+        while self._running:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            if not self._dropped_one:
+                self._dropped_one = True
+                # RST instead of FIN, so the client sees ConnectionResetError
+                # (a FIN would surface as RemoteDisconnected -- also retried).
+                connection.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                )
+                connection.close()
+                continue
+            upstream = socket.create_connection(("127.0.0.1", self._target_port))
+            for source, sink in ((connection, upstream), (upstream, connection)):
+                threading.Thread(
+                    target=self._pump, args=(source, sink), daemon=True
+                ).start()
+
+    @staticmethod
+    def _pump(source: socket.socket, sink: socket.socket) -> None:
+        try:
+            while True:
+                data = source.recv(1 << 16)
+                if not data:
+                    break
+                sink.sendall(data)
+        except OSError:
+            pass
+        for endpoint in (source, sink):
+            try:
+                endpoint.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        self._running = False
+        self._listener.close()
+
+
+@pytest.fixture()
+def real_server():
+    server = create_server(port=0, pool_size=1)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=10)
+    server.server_close()
+
+
+class TestFreshConnectionSemantics:
+    def test_fresh_get_is_retried_once_after_a_reset(self, real_server):
+        proxy = _ResetFirstConnectionProxy(real_server.server_address[1])
+        proxy.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{proxy.port}")
+            # The very first connection this client ever opens is reset; the
+            # idempotent GET must be replayed on a new connection.
+            assert client.health()["status"] == "ok"
+        finally:
+            proxy.stop()
+
+    def test_fresh_post_is_not_silently_replayed(self, real_server):
+        proxy = _ResetFirstConnectionProxy(real_server.server_address[1])
+        proxy.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{proxy.port}")
+            with pytest.raises(ServiceError):
+                # A POST on a fresh connection must surface the failure: the
+                # server may have received (and be executing) the request.
+                client.upload_schema(
+                    name="PO1", text=PO1_DDL, format="sql"
+                )
+            # The transport itself is fine -- the next call simply works.
+            assert client.health()["status"] == "ok"
+        finally:
+            proxy.stop()

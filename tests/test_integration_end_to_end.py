@@ -129,8 +129,12 @@ class TestLibraryExtensibility:
             def compute(self, source_paths, target_paths, context):
                 return SimilarityMatrix.filled(source_paths, target_paths, 0.6)
 
-        library = DEFAULT_LIBRARY
-        if "Constant" not in library:
-            library.register("Constant", ConstantMatcher, kind="simple")
-        outcome = match(po1, po2, matchers=["Constant", "NamePath"])
+        # Register on a private copy: mutating the process-wide DEFAULT_LIBRARY
+        # would leak into every later test (and make the parent process digest
+        # differently from freshly spawned match workers).
+        from repro.matchers.registry import default_library
+
+        library = default_library()
+        library.register("Constant", ConstantMatcher, kind="simple")
+        outcome = match(po1, po2, matchers=["Constant", "NamePath"], library=library)
         assert "Constant" in outcome.cube.matcher_names

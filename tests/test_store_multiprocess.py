@@ -1,0 +1,139 @@
+"""Multi-process SimilarityStore stress: concurrent writers, no lost writes.
+
+Every worker of ``coma serve --backend process`` opens its own connection to
+one shared store file, so the store must survive concurrent cross-process
+readers and writers: no ``sqlite3.OperationalError`` may escape its public
+API, no committed write may be lost, and the lifetime hit/miss counters each
+process folds in at close must sum exactly.  This is what the WAL +
+busy-timeout configuration in :class:`~repro.repository.store.SimilarityStore`
+exists for; a child that trips a locking error crashes and leaves no result
+file, which the parent reports.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+
+WORKERS = 4
+OPS = 25
+#: Number of distinct keys the workers deliberately collide on.
+SHARED_KEYS = 7
+
+
+def _stress_schema():
+    from repro.model.builder import SchemaBuilder
+
+    builder = SchemaBuilder("Stress")
+    with builder.inner("Section"):
+        for index in range(12):
+            builder.leaf(f"Leaf{index}", "varchar(10)")
+    return builder.build()
+
+
+def _stress_cube(paths):
+    from repro.combination.cube import SimilarityCube
+    from repro.combination.matrix import SimilarityMatrix
+
+    count = len(paths)
+    values = np.linspace(0.0, 1.0, count * count).reshape(count, count)
+    return SimilarityCube.from_layers(
+        paths,
+        paths,
+        [
+            ("Name", SimilarityMatrix(paths, paths, values)),
+            ("Leaves", SimilarityMatrix(paths, paths, values[::-1])),
+        ],
+    )
+
+
+def stress_worker(store_path: str, index: int, result_path: str) -> None:
+    """One writer/reader process; crashes (no result file) on any store error."""
+    from repro.repository.store import SimilarityStore
+
+    schema = _stress_schema()
+    paths = schema.paths()
+    cube = _stress_cube(paths)
+    store = SimilarityStore(store_path)
+    try:
+        for op in range(OPS):
+            # Own key, contended shared key, token rows -- all synchronous
+            # writes, so every iteration exercises the cross-process write
+            # lock directly (the background writer would hide contention).
+            store.store_cube(f"own-{index}-{op}", cube, "sd", "td", ["Name"], "cfg")
+            store.store_cube(
+                f"shared-{op % SHARED_KEYS}", cube, "sd", "td", ["Name"], "cfg"
+            )
+            store.store_tokens(
+                "cfg",
+                [
+                    (f"name-{index}-{op}", ("alpha", "beta")),
+                    (f"shared-{op % SHARED_KEYS}", ("gamma",)),
+                ],
+            )
+            loaded = store.load_cube(f"own-{index}-{op}", paths, paths)
+            assert loaded is not None, "a committed write was lost"
+            assert loaded.as_array().tobytes() == cube.as_array().tobytes()
+            assert store.load_cube(f"missing-{index}-{op}", paths, paths) is None
+        info = store.info()
+        with open(result_path, "w") as handle:
+            json.dump({"hits": info["hits"], "misses": info["misses"]}, handle)
+    finally:
+        store.close()
+
+
+def test_concurrent_processes_share_one_store(tmp_path):
+    store_path = str(tmp_path / "stress-store.db")
+    context = multiprocessing.get_context("spawn")
+    result_paths = [str(tmp_path / f"result-{index}.json") for index in range(WORKERS)]
+    processes = [
+        context.Process(
+            target=stress_worker, args=(store_path, index, result_paths[index])
+        )
+        for index in range(WORKERS)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=180)
+    for index, process in enumerate(processes):
+        assert process.exitcode == 0, (
+            f"stress worker {index} crashed (exit {process.exitcode}): a store "
+            f"error escaped under cross-process contention"
+        )
+        assert os.path.exists(result_paths[index])
+
+    results = [json.load(open(path)) for path in result_paths]
+    # Every worker's own loads all hit and all probe loads missed.
+    assert all(result["hits"] == OPS for result in results)
+    assert all(result["misses"] == OPS for result in results)
+
+    from repro.repository.store import SimilarityStore
+
+    with SimilarityStore(store_path, writer=False) as store:
+        # No lost writes: all per-worker keys plus the contended shared keys.
+        assert store.cube_count() == WORKERS * OPS + SHARED_KEYS
+        assert store.token_count() == WORKERS * OPS + SHARED_KEYS
+        info = store.info()
+    # The lifetime counters folded in at close sum exactly across processes.
+    assert info["lifetime_hits"] == sum(result["hits"] for result in results)
+    assert info["lifetime_misses"] == sum(result["misses"] for result in results)
+
+
+def test_wal_mode_is_active_on_file_stores(tmp_path):
+    import sqlite3
+
+    from repro.repository.store import SimilarityStore
+
+    store_path = str(tmp_path / "wal-store.db")
+    with SimilarityStore(store_path, writer=False) as store:
+        assert store.cube_count() == 0
+    connection = sqlite3.connect(store_path)
+    try:
+        mode = connection.execute("PRAGMA journal_mode").fetchone()[0]
+    finally:
+        connection.close()
+    assert mode.lower() == "wal"
