@@ -20,9 +20,14 @@ Two secondary measurements ride along:
 
 * the **kernel memo pool** hit rate of each child (cross-schema string-kernel
   dedup within one process);
-* a micro-benchmark of the vectorized batch Levenshtein
-  (:func:`~repro.matchers.string.edit_distance.levenshtein_distance_many`)
-  against the scalar DP on the campaign's unique name-pair set.
+* a **kernel sweep** of :func:`~repro.matchers.string.edit_distance
+  .levenshtein_distance_many` on the campaign's unique name-pair set: the
+  scalar DP loop vs. the padded batch DP (``kernel="dp"``) vs. the default
+  Myers bit-parallel ladder (gated >= 2x over the batch DP);
+* a **store-dtype sweep**: the campaign persisted under ``float64`` /
+  ``float32`` / quantized ``uint16`` cube storage, recording payload bytes
+  and the reloaded warm mapping digests (gated: ``uint16`` stores at most
+  30% of the ``float64`` payload bytes).
 
 Results are recorded in ``BENCH_reuse.json`` at the repository root.
 
@@ -85,13 +90,13 @@ def _campaign_pairs():
     ]
 
 
-def run_child(store_path: str | None) -> dict:
+def run_child(store_path: str | None, store_dtype: str | None = None) -> dict:
     """Run the all-pairs campaign once in *this* process and report on it."""
     from repro.matchers.memo import DEFAULT_MEMO_POOL
     from repro.session import MatchSession
 
     schemas, work = _campaign_pairs()
-    session = MatchSession(store=store_path)
+    session = MatchSession(store=store_path, store_dtype=store_dtype)
     started = time.perf_counter()
     outcomes = session.match_many(work)
     seconds = time.perf_counter() - started
@@ -116,7 +121,7 @@ def run_child(store_path: str | None) -> dict:
 # -- the parent: orchestrate real process restarts -------------------------------
 
 
-def _spawn(store_path: str | None) -> dict:
+def _spawn(store_path: str | None, store_dtype: str | None = None) -> dict:
     environment = dict(os.environ)
     environment["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else ""
@@ -124,6 +129,8 @@ def _spawn(store_path: str | None) -> dict:
     command = [sys.executable, str(Path(__file__).resolve()), "--child"]
     if store_path is not None:
         command.append(store_path)
+        if store_dtype is not None:
+            command.append(store_dtype)
     completed = subprocess.run(
         command, capture_output=True, text=True, env=environment, check=False
     )
@@ -143,10 +150,11 @@ def _best_child(store_path: str | None, repeats: int = REPEATS) -> dict:
     return best
 
 
-def _bench_levenshtein_kernel() -> dict:
-    """Scalar DP loop vs. the numpy batch kernel on the campaign's name pairs."""
+def _bench_levenshtein_kernels() -> dict:
+    """Kernel sweep on the campaign's name pairs: scalar DP loop vs. the
+    padded batch DP (``kernel="dp"``) vs. the Myers bit-parallel default."""
     from repro.matchers.string.edit_distance import (
-        levenshtein_distance,
+        levenshtein_distance_dp,
         levenshtein_distance_many,
     )
 
@@ -154,23 +162,97 @@ def _bench_levenshtein_kernel() -> dict:
     names = sorted({path.name.lower() for schema in schemas for path in schema.paths()})
     pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
 
-    started = time.perf_counter()
-    scalar = [levenshtein_distance(a, b) for a, b in pairs]
-    scalar_seconds = time.perf_counter() - started
+    def best_of(function, repeats: int = 3):
+        seconds, result = None, None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = function()
+            elapsed = time.perf_counter() - started
+            seconds = elapsed if seconds is None else min(seconds, elapsed)
+        return seconds, result
 
-    started = time.perf_counter()
-    batch = levenshtein_distance_many(pairs)
-    batch_seconds = time.perf_counter() - started
+    scalar_seconds, scalar = best_of(
+        lambda: [levenshtein_distance_dp(a, b) for a, b in pairs], repeats=1
+    )
+    dp_seconds, dp_batch = best_of(
+        lambda: levenshtein_distance_many(pairs, kernel="dp")
+    )
+    bit_seconds, bit_batch = best_of(lambda: levenshtein_distance_many(pairs))
 
-    if batch.tolist() != scalar:
-        raise AssertionError("batch Levenshtein disagrees with the scalar DP")
+    if dp_batch.tolist() != scalar:
+        raise AssertionError("batch-DP Levenshtein disagrees with the scalar DP")
+    if bit_batch.tolist() != scalar:
+        raise AssertionError("bit-parallel Levenshtein disagrees with the scalar DP")
     return {
         "unique_names": len(names),
         "pairs": len(pairs),
-        "scalar_seconds": round(scalar_seconds, 4),
-        "batch_seconds": round(batch_seconds, 4),
-        "speedup": round(scalar_seconds / batch_seconds, 2),
+        "scalar_dp_seconds": round(scalar_seconds, 4),
+        "batch_dp_seconds": round(dp_seconds, 4),
+        "bitparallel_seconds": round(bit_seconds, 4),
+        "speedup_batch_dp_vs_scalar": round(scalar_seconds / dp_seconds, 2),
+        "speedup_bitparallel_vs_scalar": round(scalar_seconds / bit_seconds, 2),
+        "speedup_bitparallel_vs_batch_dp": round(dp_seconds / bit_seconds, 2),
     }
+
+
+def _store_disk_bytes(store_path: str) -> int:
+    """The store's total on-disk footprint: db + WAL + external side files."""
+    total = 0
+    for candidate in (store_path, store_path + "-wal", store_path + "-shm"):
+        if os.path.exists(candidate):
+            total += os.path.getsize(candidate)
+    blobs = store_path + ".blobs"
+    if os.path.isdir(blobs):
+        total += sum(
+            os.path.getsize(os.path.join(blobs, name)) for name in os.listdir(blobs)
+        )
+    return total
+
+
+def _bench_store_dtypes(float64_store_path: str, float64_warm: dict) -> dict:
+    """The campaign persisted under each cube storage dtype.
+
+    The ``float64`` entry reuses the main run's populated store and warm
+    child; the compact tiers each populate a fresh store in one child and
+    reload it in another, so the recorded warm digests really cross a
+    process restart.
+    """
+    from repro.repository.store import SimilarityStore
+
+    sweep = {}
+    for dtype in ("float64", "float32", "uint16"):
+        if dtype == "float64":
+            path, warm = float64_store_path, float64_warm
+        else:
+            path = os.path.join(
+                tempfile.mkdtemp(prefix=f"coma-bench-store-{dtype}-"), "store.db"
+            )
+            _spawn(path, dtype)  # populate
+            warm = _spawn(path, dtype)
+        with SimilarityStore(path, writer=False) as store:
+            info = store.info()
+        cache = warm["session_cache"]
+        if cache["store_hits"] != warm["operations"] or cache["store_misses"]:
+            raise AssertionError(
+                f"{dtype} warm child was not fully served from the store: {cache}"
+            )
+        sweep[dtype] = {
+            "cube_payload_bytes": info["cube_bytes"],
+            "store_disk_bytes": _store_disk_bytes(path),
+            "cubes": info["cubes"],
+            "warm_mapping_digest": warm["mapping_digest"],
+        }
+    for dtype in ("float32", "uint16"):
+        sweep[dtype]["matches_float64_mapping"] = (
+            sweep[dtype]["warm_mapping_digest"]
+            == sweep["float64"]["warm_mapping_digest"]
+        )
+        sweep[dtype]["payload_ratio_vs_float64"] = round(
+            sweep[dtype]["cube_payload_bytes"]
+            / sweep["float64"]["cube_payload_bytes"],
+            4,
+        )
+    return sweep
 
 
 def collect_results() -> dict:
@@ -205,7 +287,8 @@ def collect_results() -> dict:
         "store_bytes": store_size,
         "warm_session_cache": warm["session_cache"],
         "cold_kernel_memo": cold["kernel_memo"],
-        "levenshtein_kernel": _bench_levenshtein_kernel(),
+        "levenshtein_kernels": _bench_levenshtein_kernels(),
+        "store_dtypes": _bench_store_dtypes(store_path, warm),
     }
 
 
@@ -227,12 +310,22 @@ def _print_results(results: dict) -> None:
     rate = memo["hits"] / lookups if lookups else 0.0
     print(f"kernel memo (cold process): {memo['hits']} hits / {lookups} lookups "
           f"({rate:.1%}), {memo['entries']} entries")
-    kernel = results["levenshtein_kernel"]
+    kernels = results["levenshtein_kernels"]
     print(
-        f"batch Levenshtein: {kernel['pairs']} unique pairs, "
-        f"scalar {kernel['scalar_seconds']:.3f}s vs batch "
-        f"{kernel['batch_seconds']:.3f}s ({kernel['speedup']:.1f}x)"
+        f"Levenshtein kernels on {kernels['pairs']} unique pairs: "
+        f"scalar DP {kernels['scalar_dp_seconds']:.3f}s, "
+        f"batch DP {kernels['batch_dp_seconds']:.3f}s, "
+        f"bit-parallel {kernels['bitparallel_seconds']:.3f}s "
+        f"({kernels['speedup_bitparallel_vs_batch_dp']:.1f}x over batch DP, "
+        f"{kernels['speedup_bitparallel_vs_scalar']:.1f}x over scalar)"
     )
+    for dtype, entry in results["store_dtypes"].items():
+        ratio = entry.get("payload_ratio_vs_float64")
+        suffix = f", {ratio:.0%} of float64" if ratio is not None else ""
+        print(
+            f"store dtype {dtype}: {entry['cube_payload_bytes'] / 1e6:.2f} MB "
+            f"cube payload over {entry['cubes']} cubes{suffix}"
+        )
 
 
 def test_persistent_reuse_speedup():
@@ -246,14 +339,22 @@ def test_persistent_reuse_speedup():
     # every pair was served from the store, none executed matchers
     cache = results["warm_session_cache"]
     assert cache["store_hits"] == results["operations"] and cache["store_misses"] == 0
-    # the vectorized Levenshtein kernel must beat the scalar loop
-    assert results["levenshtein_kernel"]["speedup"] > 1.0
+    # the kernel ladder: bit-parallel >= 2x over the padded batch DP (and
+    # both leave the scalar loop far behind)
+    kernels = results["levenshtein_kernels"]
+    assert kernels["speedup_bitparallel_vs_batch_dp"] >= 2.0, kernels
+    assert kernels["speedup_bitparallel_vs_scalar"] > 1.0, kernels
+    # the quantized store tier stores at most 30% of the float64 payload
+    sweep = results["store_dtypes"]
+    assert sweep["uint16"]["payload_ratio_vs_float64"] <= 0.30, sweep
+    assert sweep["float32"]["payload_ratio_vs_float64"] <= 0.55, sweep
 
 
 if __name__ == "__main__":
     if len(sys.argv) > 1 and sys.argv[1] == "--child":
         child_store = sys.argv[2] if len(sys.argv) > 2 else None
-        print(json.dumps(run_child(child_store)))
+        child_dtype = sys.argv[3] if len(sys.argv) > 3 else None
+        print(json.dumps(run_child(child_store, child_dtype)))
     else:
         collected = collect_results()
         destination = write_results(collected)

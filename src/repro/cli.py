@@ -16,6 +16,7 @@ Usage examples::
     coma serve --backend process --workers 4  # worker processes: warm throughput
                                               # scales with the cores, not the GIL
     coma serve --store coma-store.db      # ... warm across restarts (persistent reuse)
+    coma serve --store coma-store.db --store-dtype uint16  # quantized cube storage
 
 The CLI is intentionally thin: everything it does is a few calls into the
 session-based public API, so it doubles as a usage example.  ``--strategy``
@@ -120,6 +121,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="persistent similarity store shared by all worker "
                                    "sessions: a restarted service stays warm across "
                                    "processes (see docs/service.md)")
+    serve_parser.add_argument("--store-dtype", default=None,
+                              choices=("float64", "float32", "uint16"),
+                              help="storage dtype for cubes the store writes: "
+                                   "float64 (default; bit-identical round trips), "
+                                   "float32, or quantized uint16 (quarter the "
+                                   "bytes at a ~1e-5 tolerance); requires --store")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="do not log request lines to stderr")
     return parser
@@ -283,6 +290,20 @@ def _print_reuse_stats(store_path: str) -> None:
         "hit_rate": round(hit_rate, 3),
     }]
     print(format_table(store_rows, title=f"Persistent similarity store ({info['path']})"))
+    dtype_rows = [
+        {
+            "dtype": name,
+            "cubes": entry["cubes"],
+            "bytes": entry["bytes"],
+            "mmap_files": entry["external"],
+        }
+        for name, entry in sorted(info.get("cube_dtypes", {}).items())
+    ]
+    if dtype_rows:
+        print()
+        print(format_table(
+            dtype_rows, title="Cube payload bytes by storage dtype"
+        ))
     memo = DEFAULT_MEMO_POOL.info()
     print()
     if memo["hits"] or memo["misses"]:
@@ -311,6 +332,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             f"unknown --backend {arguments.backend!r}: choose 'thread' "
             f"(one process, pooled sessions) or 'process' (worker processes)"
         )
+    if arguments.store_dtype is not None and not arguments.store:
+        raise ComaError("--store-dtype requires --store <file>")
 
     from repro.service.server import serve
 
@@ -322,6 +345,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         backend=arguments.backend,
         repository_path=arguments.repository,
         store_path=arguments.store,
+        store_dtype=arguments.store_dtype,
     )
     return 0
 

@@ -6,28 +6,37 @@ transform one string to another one (the Levenshtein metric)."
 The similarity is ``1 - distance / max(len(a), len(b))`` so that identical
 strings score 1.0 and completely different strings of equal length score 0.0.
 
-Two kernels implement the metric:
+Three kernels implement the metric:
 
-* :func:`levenshtein_distance` -- the classic two-row dynamic program
-  (O(len(a) * len(b)) time, O(min) space), kept as the scalar reference.  It
-  accepts an optional ``upper_bound``: when the length-difference lower bound
-  ``abs(len(a) - len(b))`` already reaches the bound, the DP is skipped
+* :func:`levenshtein_distance` -- the scalar entry point, backed by Myers'
+  bit-parallel recurrence (:func:`repro.matchers.string.bitparallel
+  .myers_distance`): Python's arbitrary-precision integers hold the whole
+  pattern in one bit vector, so each text character costs a handful of
+  integer operations instead of an ``O(m)`` row sweep.  It accepts an
+  optional ``upper_bound``: when the length-difference lower bound
+  ``abs(len(a) - len(b))`` already reaches the bound, the kernel is skipped
   entirely and the lower bound is returned (callers that map distances at or
   beyond the bound to a fixed outcome -- e.g. similarity clamped to 0 -- lose
   nothing).
-* :func:`levenshtein_distance_many` -- a numpy batch DP over padded code-point
-  arrays that advances the DP rows of *all* pairs simultaneously.  The inner
-  (insertion) recurrence is resolved with a vectorized prefix-scan, so the
-  Python-level loop runs ``max(len)`` times instead of
-  ``pairs * len(a) * len(b)`` times.  Equal and empty pairs (the cases the
-  length-difference bound decides outright) never enter the DP.
+* :func:`levenshtein_distance_many` -- the batch entry point.  Pairs whose
+  shorter string fits the bit-parallel ladder (up to
+  :data:`~repro.matchers.string.bitparallel.MAX_PATTERN_LENGTH` code points)
+  run through the vectorized Myers kernel
+  (:func:`repro.matchers.string.bitparallel.distances_into`), which advances
+  64 pattern positions per uint64 word per step; degenerate shapes fall back
+  to the padded numpy batch DP (:func:`_batch_dp`), whose inner recurrence is
+  a vectorized prefix-scan.  Equal and empty pairs (the cases the
+  length-difference bound decides outright) never enter either kernel.
+* :func:`levenshtein_distance_dp` -- the classic two-row dynamic program
+  (O(len(a) * len(b)) time, O(min) space), kept as the independent scalar
+  reference the fuzz suites compare everything against.
 
 :class:`EditDistanceMatcher` normalises case once per *unique* string (not
 once per pair), batches all unique pairs through the vectorized kernel, and
 shares results process-wide through the kernel memo pool
-(:mod:`repro.matchers.memo`).  Both kernels are exact; the fuzz suite in
+(:mod:`repro.matchers.memo`).  All kernels are exact; the fuzz suite in
 ``tests/test_levenshtein_batch.py`` asserts they agree on arbitrary unicode
-input.
+input, with zero tolerance.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.matchers.base import StringMatcher
+from repro.matchers.string import bitparallel
 
 
 def levenshtein_distance(a: str, b: str, upper_bound: Optional[int] = None) -> int:
@@ -48,7 +58,7 @@ def levenshtein_distance(a: str, b: str, upper_bound: Optional[int] = None) -> i
         The strings to compare.
     upper_bound:
         When given, and the length-difference lower bound
-        ``abs(len(a) - len(b))`` is already at or beyond it, the DP is
+        ``abs(len(a) - len(b))`` is already at or beyond it, the kernel is
         skipped and that lower bound is returned.  The result is then only
         guaranteed to be ``>= upper_bound`` (and ``<= `` the true distance),
         which is exactly what similarity computations clamping at a bound
@@ -65,8 +75,26 @@ def levenshtein_distance(a: str, b: str, upper_bound: Optional[int] = None) -> i
         return 0
     length_bound = abs(len(a) - len(b))
     if upper_bound is not None and length_bound >= upper_bound:
-        # The DP cannot come in below the length difference; skip it.
+        # The distance cannot come in below the length difference; skip.
         return length_bound
+    return bitparallel.myers_distance(a, b)
+
+
+def levenshtein_distance_dp(a: str, b: str) -> int:
+    """The classic two-row dynamic program, kept as the scalar reference.
+
+    The production paths run Myers' bit-parallel recurrence
+    (:func:`levenshtein_distance`, :func:`levenshtein_distance_many`); this
+    independent implementation is what the fuzz/differential suites compare
+    them against, so it must stay the straightforward textbook DP.
+
+    Examples
+    --------
+    >>> levenshtein_distance_dp("kitten", "sitting")
+    3
+    """
+    if a == b:
+        return 0
     if not a:
         return len(b)
     if not b:
@@ -96,31 +124,41 @@ def levenshtein_distance(a: str, b: str, upper_bound: Optional[int] = None) -> i
 _BATCH_CELL_BUDGET = 2_000_000
 
 
-def levenshtein_distance_many(pairs: Sequence[Tuple[str, str]]) -> np.ndarray:
+def levenshtein_distance_many(
+    pairs: Sequence[Tuple[str, str]], kernel: str = "auto"
+) -> np.ndarray:
     """Exact Levenshtein distances of many string pairs, computed in one batch.
 
-    All pairs advance their DP rows simultaneously over padded code-point
-    arrays: one Python-level iteration per character of the longest string,
-    with every array operation spanning all still-active pairs.  The
-    insertion recurrence (``current[j] = min(current[j], current[j-1] + 1)``)
-    is a running minimum of ``candidate[k] + (j - k)`` over ``k <= j`` and is
-    resolved with ``np.minimum.accumulate`` on ``candidate - j`` -- no inner
-    Python loop.
+    Pairs whose shorter string fits the bit-parallel ladder (at most
+    :data:`~repro.matchers.string.bitparallel.MAX_PATTERN_LENGTH` code
+    points -- effectively every schema element name) run through the
+    vectorized Myers kernel: 64 pattern positions per uint64 word, one
+    Python-level step per text character, every word operation spanning the
+    whole batch.  Degenerate shapes fall back to the padded batch DP
+    (:func:`_batch_dp`), whose insertion recurrence is resolved with
+    ``np.minimum.accumulate`` -- also without an inner Python loop.
 
-    Pairs decided by the length-difference lower bound without any DP (equal
-    strings, one side empty) are short-circuited and never enter the batch,
-    and very large batches are processed in bounded-memory chunks (the
-    scalar loop this replaces ran in O(1) memory; the batch stays within a
-    fixed working-set budget however many pairs arrive).
+    Pairs decided by the length-difference lower bound without any kernel
+    work (equal strings, one side empty) are short-circuited, and large
+    batches are processed in bounded-memory chunks (the scalar loop this
+    replaces ran in O(1) memory; the batch stays within a fixed working-set
+    budget however many pairs arrive).
+
+    ``kernel`` selects the implementation: ``"auto"`` (default) dispatches
+    as above; ``"dp"`` forces every pair through the batch DP -- the knob the
+    benchmark sweep and the differential tests use to compare kernels.
 
     Examples
     --------
     >>> levenshtein_distance_many([("kitten", "sitting"), ("", "abc"), ("x", "x")])
     array([3, 3, 0])
     """
+    if kernel not in ("auto", "dp"):
+        raise ValueError(f"unknown kernel {kernel!r}, expected 'auto' or 'dp'")
     count = len(pairs)
     distances = np.zeros(count, dtype=np.intp)
-    active_indices: List[int] = []
+    bit_eligible: List[int] = []
+    dp_indices: List[int] = []
     for index, (a, b) in enumerate(pairs):
         if a == b:
             continue  # distance 0
@@ -128,23 +166,28 @@ def levenshtein_distance_many(pairs: Sequence[Tuple[str, str]]) -> np.ndarray:
             # Length-difference bound is tight here: distance == abs diff.
             distances[index] = abs(len(a) - len(b))
             continue
-        active_indices.append(index)
-    if not active_indices:
+        if kernel == "auto" and min(len(a), len(b)) <= bitparallel.MAX_PATTERN_LENGTH:
+            bit_eligible.append(index)
+        else:
+            dp_indices.append(index)
+    if bit_eligible:
+        bitparallel.distances_into(pairs, bit_eligible, distances)
+    if not dp_indices:
         return distances
     # Budget per pair: a handful of (max_inner + 1)-wide DP rows plus one
     # max_outer-wide code row, so one very long string on either side cannot
     # blow the chunk's working set.
     widest_inner = 0
     widest_outer = 0
-    for index in active_indices:
+    for index in dp_indices:
         a, b = pairs[index]
         shorter, longer = sorted((len(a), len(b)))
         widest_inner = max(widest_inner, shorter)
         widest_outer = max(widest_outer, longer)
     per_pair_cells = 4 * (widest_inner + 1) + widest_outer
     chunk_size = max(256, _BATCH_CELL_BUDGET // per_pair_cells)
-    for start in range(0, len(active_indices), chunk_size):
-        _batch_dp(pairs, active_indices[start : start + chunk_size], distances)
+    for start in range(0, len(dp_indices), chunk_size):
+        _batch_dp(pairs, dp_indices[start : start + chunk_size], distances)
     return distances
 
 

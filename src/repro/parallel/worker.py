@@ -62,11 +62,19 @@ def _build_session(options: Dict[str, object]):
     return MatchSession(
         repository=repository,
         store=options.get("store_path") or None,
+        store_dtype=options.get("store_dtype") or None,
         strategy=options.get("default_strategy") or None,
     )
 
 
-def _handle_match(session, schemas: "OrderedDict", header, buffers, bound: int):
+def _handle_match(
+    session,
+    schemas: "OrderedDict",
+    header,
+    buffers,
+    bound: int,
+    wire_dtype: str = "float64",
+):
     """Execute one ``match`` request; returns ``(reply bytes, pairs matched)``."""
     pairs = header["pairs"]
     needed = {str(pair[side]) for pair in pairs for side in ("source", "target")}
@@ -96,7 +104,7 @@ def _handle_match(session, schemas: "OrderedDict", header, buffers, bound: int):
         outcomes.append(
             session.match(source, target, strategy=pair.get("strategy") or None)
         )
-    return codec.encode_outcomes(outcomes), len(outcomes)
+    return codec.encode_outcomes(outcomes, cube_dtype=wire_dtype), len(outcomes)
 
 
 def worker_main(connection, options: Dict[str, object]) -> None:
@@ -104,6 +112,7 @@ def worker_main(connection, options: Dict[str, object]) -> None:
     session = _build_session(options)
     schemas: "OrderedDict[str, object]" = OrderedDict()
     bound = int(options.get("schema_cache_bound") or SCHEMA_CACHE_BOUND)
+    wire_dtype = str(options.get("wire_dtype") or "float64")
     requests = 0
     connection.send_bytes(
         codec.encode_frame(
@@ -132,7 +141,7 @@ def worker_main(connection, options: Dict[str, object]) -> None:
                     # Counted on execution only: an unknown-schema reply (and
                     # its replay) must not inflate the per-worker numbers.
                     reply, matched = _handle_match(
-                        session, schemas, header, buffers, bound
+                        session, schemas, header, buffers, bound, wire_dtype
                     )
                     requests += matched
                 elif kind == "stats":

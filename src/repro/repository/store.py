@@ -7,12 +7,24 @@ match tasks start from work already done.  The in-process session caches
 restarts.  A :class:`SimilarityStore` is a small SQLite database holding
 
 * **similarity cubes** -- the matcher-specific ``k x m x n`` layers of a match
-  execution, stored as raw ``float64`` arrays so a reloaded cube is
-  bit-identical to the computed one (mappings derived from it are therefore
-  byte-identical to the uncached path);
+  execution, stored under an explicit **layer-dtype contract**: ``float64``
+  (the default) keeps a reloaded cube bit-identical to the computed one
+  (mappings derived from it are therefore byte-identical to the uncached
+  path), while ``float32`` and quantized ``uint16`` (similarities live in
+  ``[0, 1]``; scale :data:`UINT16_SCALE`, maximum absolute round-trip error
+  :data:`UINT16_MAX_ERROR`) trade that byte-identity for 2x / 4x smaller
+  blobs.  Every blob carries a versioned header recording its dtype, so one
+  store file remains readable whatever dtype later sessions configure;
 * **token artifacts** -- the name -> token-list memo feeding
   :class:`~repro.engine.profiles.PathSetProfile`, so a fresh process skips
   re-tokenizing names it has seen in any earlier run.
+
+Stacks at or above the store's ``mmap_threshold`` move out of SQLite into a
+side file next to the database (``<path>.blobs/<key>.cube``) and are read
+back through ``np.memmap`` in copy-on-write mode: pages fault in lazily, and
+the mapped array is writable without touching the file.  Inline blobs are
+copied into a writable buffer at the load boundary, so every loaded cube --
+whatever its tier -- can be mutated in place by downstream code.
 
 Everything is **content-addressed**: cube keys are SHA-256 digests of
 ``(source schema content, target schema content, matcher usage, linguistic
@@ -33,8 +45,10 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import os
 import queue
 import sqlite3
+import struct
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -54,8 +68,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.model.path import SchemaPath
 
 #: Bump when the stored representation changes; part of every digest, so old
-#: stores age out instead of being misread.
-STORE_FORMAT_VERSION = 1
+#: stores age out instead of being misread.  Version 2 introduced the
+#: per-blob dtype header and the external (mmap) blob tier.
+STORE_FORMAT_VERSION = 2
+
+#: The cube storage dtypes a store accepts, smallest-loss first.
+CUBE_DTYPES = ("float64", "float32", "uint16")
+
+#: Quantization scale of the ``uint16`` tier (similarities live in [0, 1]).
+UINT16_SCALE = 65535
+
+#: Maximum absolute error of a ``uint16`` round trip: half a quantization
+#: step, ``1 / 131070`` (~7.63e-6) -- comfortably inside the 1e-4 tolerance
+#: the compact tiers are tested against.
+UINT16_MAX_ERROR = 1.0 / (2 * UINT16_SCALE)
+
+#: Inline blobs at or above this many payload bytes move to the mmap-backed
+#: side-file tier (1 MiB by default).
+DEFAULT_MMAP_THRESHOLD = 1 << 20
+
+#: Versioned per-blob header: magic, dtype code, storage flag, 2 spare bytes.
+_BLOB_HEADER = struct.Struct(">4sBB2x")
+_BLOB_MAGIC = b"CBH2"
+_DTYPE_CODES = {"float64": 0, "float32": 1, "uint16": 2}
+_CODE_DTYPES = {code: name for name, code in _DTYPE_CODES.items()}
+_NUMPY_DTYPES = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+    "uint16": np.dtype(np.uint16),
+}
+_STORAGE_INLINE = 0
+_STORAGE_EXTERNAL = 1
 
 _STORE_DDL = """
 CREATE TABLE IF NOT EXISTS cubes (
@@ -67,6 +110,9 @@ CREATE TABLE IF NOT EXISTS cubes (
     matcher_names  TEXT NOT NULL,
     shape          TEXT NOT NULL,
     data           BLOB NOT NULL,
+    dtype          TEXT NOT NULL DEFAULT 'float64',
+    payload_bytes  INTEGER NOT NULL DEFAULT 0,
+    external       INTEGER NOT NULL DEFAULT 0,
     created_at     REAL NOT NULL DEFAULT (julianday('now'))
 );
 CREATE TABLE IF NOT EXISTS tokens (
@@ -80,6 +126,48 @@ CREATE TABLE IF NOT EXISTS counters (
     value  INTEGER NOT NULL
 );
 """
+
+def encode_stack(stack: np.ndarray, dtype: str) -> bytes:
+    """Encode a float64 cube stack into the given storage dtype's payload.
+
+    ``float64`` is a raw byte copy (bit-identical round trip); ``float32``
+    rounds to single precision; ``uint16`` quantizes ``[0, 1]`` similarities
+    to ``round(value * UINT16_SCALE)`` (values are clipped into the unit
+    interval first, so out-of-range cells saturate instead of wrapping).
+    """
+    array = np.ascontiguousarray(stack, dtype=np.float64)
+    if dtype == "float64":
+        return array.tobytes()
+    if dtype == "float32":
+        return array.astype(np.float32).tobytes()
+    if dtype == "uint16":
+        clipped = np.clip(array, 0.0, 1.0)
+        return np.round(clipped * UINT16_SCALE).astype(np.uint16).tobytes()
+    raise RepositoryError(f"unknown cube dtype {dtype!r}, expected one of {CUBE_DTYPES}")
+
+
+def decode_stack(payload, dtype: str, shape: Tuple[int, ...]) -> np.ndarray:
+    """Decode a stored payload back into a *writable* float64 stack.
+
+    The compact dtypes decode through ``astype`` (which copies), and the
+    ``float64`` path copies the payload into a ``bytearray`` first -- either
+    way the result is safely mutable, never a read-only view into the blob.
+
+    >>> stack = np.array([[[0.25, 1.0]]])
+    >>> decoded = decode_stack(encode_stack(stack, "uint16"), "uint16", (1, 1, 2))
+    >>> bool(np.max(np.abs(decoded - stack)) <= UINT16_MAX_ERROR)
+    True
+    """
+    if dtype == "float64":
+        return np.frombuffer(bytearray(payload), dtype=np.float64).reshape(shape)
+    if dtype == "float32":
+        raw = np.frombuffer(payload, dtype=np.float32)
+        return raw.astype(np.float64).reshape(shape)
+    if dtype == "uint16":
+        raw = np.frombuffer(payload, dtype=np.uint16)
+        return (raw.astype(np.float64) / UINT16_SCALE).reshape(shape)
+    raise RepositoryError(f"unknown cube dtype {dtype!r}, expected one of {CUBE_DTYPES}")
+
 
 def _sha256(document: object) -> str:
     """The SHA-256 hex digest of a canonical-JSON-serialisable document."""
@@ -199,6 +287,19 @@ class SimilarityStore:
         Run the background writer thread (default).  With ``False`` every
         ``store_*_async`` call writes inline -- useful for deterministic
         tests.
+    dtype:
+        The storage dtype for cubes **written** by this store: ``"float64"``
+        (default, bit-identical round trips), ``"float32"`` or quantized
+        ``"uint16"`` (max round-trip error :data:`UINT16_MAX_ERROR`).  Reads
+        honour the dtype recorded in each blob's header, so a store file
+        written under one dtype stays readable under any other -- but a
+        session requiring byte-identical warm restarts must only attach
+        store files written as ``float64``.
+    mmap_threshold:
+        Payloads of at least this many bytes are written to an mmap-backed
+        side file (``<path>.blobs/<key>.cube``) instead of an inline SQLite
+        blob, and read back lazily through ``np.memmap`` in copy-on-write
+        mode.  ``None`` disables the tier (in-memory stores always inline).
 
     Thread safety: one internal lock serialises database access; reads run on
     the caller thread, writes on the writer thread.  The store may be shared
@@ -218,8 +319,20 @@ class SimilarityStore:
     #: is a latency ceiling, not a correctness knob.
     BUSY_TIMEOUT_SECONDS = 30.0
 
-    def __init__(self, path: str, writer: bool = True):
+    def __init__(
+        self,
+        path: str,
+        writer: bool = True,
+        dtype: str = "float64",
+        mmap_threshold: Optional[int] = DEFAULT_MMAP_THRESHOLD,
+    ):
+        if dtype not in CUBE_DTYPES:
+            raise RepositoryError(
+                f"unknown cube dtype {dtype!r}, expected one of {CUBE_DTYPES}"
+            )
         self._path = path
+        self._dtype = dtype
+        self._mmap_threshold = mmap_threshold
         self._lock = threading.RLock()
         try:
             self._connection = sqlite3.connect(
@@ -247,6 +360,16 @@ class SimilarityStore:
                     # the store still works, just with coarser locking.
                     pass
             self._connection.executescript(_STORE_DDL)
+            # Files created before the dtype contract lack the newer columns
+            # (their rows are unreachable anyway -- the format version is in
+            # every digest -- but the occupancy queries still touch them).
+            for migration in (
+                "ALTER TABLE cubes ADD COLUMN dtype TEXT NOT NULL DEFAULT 'float64'",
+                "ALTER TABLE cubes ADD COLUMN payload_bytes INTEGER NOT NULL DEFAULT 0",
+                "ALTER TABLE cubes ADD COLUMN external INTEGER NOT NULL DEFAULT 0",
+            ):
+                with contextlib.suppress(sqlite3.OperationalError):
+                    self._connection.execute(migration)
             self._connection.commit()
         except sqlite3.Error as error:
             # A corrupt file, a non-SQLite file passed by mistake, or an
@@ -273,6 +396,15 @@ class SimilarityStore:
     def path(self) -> str:
         """The database path."""
         return self._path
+
+    @property
+    def dtype(self) -> str:
+        """The storage dtype new cubes are written with."""
+        return self._dtype
+
+    def _side_path(self, key: str) -> str:
+        """The side file of one external (mmap-tier) cube payload."""
+        return os.path.join(f"{self._path}.blobs", f"{key}.cube")
 
     def flush(self) -> None:
         """Block until every queued asynchronous write has reached the database."""
@@ -315,10 +447,15 @@ class SimilarityStore:
         The caller's path sets come from a schema whose *content* digest is
         part of ``key``, so their order and cardinality match the arrays that
         were stored; any unusable row -- a shape mismatch, a truncated blob,
-        a corrupt or concurrently closed database -- is treated as a miss
-        rather than an error (persistence is an optimisation; a failed read
-        must degrade to recomputation, never fail the match).  Returns
-        ``None`` when nothing (usable) is stored.
+        a missing or short side file, an unknown header, a corrupt or
+        concurrently closed database -- is treated as a miss rather than an
+        error (persistence is an optimisation; a failed read must degrade to
+        recomputation, never fail the match).  Returns ``None`` when nothing
+        (usable) is stored.
+
+        The returned stack is decoded to float64 per the blob header's dtype
+        and is always *writable*: inline payloads are copied out of the blob,
+        external payloads are mapped copy-on-write.
         """
         try:
             with self._lock:
@@ -332,8 +469,10 @@ class SimilarityStore:
                 if shape != expected:
                     row = None
                 else:
-                    stack = np.frombuffer(row[2], dtype=np.float64).reshape(shape)
-        except (sqlite3.Error, ValueError, TypeError, json.JSONDecodeError):
+                    stack = self._decode_blob(key, row[2], shape)
+                    if stack is None:
+                        row = None
+        except (sqlite3.Error, OSError, ValueError, TypeError, json.JSONDecodeError):
             row = None
         if row is None:
             with self._lock:
@@ -347,6 +486,30 @@ class SimilarityStore:
             self._hits += 1
         return SimilarityCube.from_layers(source_paths, target_paths, layers)
 
+    def _decode_blob(
+        self, key: str, blob: bytes, shape: Tuple[int, ...]
+    ) -> Optional[np.ndarray]:
+        """Decode one cube blob (header + inline payload, or side-file ref)."""
+        if len(blob) < _BLOB_HEADER.size:
+            return None
+        magic, dtype_code, storage = _BLOB_HEADER.unpack_from(blob)
+        if magic != _BLOB_MAGIC or dtype_code not in _CODE_DTYPES:
+            return None
+        dtype = _CODE_DTYPES[dtype_code]
+        if storage == _STORAGE_INLINE:
+            return decode_stack(blob[_BLOB_HEADER.size :], dtype, shape)
+        numpy_dtype = _NUMPY_DTYPES[dtype]
+        side_path = self._side_path(key)
+        expected_bytes = int(np.prod(shape)) * numpy_dtype.itemsize
+        if os.path.getsize(side_path) != expected_bytes:
+            return None
+        # mode="c" (copy-on-write): pages fault in lazily and writes land in
+        # private memory, so the mapped stack is writable like any other.
+        mapped = np.memmap(side_path, dtype=numpy_dtype, mode="c")
+        if dtype == "float64":
+            return mapped.reshape(shape)
+        return decode_stack(mapped, dtype, shape)
+
     def store_cube(
         self,
         key: str,
@@ -356,8 +519,34 @@ class SimilarityStore:
         matcher_usage: Sequence[str],
         config_digest: str,
     ) -> None:
-        """Persist a cube under its content address (synchronously)."""
+        """Persist a cube under its content address (synchronously).
+
+        The stack is encoded with the store's configured dtype; payloads at
+        or above the mmap threshold land in a side file (written atomically
+        via a temporary name), with only the header kept in the blob column.
+        """
         stack = cube.as_array()  # k x m x n float64, C-order
+        payload = encode_stack(stack, self._dtype)
+        external = (
+            self._path != ":memory:"
+            and self._mmap_threshold is not None
+            and len(payload) >= self._mmap_threshold
+        )
+        header = _BLOB_HEADER.pack(
+            _BLOB_MAGIC,
+            _DTYPE_CODES[self._dtype],
+            _STORAGE_EXTERNAL if external else _STORAGE_INLINE,
+        )
+        side_path = self._side_path(key)
+        if external:
+            os.makedirs(os.path.dirname(side_path), exist_ok=True)
+            temporary = f"{side_path}.tmp.{os.getpid()}.{threading.get_ident()}"
+            with open(temporary, "wb") as handle:
+                handle.write(payload)
+            os.replace(temporary, side_path)
+            blob = header
+        else:
+            blob = header + payload
         record = (
             key,
             source_digest,
@@ -366,17 +555,25 @@ class SimilarityStore:
             config_digest,
             json.dumps(list(cube.matcher_names)),
             json.dumps(list(stack.shape)),
-            np.ascontiguousarray(stack, dtype=np.float64).tobytes(),
+            blob,
+            self._dtype,
+            len(payload),
+            int(external),
         )
         with self._lock:
             self._connection.execute(
                 "INSERT OR REPLACE INTO cubes (key, source_digest, target_digest, "
-                "matchers, config_digest, matcher_names, shape, data) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                "matchers, config_digest, matcher_names, shape, data, dtype, "
+                "payload_bytes, external) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 record,
             )
             self._connection.commit()
             self._writes += 1
+        if not external:
+            # An earlier write of this key may have used the external tier;
+            # drop its now-orphaned side file.
+            with contextlib.suppress(OSError):
+                os.remove(side_path)
 
     def store_cube_async(self, *args, **kwargs) -> None:
         """Queue :meth:`store_cube` onto the writer thread (inline without one)."""
@@ -393,17 +590,37 @@ class SimilarityStore:
 
         Content-addressed entries never go stale, so eviction is purely a
         disk-budget decision; oldest-first matches the session caches'
-        insertion-order policy.
+        insertion-order policy.  Pruning reclaims disk for real: external
+        side files of the dropped cubes are unlinked and the database is
+        ``VACUUM``-ed (SQLite's ``DELETE`` alone only marks pages free), so
+        the file size genuinely shrinks.
         """
         if max_cubes < 0:
             raise RepositoryError(f"max_cubes must be >= 0, got {max_cubes}")
         with self._lock:
+            doomed = self._connection.execute(
+                "SELECT key, external FROM cubes WHERE key NOT IN ("
+                "SELECT key FROM cubes ORDER BY created_at DESC, key LIMIT ?)",
+                (max_cubes,),
+            ).fetchall()
             cursor = self._connection.execute(
                 "DELETE FROM cubes WHERE key NOT IN ("
                 "SELECT key FROM cubes ORDER BY created_at DESC, key LIMIT ?)",
                 (max_cubes,),
             )
             self._connection.commit()
+            if cursor.rowcount:
+                # VACUUM rewrites the main database file without the freed
+                # pages; the checkpoint then truncates the WAL side file.
+                # Both are best-effort -- a locked or exotic filesystem only
+                # costs the reclamation, never the prune itself.
+                with contextlib.suppress(sqlite3.Error):
+                    self._connection.execute("VACUUM")
+                    self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        for key, external in doomed:
+            if external:
+                with contextlib.suppress(OSError):
+                    os.remove(self._side_path(key))
         return cursor.rowcount
 
     # -- token artifacts -------------------------------------------------------
@@ -466,8 +683,15 @@ class SimilarityStore:
         """
         with self._lock:
             cube_rows = self._connection.execute(
-                "SELECT COUNT(*), COALESCE(SUM(LENGTH(data)), 0) FROM cubes"
+                "SELECT COUNT(*), "
+                "COALESCE(SUM(CASE WHEN payload_bytes > 0 THEN payload_bytes ELSE LENGTH(data) END), 0) FROM cubes"
             ).fetchone()
+            dtype_rows = self._connection.execute(
+                "SELECT dtype, COUNT(*), "
+                "COALESCE(SUM(CASE WHEN payload_bytes > 0 THEN payload_bytes ELSE LENGTH(data) END), 0), "
+                "COALESCE(SUM(external), 0) "
+                "FROM cubes GROUP BY dtype ORDER BY dtype"
+            ).fetchall()
             token_rows = self._connection.execute(
                 "SELECT COUNT(*) FROM tokens"
             ).fetchone()
@@ -477,8 +701,17 @@ class SimilarityStore:
             hits, misses, writes = self._hits, self._misses, self._writes
         return {
             "path": self._path,
+            "dtype": self._dtype,
             "cubes": int(cube_rows[0]),
             "cube_bytes": int(cube_rows[1]),
+            "cube_dtypes": {
+                name: {
+                    "cubes": int(count),
+                    "bytes": int(total),
+                    "external": int(external),
+                }
+                for name, count, total, external in dtype_rows
+            },
             "tokens": int(token_rows[0]),
             "hits": hits,
             "misses": misses,

@@ -1,12 +1,13 @@
-"""Fuzz/property tests: the numpy batch Levenshtein equals the scalar DP.
+"""Fuzz/property tests: the bit-parallel kernels equal the scalar DP.
 
 The batch kernel (:func:`repro.matchers.string.edit_distance
-.levenshtein_distance_many`) advances all pairs' DP rows simultaneously over
-padded code-point arrays; these tests pin it to the scalar two-row reference
-on arbitrary unicode input, including the edges the padding machinery has to
-get right (empty strings, equal strings, single characters, wide code
-points), and check the upper-bound short-circuit contract of the scalar
-kernel.
+.levenshtein_distance_many`) routes pairs through the vectorized Myers
+bit-parallel recurrence (with a padded batch-DP fallback); these tests pin
+it -- and the scalar Myers kernel behind :func:`levenshtein_distance` -- to
+the classic two-row DP reference on arbitrary unicode input, including the
+edges the bit packing has to get right (empty strings, equal strings,
+patterns crossing the 64- and 128-bit word boundaries, astral code points),
+and check the upper-bound short-circuit contract of the scalar kernel.
 """
 
 from __future__ import annotations
@@ -17,9 +18,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.matchers.memo import KernelMemoPool, set_active_pool
+from repro.matchers.string import bitparallel
 from repro.matchers.string.edit_distance import (
     EditDistanceMatcher,
     levenshtein_distance,
+    levenshtein_distance_dp,
     levenshtein_distance_many,
 )
 
@@ -29,11 +32,16 @@ unicode_names = st.text(min_size=0, max_size=16)
 ascii_names = st.text(
     alphabet="abcdefghijklmnop_ -0123456789", min_size=0, max_size=12
 )
+#: Long names spanning the multi-word ladder (>64 and >128 code points) from
+#: a small alphabet so edits collide often; astral code points included.
+long_names = st.text(
+    alphabet="ab\U0001f600", min_size=0, max_size=200
+)
 
 
 def scalar_reference(a: str, b: str) -> int:
-    """The unbounded scalar DP (the ground truth for every comparison)."""
-    return levenshtein_distance(a, b)
+    """The classic two-row DP (the ground truth for every comparison)."""
+    return levenshtein_distance_dp(a, b)
 
 
 class TestBatchEqualsScalar:
@@ -91,6 +99,79 @@ class TestBatchEqualsScalar:
         # Pairs finishing at very different outer iterations share one batch:
         # each must record its result at exactly its own final DP row.
         pairs = [("a" * n, "b" * (17 - n)) for n in range(1, 17)]
+        batch = levenshtein_distance_many(pairs)
+        assert batch.tolist() == [scalar_reference(a, b) for a, b in pairs]
+
+    def test_forced_dp_kernel_agrees(self):
+        pairs = [("kitten", "sitting"), ("a" * 70, "b" * 70), ("", "xy")]
+        forced = levenshtein_distance_many(pairs, kernel="dp")
+        assert forced.tolist() == [scalar_reference(a, b) for a, b in pairs]
+        with pytest.raises(ValueError):
+            levenshtein_distance_many(pairs, kernel="simd")
+
+
+class TestBitParallelKernel:
+    """The Myers kernels (scalar + vectorized ladder) against the two-row DP."""
+
+    @given(a=long_names, b=long_names)
+    @settings(max_examples=150, deadline=None)
+    def test_scalar_myers_matches_dp(self, a, b):
+        assert bitparallel.myers_distance(a, b) == scalar_reference(a, b)
+
+    @given(pairs=st.lists(st.tuples(long_names, long_names), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_multiword_ladder_matches_dp(self, pairs):
+        # Lengths up to 200 span the 1-, 2- and 3-word ladders in one batch.
+        batch = levenshtein_distance_many(pairs)
+        assert batch.tolist() == [scalar_reference(a, b) for a, b in pairs]
+
+    def test_word_boundary_lengths(self):
+        # Patterns of exactly 63/64/65 and 127/128/129 code points exercise
+        # the score bit landing on (and wrapping off) the top of a word.
+        pairs = []
+        for m in (63, 64, 65, 127, 128, 129):
+            pairs.append(("a" * m, "a" * (m - 1) + "b"))
+            pairs.append(("a" * m, "b" * m))
+            pairs.append(("ab" * (m // 2), "ba" * (m // 2) + "a"))
+            pairs.append(("a" * m, "a" * (m + 40)))
+        batch = levenshtein_distance_many(pairs)
+        assert batch.tolist() == [scalar_reference(a, b) for a, b in pairs]
+
+    def test_astral_plane_multiword(self):
+        # Astral code points (> 0xFFFF) in patterns crossing word boundaries.
+        a = "\U0001f600\U0001f601" * 40  # 80 code points, 2 words
+        b = "\U0001f600\U0001f602" * 45
+        pairs = [(a, b), (a, a[:-1]), ("x" + a, b + "\U0001f603")]
+        batch = levenshtein_distance_many(pairs)
+        assert batch.tolist() == [scalar_reference(x, y) for x, y in pairs]
+
+    def test_all_equal_block(self):
+        # An all-equal batch never enters the kernel (short-circuit) but must
+        # still come back all-zero, and a block where every pair shares one
+        # text must finish every pair on the same step.
+        same = [("purchase_order", "purchase_order")] * 50
+        assert levenshtein_distance_many(same).tolist() == [0] * 50
+        shared = [("name%d" % i, "label") for i in range(50)]
+        batch = levenshtein_distance_many(shared)
+        assert batch.tolist() == [scalar_reference(a, b) for a, b in shared]
+
+    def test_empty_strings_short_circuit(self):
+        pairs = [("", ""), ("", "abc"), ("abc", ""), ("", "\U0001f600")]
+        assert levenshtein_distance_many(pairs).tolist() == [0, 3, 3, 1]
+
+    def test_fallback_beyond_ladder_cap(self):
+        # Patterns longer than MAX_PATTERN_LENGTH take the batch-DP fallback
+        # inside levenshtein_distance_many; results stay exact.
+        m = bitparallel.MAX_PATTERN_LENGTH + 5
+        pairs = [("a" * m, "a" * (m - 3) + "bcd"), ("ab" * m, "ba" * m), ("s", "t")]
+        batch = levenshtein_distance_many(pairs)
+        assert batch.tolist() == [scalar_reference(a, b) for a, b in pairs]
+
+    def test_chunked_peq_budget(self, monkeypatch):
+        # Shrink the Peq budget so one call spans many chunks; per-chunk
+        # alphabets and score scatter must still line up pair-by-pair.
+        monkeypatch.setattr(bitparallel, "_PEQ_BUDGET_BYTES", 2048)
+        pairs = [("name%d" % i, "label%d" % (i % 7)) for i in range(300)]
         batch = levenshtein_distance_many(pairs)
         assert batch.tolist() == [scalar_reference(a, b) for a, b in pairs]
 

@@ -406,6 +406,315 @@ class TestSessionIntegration:
         warmup.store.close()
 
 
+@pytest.fixture()
+def matched_outcome():
+    return MatchSession().match(load_po1(), load_po2())
+
+
+def store_one(store, outcome, key="key"):
+    store.store_cube(key, outcome.cube, "s", "t", outcome.cube.matcher_names, "c")
+
+
+class TestDtypeContract:
+    """The layer-dtype contract: float64 exact, float32/uint16 at tolerance."""
+
+    def test_unknown_dtype_rejected(self, store_path):
+        from repro.exceptions import RepositoryError
+
+        with pytest.raises(RepositoryError):
+            SimilarityStore(store_path, writer=False, dtype="float16")
+
+    def test_float64_stays_bit_exact(self, store_path, matched_outcome):
+        with SimilarityStore(store_path, writer=False) as store:
+            assert store.dtype == "float64"
+            store_one(store, matched_outcome)
+            loaded = store.load_cube(
+                "key", load_po1().paths(), load_po2().paths()
+            )
+            assert np.array_equal(
+                loaded.as_array(), matched_outcome.cube.as_array()
+            )
+
+    @pytest.mark.parametrize("dtype,tolerance", [
+        ("float32", 1e-7),
+        ("uint16", 1e-4),
+    ])
+    def test_compact_round_trip_tolerance(
+        self, store_path, matched_outcome, dtype, tolerance
+    ):
+        with SimilarityStore(store_path, writer=False, dtype=dtype) as store:
+            store_one(store, matched_outcome)
+            loaded = store.load_cube(
+                "key", load_po1().paths(), load_po2().paths()
+            )
+            error = np.max(
+                np.abs(loaded.as_array() - matched_outcome.cube.as_array())
+            )
+            assert error <= tolerance
+
+    def test_uint16_exact_error_bound_and_size(self, store_path, matched_outcome):
+        from repro.repository.store import UINT16_MAX_ERROR
+
+        sizes = {}
+        for dtype in ("float64", "uint16"):
+            with SimilarityStore(
+                str(store_path) + f".{dtype}", writer=False, dtype=dtype
+            ) as store:
+                store_one(store, matched_outcome)
+                info = store.info()
+                sizes[dtype] = info["cube_bytes"]
+                loaded = store.load_cube(
+                    "key", load_po1().paths(), load_po2().paths()
+                )
+                error = np.max(
+                    np.abs(loaded.as_array() - matched_outcome.cube.as_array())
+                )
+                if dtype == "uint16":
+                    assert error <= UINT16_MAX_ERROR
+        # The quantized tier stores at most 30% of the float64 bytes (the
+        # raw array ratio is 25%; headers stay below the 5-point slack).
+        assert sizes["uint16"] <= 0.30 * sizes["float64"]
+
+    def test_mixed_dtype_store_stays_readable(self, store_path, matched_outcome):
+        # Write under uint16, reopen under float64: reads honour the per-blob
+        # header, so the quantized cube still loads.
+        with SimilarityStore(store_path, writer=False, dtype="uint16") as store:
+            store_one(store, matched_outcome, key="quantized")
+        with SimilarityStore(store_path, writer=False) as store:
+            store_one(store, matched_outcome, key="exact")
+            for key in ("quantized", "exact"):
+                assert store.load_cube(
+                    key, load_po1().paths(), load_po2().paths()
+                ) is not None
+            breakdown = store.info()["cube_dtypes"]
+            assert breakdown["uint16"]["cubes"] == 1
+            assert breakdown["float64"]["cubes"] == 1
+            assert breakdown["uint16"]["bytes"] < breakdown["float64"]["bytes"]
+
+
+class TestMmapTier:
+    def test_external_blob_round_trip_and_breakdown(
+        self, store_path, matched_outcome
+    ):
+        import os
+
+        with SimilarityStore(
+            store_path, writer=False, mmap_threshold=0
+        ) as store:
+            store_one(store, matched_outcome)
+            side = store._side_path("key")
+            assert os.path.exists(side)
+            loaded = store.load_cube(
+                "key", load_po1().paths(), load_po2().paths()
+            )
+            assert np.array_equal(
+                loaded.as_array(), matched_outcome.cube.as_array()
+            )
+            assert store.info()["cube_dtypes"]["float64"]["external"] == 1
+
+    def test_short_side_file_degrades_to_miss(self, store_path, matched_outcome):
+        with SimilarityStore(
+            store_path, writer=False, mmap_threshold=0
+        ) as store:
+            store_one(store, matched_outcome)
+            with open(store._side_path("key"), "wb") as handle:
+                handle.write(b"\x00" * 8)  # truncated payload
+            assert store.load_cube(
+                "key", load_po1().paths(), load_po2().paths()
+            ) is None
+            assert store.info()["misses"] == 1
+
+    def test_missing_side_file_degrades_to_miss(self, store_path, matched_outcome):
+        import os
+
+        with SimilarityStore(
+            store_path, writer=False, mmap_threshold=0
+        ) as store:
+            store_one(store, matched_outcome)
+            os.remove(store._side_path("key"))
+            assert store.load_cube(
+                "key", load_po1().paths(), load_po2().paths()
+            ) is None
+
+    def test_inline_rewrite_drops_stale_side_file(self, store_path, matched_outcome):
+        import os
+
+        with SimilarityStore(
+            store_path, writer=False, mmap_threshold=0
+        ) as store:
+            store_one(store, matched_outcome)
+            side = store._side_path("key")
+            assert os.path.exists(side)
+        # The same key rewritten inline (tier disabled) must not leave the
+        # orphaned side file behind to shadow future external writes.
+        with SimilarityStore(
+            store_path, writer=False, mmap_threshold=None
+        ) as store:
+            store_one(store, matched_outcome)
+            assert not os.path.exists(side)
+            loaded = store.load_cube(
+                "key", load_po1().paths(), load_po2().paths()
+            )
+            assert np.array_equal(
+                loaded.as_array(), matched_outcome.cube.as_array()
+            )
+
+
+class TestWritableLoads:
+    """Satellite regression: loaded cubes are never read-only views."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {},  # inline float64 (the np.frombuffer copy path)
+        {"dtype": "uint16"},  # astype decode path
+        {"mmap_threshold": 0},  # copy-on-write memmap path
+    ])
+    def test_loaded_stack_is_mutable(self, store_path, matched_outcome, kwargs):
+        source_paths, target_paths = load_po1().paths(), load_po2().paths()
+        with SimilarityStore(store_path, writer=False, **kwargs) as store:
+            store_one(store, matched_outcome)
+            loaded = store.load_cube("key", source_paths, target_paths)
+            layer = loaded.layer(loaded.matcher_names[0])
+            # The write path of the matrix API lands in the backing array; a
+            # read-only np.frombuffer view here raised "assignment
+            # destination is read-only" before the load-boundary copy.
+            layer.set(source_paths[0], target_paths[0], 0.123)
+            assert layer.get(source_paths[0], target_paths[0]) == 0.123
+
+    def test_rebuilt_wire_outcome_is_mutable(self, matched_outcome):
+        from repro.parallel import codec
+
+        header, buffers = codec.decode_frame(
+            codec.encode_outcomes([matched_outcome])
+        )
+        rebuilt = codec.rebuild_outcome(
+            header["items"][0],
+            buffers,
+            matched_outcome.context.source_schema,
+            matched_outcome.context.target_schema,
+            matched_outcome.strategy,
+            matched_outcome.context,
+        )
+        source_paths = matched_outcome.context.source_schema.paths()
+        target_paths = matched_outcome.context.target_schema.paths()
+        rebuilt.cube.layer(rebuilt.cube.matcher_names[0]).set(
+            source_paths[0], target_paths[0], 0.5
+        )
+        rebuilt.aggregated.set(source_paths[0], target_paths[0], 0.5)
+
+    @pytest.mark.parametrize("wire_dtype,tolerance", [
+        ("float64", 0.0),
+        ("uint16", 1e-4),
+    ])
+    def test_wire_cube_dtype_round_trip(self, matched_outcome, wire_dtype, tolerance):
+        from repro.parallel import codec
+
+        header, buffers = codec.decode_frame(
+            codec.encode_outcomes([matched_outcome], cube_dtype=wire_dtype)
+        )
+        assert header["items"][0]["cube_dtype"] == wire_dtype
+        rebuilt = codec.rebuild_outcome(
+            header["items"][0],
+            buffers,
+            matched_outcome.context.source_schema,
+            matched_outcome.context.target_schema,
+            matched_outcome.strategy,
+            matched_outcome.context,
+        )
+        error = np.max(
+            np.abs(rebuilt.cube.as_array() - matched_outcome.cube.as_array())
+        )
+        assert error <= tolerance
+        # The mapping-deciding floats stay float64-exact whatever the cube tier.
+        assert outcome_rows(rebuilt) == outcome_rows(matched_outcome)
+        assert rebuilt.schema_similarity == matched_outcome.schema_similarity
+
+
+class TestPruneReclaimsDisk:
+    def test_prune_shrinks_the_database_file(self, store_path, matched_outcome):
+        import os
+
+        def on_disk():
+            total = os.path.getsize(store_path)
+            wal = store_path + "-wal"
+            if os.path.exists(wal):
+                total += os.path.getsize(wal)
+            return total
+
+        with SimilarityStore(store_path, writer=False) as store:
+            for index in range(60):
+                store_one(store, matched_outcome, key=f"key{index}")
+            store._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            before = on_disk()
+            removed = store.prune_cubes(1)
+            assert removed == 59
+            assert store.cube_count() == 1
+            after = on_disk()
+            # VACUUM genuinely returns the freed pages to the filesystem.
+            assert after < before * 0.5, (before, after)
+
+    def test_prune_unlinks_external_side_files(self, store_path, matched_outcome):
+        import os
+
+        with SimilarityStore(
+            store_path, writer=False, mmap_threshold=0
+        ) as store:
+            for index in range(4):
+                store_one(store, matched_outcome, key=f"key{index}")
+            sides = [store._side_path(f"key{index}") for index in range(4)]
+            assert all(os.path.exists(side) for side in sides)
+            store.prune_cubes(1)
+            remaining = [side for side in sides if os.path.exists(side)]
+            assert len(remaining) == 1
+
+
+class TestSessionDtypePlumbing:
+    def test_path_store_honours_store_dtype(self, store_path):
+        session = MatchSession(store=store_path, store_dtype="uint16")
+        try:
+            assert session.store.dtype == "uint16"
+            session.match(load_po1(), load_po2())
+            session.store.flush()
+            breakdown = session.store.info()["cube_dtypes"]
+            assert set(breakdown) == {"uint16"}
+        finally:
+            session.close()
+
+    def test_conflicting_object_store_dtype_raises(self, store_path):
+        from repro.exceptions import SessionError
+
+        shared = SimilarityStore(store_path)  # float64 writer
+        try:
+            with pytest.raises(SessionError):
+                MatchSession(store=shared, store_dtype="uint16")
+            # A matching hint is fine.
+            MatchSession(store=shared, store_dtype="float64").close()
+        finally:
+            shared.close()
+
+    def test_unknown_store_dtype_raises(self):
+        from repro.exceptions import SessionError
+
+        with pytest.raises(SessionError):
+            MatchSession(store_dtype="float16")
+
+    def test_warm_uint16_session_is_within_tolerance(self, store_path):
+        source, target = load_po1(), load_po2()
+        baseline = outcome_rows(MatchSession().match(source, target))
+        first = MatchSession(store=store_path, store_dtype="uint16")
+        first.match(source, target)
+        first.close()
+        second = MatchSession(store=store_path, store_dtype="uint16")
+        try:
+            warm = second.match(source, target)
+            assert second.cache_info()["store_hits"] == 1
+            rows = outcome_rows(warm)
+            assert [(s, t) for s, t, _ in rows] == [(s, t) for s, t, _ in baseline]
+            for (_, _, got), (_, _, want) in zip(rows, baseline):
+                assert abs(got - want) <= 1e-4
+        finally:
+            second.close()
+
+
 class TestServiceIntegration:
     def test_service_store_wiring_and_stats(self, store_path, tmp_path):
         from repro.datasets.figure1 import PO1_DDL, PO2_XSD
@@ -454,3 +763,42 @@ class TestServiceIntegration:
         assert status == 200
         assert payload["store"] == store_path
         service.close()
+
+    def test_service_store_dtype_wiring(self, store_path):
+        from repro.datasets.figure1 import PO1_DDL, PO2_XSD
+
+        service = MatchService(
+            pool_size=1, store_path=store_path, store_dtype="uint16"
+        )
+        try:
+            for name, text, fmt in (
+                ("PO1", PO1_DDL, "sql"), ("PO2", PO2_XSD, "xsd")
+            ):
+                service.handle_request(
+                    "POST", "/schemas", {"name": name, "text": text, "format": fmt}
+                )
+            status, _ = service.handle_request(
+                "POST", "/match", {"source": "PO1", "target": "PO2"}
+            )
+            assert status == 200
+            status, stats = service.handle_request("GET", "/stats", None)
+            assert stats["store"]["dtype"] == "uint16"
+        finally:
+            service.close()
+        with SimilarityStore(store_path, writer=False) as store:
+            breakdown = store.info()["cube_dtypes"]
+            assert set(breakdown) == {"uint16"}
+
+    def test_service_store_dtype_validation(self, store_path):
+        from repro.exceptions import ServiceError
+
+        with pytest.raises(ServiceError):
+            MatchService(pool_size=1, store_path=store_path, store_dtype="float16")
+        with pytest.raises(ServiceError):
+            MatchService(pool_size=1, store_dtype="uint16")  # no store_path
+
+    def test_cli_serve_store_dtype_requires_store(self, capsys):
+        from repro.cli import console_main
+
+        assert console_main(["serve", "--store-dtype", "uint16"]) == 1
+        assert "--store-dtype requires --store" in capsys.readouterr().err
