@@ -11,6 +11,9 @@ Usage examples::
     coma strategies --repository coma.db --save tuned "All(Max,Both,Thr(0.6),Dice)"
     coma stats po.xsd
     coma stats --store coma-store.db      # persistent-reuse effectiveness counters
+    coma corpus corpus.db add schemas/*.xsd   # register schemas into a search corpus
+    coma corpus corpus.db list                # ... list / info / remove NAME
+    coma search query.xsd --corpus corpus.db -k 10   # top-K corpus search
     coma tasks            # list the bundled evaluation tasks and their sizes
     coma serve --port 8765 --workers 4    # the HTTP match service (docs/service.md)
     coma serve --backend process --workers 4  # worker processes: warm throughput
@@ -94,6 +97,46 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="persistent similarity store file: print its "
                                    "occupancy and lifetime hit/miss counters")
 
+    corpus_parser = subparsers.add_parser(
+        "corpus",
+        help="manage a schema search corpus (see docs/search.md)",
+    )
+    corpus_parser.add_argument("corpus", help="corpus SQLite file")
+    corpus_parser.add_argument(
+        "action", choices=("add", "remove", "list", "info"),
+        help="add schema files, remove a registered name, list names, "
+             "or print occupancy statistics",
+    )
+    corpus_parser.add_argument(
+        "items", nargs="*",
+        help="schema files for 'add', registered names for 'remove'",
+    )
+
+    search_parser = subparsers.add_parser(
+        "search",
+        help="find the best match targets for a schema in a corpus "
+             "(see docs/search.md)",
+    )
+    search_parser.add_argument("query", help="query schema file (.sql, .xsd, .json)")
+    search_parser.add_argument("--corpus", required=True,
+                               help="corpus SQLite file built with `coma corpus add`")
+    search_parser.add_argument("-k", type=int, default=10,
+                               help="number of ranked results (default 10)")
+    search_parser.add_argument("--candidates", type=int, default=None,
+                               help="survivor-pool size the full pipeline runs on "
+                                    "(default max(4*k, 16))")
+    search_parser.add_argument("--strategy", default=None,
+                               help="full strategy spec for the survivor matches "
+                                    "(default: the paper's default operation)")
+    search_parser.add_argument("--min-similarity", type=float, default=0.0,
+                               help="only print correspondences at or above this "
+                                    "similarity in the per-result detail")
+    search_parser.add_argument("--processes", type=int, default=None,
+                               help="fan survivor matching out over this many "
+                                    "worker processes")
+    search_parser.add_argument("--details", action="store_true",
+                               help="also print each result's correspondences")
+
     subparsers.add_parser("tasks", help="list the bundled evaluation tasks (Figure 8 data)")
 
     serve_parser = subparsers.add_parser(
@@ -127,6 +170,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "float64 (default; bit-identical round trips), "
                                    "float32, or quantized uint16 (quarter the "
                                    "bytes at a ~1e-5 tolerance); requires --store")
+    serve_parser.add_argument("--corpus", default=None,
+                              help="schema corpus file enabling POST /search and "
+                                   "GET /corpus; uploaded schemas are indexed "
+                                   "automatically (see docs/search.md)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="do not log request lines to stderr")
     return parser
@@ -274,10 +321,14 @@ def _print_reuse_stats(store_path: str) -> None:
     from repro.matchers.memo import DEFAULT_MEMO_POOL
     from repro.repository.store import SimilarityStore
 
-    # A stats read must not conjure an empty database out of a typo.
+    # A stats read must not conjure an empty database out of a typo, nor run
+    # the store DDL against whatever file the path happens to point at: the
+    # read-only open fails cleanly on missing paths, non-SQLite files and
+    # SQLite databases that are not similarity stores, and guarantees the
+    # inspected file is never mutated.
     if store_path != ":memory:" and not os.path.exists(store_path):
         raise ComaError(f"no similarity store at {store_path!r}")
-    with SimilarityStore(store_path, writer=False) as store:
+    with SimilarityStore(store_path, readonly=True) as store:
         info = store.info()
     consultations = info["lifetime_hits"] + info["lifetime_misses"]
     hit_rate = info["lifetime_hits"] / consultations if consultations else 0.0
@@ -315,6 +366,99 @@ def _print_reuse_stats(store_path: str) -> None:
               "(live counters: GET /stats on a running `coma serve`)")
 
 
+def _command_corpus(arguments: argparse.Namespace) -> int:
+    import os
+
+    from repro.search import SchemaCorpus
+
+    action = arguments.action
+    if action == "add" and not arguments.items:
+        raise ComaError("coma corpus add needs at least one schema file")
+    if action == "remove" and not arguments.items:
+        raise ComaError("coma corpus remove needs at least one registered name")
+    if action in ("list", "info") and arguments.items:
+        raise ComaError(f"coma corpus {action} takes no further arguments")
+    # Only 'add' may create the file; every other action inspects an
+    # existing corpus and must not conjure an empty one out of a typo.
+    if action != "add" and arguments.corpus != ":memory:" \
+            and not os.path.exists(arguments.corpus):
+        raise ComaError(f"no schema corpus at {arguments.corpus!r}")
+    with SchemaCorpus(arguments.corpus) as corpus:
+        if action == "add":
+            for path in arguments.items:
+                schema = DEFAULT_IMPORTERS.import_file(path)
+                corpus.add(schema)
+                print(f"registered {schema.name!r} ({len(schema.paths())} paths)")
+            print(f"corpus {arguments.corpus}: {len(corpus)} schemas")
+        elif action == "remove":
+            for name in arguments.items:
+                if corpus.remove(name):
+                    print(f"removed {name!r}")
+                else:
+                    raise ComaError(
+                        f"no schema named {name!r} in corpus {arguments.corpus!r}"
+                    )
+        elif action == "list":
+            names = corpus.names()
+            for name in names:
+                print(name)
+            print(f"({len(names)} schemas)")
+        else:  # info
+            info = corpus.info()
+            rows = [{
+                "schemas": info["schemas"],
+                "paths": info["paths"],
+                "terms": info["terms"],
+                "postings": info["postings"],
+                "nodes": info["nodes"],
+            }]
+            print(format_table(rows, title=f"Schema corpus ({info['path']})"))
+    return 0
+
+
+def _command_search(arguments: argparse.Namespace) -> int:
+    import os
+
+    if arguments.corpus != ":memory:" and not os.path.exists(arguments.corpus):
+        raise ComaError(f"no schema corpus at {arguments.corpus!r}")
+    query = DEFAULT_IMPORTERS.import_file(arguments.query)
+    with MatchSession(corpus=arguments.corpus) as session:
+        results = session.search(
+            query,
+            k=arguments.k,
+            strategy=arguments.strategy,
+            candidates=arguments.candidates,
+            processes=arguments.processes,
+        )
+        corpus_size = len(session.corpus)
+    rows = [
+        {
+            "rank": rank,
+            "schema": result.name,
+            "schema_similarity": round(result.schema_similarity, 4),
+            "index_score": round(result.candidate_score, 4),
+            "correspondences": len(result.outcome.result.correspondences),
+        }
+        for rank, result in enumerate(results, start=1)
+    ]
+    title = (f"Top-{arguments.k} matches for {query.name} "
+             f"(corpus of {corpus_size} schemas)")
+    if rows:
+        print(format_table(rows, title=title))
+    else:
+        print(f"{title}\nno candidates (is the corpus empty?)")
+    if arguments.details:
+        for result in results:
+            print(f"\n{query.name} <-> {result.name} "
+                  f"(similarity {result.schema_similarity:.3f})")
+            for correspondence in result.outcome.result:
+                if correspondence.similarity >= arguments.min_similarity:
+                    print(f"  {correspondence.source.dotted()} <-> "
+                          f"{correspondence.target.dotted()} "
+                          f"{correspondence.similarity:.3f}")
+    return 0
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     # Validate everything *before* touching sockets or files, so a bad flag
     # exits with one clean message instead of a traceback (or a half-started
@@ -346,6 +490,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         repository_path=arguments.repository,
         store_path=arguments.store,
         store_dtype=arguments.store_dtype,
+        corpus_path=arguments.corpus,
     )
     return 0
 
@@ -377,6 +522,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_strategies(arguments)
     if arguments.command == "stats":
         return _command_stats(arguments)
+    if arguments.command == "corpus":
+        return _command_corpus(arguments)
+    if arguments.command == "search":
+        return _command_search(arguments)
     if arguments.command == "tasks":
         return _command_tasks()
     if arguments.command == "serve":

@@ -174,6 +174,169 @@ def generate_pair(
     return GeneratedPair(source=source, target=target, reference=reference)
 
 
+#: Replacement names used by :func:`mutate_schema` renames.  Deliberately
+#: *off-domain* (no overlap with the purchase-order vocabularies): a heavily
+#: renamed mutant drifts away from every real schema, which is exactly what a
+#: corpus decoy should do -- plausible shape, dissimilar vocabulary.
+_DECOY_VOCABULARY: Tuple[str, ...] = (
+    "Alpha", "Beacon", "Cobalt", "Drift", "Ember", "Falcon", "Glacier",
+    "Harbor", "Indigo", "Jasper", "Krypton", "Lumen", "Meadow", "Nimbus",
+    "Onyx", "Pylon", "Quartz", "Raven", "Sierra", "Tundra", "Umber",
+    "Vertex", "Willow", "Xenon", "Yonder", "Zephyr", "Basalt", "Cinder",
+    "Dune", "Echo", "Fjord", "Grove", "Heath", "Islet", "Juniper",
+    "Kelp", "Lagoon", "Mesa", "Nectar", "Orchid", "Prairie", "Reef",
+    "Summit", "Thicket", "Upland", "Vale", "Wharf", "Yarrow", "Zenith",
+    "Arbor", "Bluff", "Cascade", "Delta", "Estuary", "Fathom", "Geyser",
+    "Hollow", "Inlet", "Knoll", "Ledge",
+)
+
+
+def _decoy_name(seed: int, *values: int) -> str:
+    """A deterministic two-word decoy name (~3.5k distinct combinations)."""
+    first = _DECOY_VOCABULARY[
+        _pseudo_random(seed, 17, *values) % len(_DECOY_VOCABULARY)
+    ]
+    second = _DECOY_VOCABULARY[
+        _pseudo_random(seed, 31, *values) % len(_DECOY_VOCABULARY)
+    ]
+    return first + second
+
+
+def mutate_schema(
+    schema: Schema,
+    name: str,
+    seed: int = 7,
+    rename_rate: float = 0.7,
+    graft_sections: int = 2,
+    graft_fields: int = 4,
+    drift_rate: float = 0.3,
+) -> Schema:
+    """A deterministic mutated variant of ``schema`` (renames, grafts, drift).
+
+    Three mutation families, mirroring how real schema repositories diverge:
+
+    * **renames** -- each element is renamed with probability ``rename_rate``
+      to a deterministic off-domain decoy name, so heavily mutated variants
+      drift away from the original's vocabulary;
+    * **subtree grafts** -- ``graft_sections`` extra inner elements with
+      ``graft_fields`` leaves each are grafted under the root;
+    * **type drift** -- each leaf's source type is re-rolled with
+      probability ``drift_rate``.
+
+    The same ``(schema, name, seed, rates)`` always yields the identical
+    variant -- no global random state is involved -- so generated corpora are
+    reproducible across processes and platforms.
+
+    Examples
+    --------
+    >>> from repro.datasets.figure1 import load_po1
+    >>> a = mutate_schema(load_po1(), "V1", seed=3)
+    >>> b = mutate_schema(load_po1(), "V1", seed=3)
+    >>> [p.dotted() for p in a.paths()] == [p.dotted() for p in b.paths()]
+    True
+    >>> mutate_schema(load_po1(), "V2", seed=4).name
+    'V2'
+    """
+    if not 0.0 <= rename_rate <= 1.0 or not 0.0 <= drift_rate <= 1.0:
+        raise ValueError("rename_rate and drift_rate must be within [0, 1]")
+    mutated = Schema(name)
+    # Rename decisions are keyed per *source element* (by its original dotted
+    # occurrence order), so shared fragments stay consistent within a path
+    # walk and the rebuild below is a plain tree unfolding of the path set.
+    by_prefix: Dict[Tuple[str, ...], SchemaElement] = {}
+    renamed: Dict[Tuple[str, ...], str] = {}
+    for index, path in enumerate(schema.paths()):
+        original_names = path.names[1:]  # drop the schema-root occurrence
+        prefix = tuple(original_names)
+        new_name = renamed.get(prefix)
+        if new_name is None:
+            if _pseudo_random(seed, 1, index) % 1000 < rename_rate * 1000:
+                new_name = _decoy_name(seed, 2, index)
+            else:
+                new_name = path.name
+            renamed[prefix] = new_name
+        source_type = path.leaf.source_type
+        if (
+            source_type is not None
+            and _pseudo_random(seed, 3, index) % 1000 < drift_rate * 1000
+        ):
+            source_type = _TYPES[_pseudo_random(seed, 5, index) % len(_TYPES)]
+        parent = by_prefix.get(prefix[:-1])
+        element = mutated.add_element(
+            new_name,
+            parent=parent,
+            kind=path.leaf.kind,
+            source_type=source_type,
+        )
+        by_prefix[prefix] = element
+    for graft_index in range(max(int(graft_sections), 0)):
+        section = mutated.add_element(
+            _decoy_name(seed, 7, graft_index), kind=ElementKind.ELEMENT
+        )
+        for field_index in range(max(int(graft_fields), 0)):
+            mutated.add_element(
+                _decoy_name(seed, 11, graft_index, field_index),
+                parent=section,
+                kind=ElementKind.ELEMENT,
+                source_type=_TYPES[
+                    _pseudo_random(seed, 13, graft_index, field_index)
+                    % len(_TYPES)
+                ],
+            )
+    return mutated
+
+
+def generate_corpus(
+    count: int,
+    seed: int = 7,
+    bases: Optional[List[Schema]] = None,
+    prefix: str = "Corpus",
+    rename_rate: float = 0.7,
+    drift_rate: float = 0.3,
+) -> List[Schema]:
+    """Generate ``count`` mutated decoy schemas for corpus-search workloads.
+
+    The decoys are deterministic :func:`mutate_schema` variants of the
+    Figure-1 / purchase-order test schemas (or the given ``bases``), cycled
+    round-robin with a per-variant seed, named ``{prefix}{i:04d}``.  With the
+    default mutation intensity the decoys keep realistic purchase-order
+    *shape* but drift far enough in vocabulary that the genuine gold-standard
+    schemas still out-rank them for gold queries -- the property the search
+    benchmarks gate on (recall@10 = 1.0).
+
+    Examples
+    --------
+    >>> corpus = generate_corpus(6, seed=11)
+    >>> [schema.name for schema in corpus]
+    ['Corpus0000', 'Corpus0001', 'Corpus0002', 'Corpus0003', 'Corpus0004', 'Corpus0005']
+    >>> again = generate_corpus(6, seed=11)
+    >>> all(
+    ...     [p.dotted() for p in a.paths()] == [p.dotted() for p in b.paths()]
+    ...     for a, b in zip(corpus, again)
+    ... )
+    True
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if bases is None:
+        from repro.datasets.figure1 import load_po1, load_po2
+        from repro.datasets.purchase_orders import load_all_schemas
+
+        bases = [load_po1(), load_po2(), *load_all_schemas().values()]
+    if not bases:
+        raise ValueError("bases must not be empty")
+    return [
+        mutate_schema(
+            bases[index % len(bases)],
+            f"{prefix}{index:04d}",
+            seed=_pseudo_random(seed, index) & 0x7FFFFFFF,
+            rename_rate=rename_rate,
+            drift_rate=drift_rate,
+        )
+        for index in range(count)
+    ]
+
+
 def generate_size_sweep(
     sizes: Tuple[int, ...] = (4, 8, 12, 16),
     fields_per_section: int = 6,

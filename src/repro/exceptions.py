@@ -73,3 +73,12 @@ class ServiceError(ComaError):
 
 class EvaluationError(ComaError):
     """Raised by the evaluation harness (missing gold standard, empty task list, ...)."""
+
+
+class SearchError(ComaError):
+    """Raised by the corpus-search subsystem (:mod:`repro.search`).
+
+    Covers corpus files that cannot be opened or were built with an
+    incompatible tokenizer configuration, unknown schema names, and invalid
+    search parameters.
+    """

@@ -300,6 +300,14 @@ class SimilarityStore:
         side file (``<path>.blobs/<key>.cube``) instead of an inline SQLite
         blob, and read back lazily through ``np.memmap`` in copy-on-write
         mode.  ``None`` disables the tier (in-memory stores always inline).
+    readonly:
+        Open for inspection only (``coma stats --store``): the file is
+        opened ``mode=ro`` (a missing path fails instead of creating an
+        empty database), no DDL or migrations run, and the open validates
+        that the file actually contains the store tables -- pointing the
+        flag at some *other* SQLite database raises
+        :class:`~repro.exceptions.RepositoryError` instead of mutating it or
+        reporting zeros.  Implies ``writer=False``.
 
     Thread safety: one internal lock serialises database access; reads run on
     the caller thread, writes on the writer thread.  The store may be shared
@@ -325,19 +333,38 @@ class SimilarityStore:
         writer: bool = True,
         dtype: str = "float64",
         mmap_threshold: Optional[int] = DEFAULT_MMAP_THRESHOLD,
+        readonly: bool = False,
     ):
         if dtype not in CUBE_DTYPES:
             raise RepositoryError(
                 f"unknown cube dtype {dtype!r}, expected one of {CUBE_DTYPES}"
             )
+        if readonly and path == ":memory:":
+            raise RepositoryError(
+                "a read-only store needs an existing database file, "
+                "not ':memory:'"
+            )
         self._path = path
         self._dtype = dtype
         self._mmap_threshold = mmap_threshold
+        self._readonly = bool(readonly)
         self._lock = threading.RLock()
         try:
-            self._connection = sqlite3.connect(
-                path, check_same_thread=False, timeout=self.BUSY_TIMEOUT_SECONDS
-            )
+            if readonly:
+                # An inspection-only open (`coma stats --store`) must neither
+                # create a database out of a typo'd path nor run DDL against
+                # a file that is *some other* SQLite database -- mode=ro
+                # fails on a missing file and guarantees zero mutation.
+                self._connection = sqlite3.connect(
+                    f"file:{path}?mode=ro",
+                    uri=True,
+                    check_same_thread=False,
+                    timeout=self.BUSY_TIMEOUT_SECONDS,
+                )
+            else:
+                self._connection = sqlite3.connect(
+                    path, check_same_thread=False, timeout=self.BUSY_TIMEOUT_SECONDS
+                )
             # One store file is routinely shared by many *processes* (every
             # worker of `coma serve --backend process` opens its own
             # connection).  WAL lets those readers proceed while a writer
@@ -351,26 +378,44 @@ class SimilarityStore:
             self._connection.execute(
                 f"PRAGMA busy_timeout = {int(self.BUSY_TIMEOUT_SECONDS * 1000)}"
             )
-            if path != ":memory:":
-                try:
-                    self._connection.execute("PRAGMA journal_mode = WAL")
-                    self._connection.execute("PRAGMA synchronous = NORMAL")
-                except sqlite3.Error:
-                    # Some filesystems cannot memory-map the WAL side files;
-                    # the store still works, just with coarser locking.
-                    pass
-            self._connection.executescript(_STORE_DDL)
-            # Files created before the dtype contract lack the newer columns
-            # (their rows are unreachable anyway -- the format version is in
-            # every digest -- but the occupancy queries still touch them).
-            for migration in (
-                "ALTER TABLE cubes ADD COLUMN dtype TEXT NOT NULL DEFAULT 'float64'",
-                "ALTER TABLE cubes ADD COLUMN payload_bytes INTEGER NOT NULL DEFAULT 0",
-                "ALTER TABLE cubes ADD COLUMN external INTEGER NOT NULL DEFAULT 0",
-            ):
-                with contextlib.suppress(sqlite3.OperationalError):
-                    self._connection.execute(migration)
-            self._connection.commit()
+            if readonly:
+                # No DDL, no migrations: verify the file actually is a
+                # similarity store instead of silently reporting zeros over
+                # (or worse, later mutating) an unrelated database.
+                present = {
+                    row[0]
+                    for row in self._connection.execute(
+                        "SELECT name FROM sqlite_master WHERE type = 'table'"
+                    )
+                }
+                missing = {"cubes", "tokens", "counters"} - present
+                if missing:
+                    self._connection.close()
+                    raise RepositoryError(
+                        f"{path!r} is not a similarity store (missing "
+                        f"table(s): {', '.join(sorted(missing))})"
+                    )
+            else:
+                if path != ":memory:":
+                    try:
+                        self._connection.execute("PRAGMA journal_mode = WAL")
+                        self._connection.execute("PRAGMA synchronous = NORMAL")
+                    except sqlite3.Error:
+                        # Some filesystems cannot memory-map the WAL side files;
+                        # the store still works, just with coarser locking.
+                        pass
+                self._connection.executescript(_STORE_DDL)
+                # Files created before the dtype contract lack the newer columns
+                # (their rows are unreachable anyway -- the format version is in
+                # every digest -- but the occupancy queries still touch them).
+                for migration in (
+                    "ALTER TABLE cubes ADD COLUMN dtype TEXT NOT NULL DEFAULT 'float64'",
+                    "ALTER TABLE cubes ADD COLUMN payload_bytes INTEGER NOT NULL DEFAULT 0",
+                    "ALTER TABLE cubes ADD COLUMN external INTEGER NOT NULL DEFAULT 0",
+                ):
+                    with contextlib.suppress(sqlite3.OperationalError):
+                        self._connection.execute(migration)
+                self._connection.commit()
         except sqlite3.Error as error:
             # A corrupt file, a non-SQLite file passed by mistake, or an
             # unwritable path must surface as a clean library error, not a
@@ -384,7 +429,7 @@ class SimilarityStore:
         self._closed = False
         self._queue: "queue.Queue[Optional[Tuple]]" = queue.Queue()
         self._writer: Optional[threading.Thread] = None
-        if writer:
+        if writer and not readonly:
             self._writer = threading.Thread(
                 target=self._drain_writes, name="similarity-store-writer", daemon=True
             )
@@ -722,6 +767,8 @@ class SimilarityStore:
 
     def _persist_counters(self) -> None:
         """Fold the process-local counters into the persistent totals."""
+        if self._readonly:
+            return
         with self._lock:
             deltas = (("hits", self._hits), ("misses", self._misses))
             for name, value in deltas:

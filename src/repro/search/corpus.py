@@ -1,0 +1,704 @@
+"""The schema corpus: a persistent inverted candidate index over schemas.
+
+Corpus-scale matching ("find the best targets for this schema among
+thousands") cannot afford the full matcher pipeline per candidate -- the
+pipeline is milliseconds per pair, and a repository holds thousands of pairs
+per query.  A :class:`SchemaCorpus` therefore registers every schema into a
+small SQLite database holding three indexed structures:
+
+* an **inverted term index** over the unique-key vocabularies the batch
+  engine already extracts per :class:`~repro.engine.profiles.PathSetProfile`:
+  name *tokens*, lower-cased character *n-grams* and *soundex* codes.  Each
+  (kind, term) row carries its document frequency, so candidate ranking is a
+  cheap idf-weighted set-overlap computed with numpy over the posting lists
+  (see :meth:`SchemaCorpus.rank`);
+* a **node interval table**: the pre/post-order encoding of each schema's
+  path tree (:mod:`repro.search.intervals`), so structural filtering --
+  "schemas containing a subtree labelled like X with roughly this many
+  descendants" -- is an indexed B-tree range query over ``(label, size)``
+  instead of a graph traversal per schema;
+* the **schema documents** themselves (the canonical JSON serialisation), so
+  pruned survivors can be loaded and pushed through the full
+  :class:`~repro.session.session.MatchSession` pipeline without a separate
+  schema store.
+
+The corpus lives in its own SQLite file (or ``":memory:"``) alongside the
+:class:`~repro.repository.repository.Repository` and the
+:class:`~repro.repository.store.SimilarityStore` -- same deployment model,
+same thread-safety discipline (one internal lock, connections opened with
+``check_same_thread=False``).  All vocabulary extraction goes through one
+tokenizer whose configuration digest is pinned in the corpus metadata:
+opening a corpus with a differently configured tokenizer raises rather than
+silently producing disjoint query/index vocabularies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import os
+import sqlite3
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.profiles import PathSetProfile, TOKEN_MODE_NAME
+from repro.exceptions import SearchError
+from repro.linguistic.tokenizer import NameTokenizer
+from repro.model.schema import Schema
+from repro.repository.serialization import schema_from_json, schema_to_json
+from repro.repository.store import schema_content_digest, tokenizer_digest
+from repro.search.intervals import IntervalNode, interval_encode
+
+#: Term kinds of the inverted index, with their contribution weights in the
+#: candidate score.  Tokens are the strongest signal (they survive the
+#: tokenizer's abbreviation expansion), soundex codes catch spelling drift,
+#: and grams are the high-recall backstop -- individually weak (their high
+#: document frequency also earns them low idf) but dense.
+TERM_KINDS: Tuple[str, ...] = ("token", "gram", "soundex")
+KIND_WEIGHTS: Dict[str, float] = {"token": 1.0, "soundex": 0.6, "gram": 0.25}
+
+#: n of the indexed character n-grams (matches the Trigram library matcher).
+GRAM_SIZE = 3
+
+#: SQL ``IN (...)`` chunk size (SQLite's default variable limit is 999).
+_SQL_CHUNK = 400
+
+_CORPUS_DDL = """
+CREATE TABLE IF NOT EXISTS corpus_meta (
+    key    TEXT PRIMARY KEY,
+    value  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS corpus_schemas (
+    schema_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    name           TEXT NOT NULL UNIQUE,
+    digest         TEXT NOT NULL,
+    path_count     INTEGER NOT NULL,
+    norm           REAL NOT NULL,
+    document       TEXT NOT NULL,
+    registered_at  REAL NOT NULL DEFAULT (julianday('now'))
+);
+CREATE TABLE IF NOT EXISTS corpus_terms (
+    term_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind     TEXT NOT NULL,
+    term     TEXT NOT NULL,
+    df       INTEGER NOT NULL DEFAULT 0,
+    UNIQUE (kind, term)
+);
+CREATE TABLE IF NOT EXISTS corpus_postings (
+    term_id    INTEGER NOT NULL,
+    schema_id  INTEGER NOT NULL,
+    count      INTEGER NOT NULL,
+    PRIMARY KEY (term_id, schema_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS corpus_postings_by_schema
+    ON corpus_postings (schema_id);
+CREATE TABLE IF NOT EXISTS corpus_nodes (
+    schema_id  INTEGER NOT NULL,
+    pre        INTEGER NOT NULL,
+    post       INTEGER NOT NULL,
+    depth      INTEGER NOT NULL,
+    size       INTEGER NOT NULL,
+    label      TEXT NOT NULL,
+    dotted     TEXT NOT NULL,
+    PRIMARY KEY (schema_id, pre)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS corpus_nodes_by_label_size
+    ON corpus_nodes (label, size);
+"""
+
+
+def schema_vocabulary(
+    profile: PathSetProfile,
+) -> Dict[Tuple[str, str], int]:
+    """The indexed (kind, term) -> occurrence-count vocabulary of one profile.
+
+    Counts are per path occurrence: a term carried by a shared element that
+    appears on several paths counts once per path, mirroring COMA's
+    path-granular match model.  The extraction reuses exactly the derived
+    representations the batch matchers evaluate (token profile, n-gram sets,
+    soundex codes), so the index vocabulary and the matcher vocabulary can
+    never drift apart.
+    """
+    vocabulary: Dict[Tuple[str, str], int] = {}
+
+    token_profile = profile.token_profile(TOKEN_MODE_NAME)
+    for key in token_profile.keys:
+        for token in key:
+            entry = ("token", token)
+            vocabulary[entry] = vocabulary.get(entry, 0) + 1
+
+    gram_sets = profile.ngram_sets(GRAM_SIZE)
+    soundex_codes = profile.soundex_codes()
+    for unique_index in profile.name_inverse:
+        for gram in gram_sets[unique_index]:
+            entry = ("gram", gram)
+            vocabulary[entry] = vocabulary.get(entry, 0) + 1
+        code = soundex_codes[unique_index]
+        if code:
+            entry = ("soundex", code)
+            vocabulary[entry] = vocabulary.get(entry, 0) + 1
+    return vocabulary
+
+
+def vocabulary_norm(vocabulary: Mapping[Tuple[str, str], int]) -> float:
+    """The kind-weighted norm of a vocabulary (``sqrt`` of summed weights).
+
+    Scores are normalised by both sides' norms, so a large schema does not
+    dominate the ranking merely by carrying more terms.
+    """
+    total = sum(KIND_WEIGHTS[kind] for kind, _ in vocabulary)
+    return float(np.sqrt(total)) if total > 0.0 else 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateScore:
+    """One ranked candidate of the cheap index pass (no matchers involved)."""
+
+    name: str
+    score: float
+    schema_id: int
+    digest: str
+    path_count: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SubtreeHit:
+    """One structural hit of :meth:`SchemaCorpus.find_subtrees`."""
+
+    schema_name: str
+    dotted: str
+    size: int
+    depth: int
+
+
+def _chunks(items: Sequence, size: int = _SQL_CHUNK) -> Iterable[Sequence]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+class SchemaCorpus:
+    """A persistent, incrementally maintained schema corpus with a candidate index.
+
+    Parameters
+    ----------
+    path:
+        The SQLite database file (``":memory:"`` for tests and throwaway
+        corpora).
+    tokenizer:
+        The tokenizer all vocabulary extraction goes through (default: a
+        stock :class:`~repro.linguistic.tokenizer.NameTokenizer`).  Its
+        configuration digest is pinned in the corpus on first write; opening
+        an existing corpus with a different configuration raises
+        :class:`~repro.exceptions.SearchError`.
+
+    Thread safety: one internal reentrant lock serialises database access;
+    the corpus may be shared by many sessions and service threads.
+
+    Examples
+    --------
+    >>> from repro.datasets.figure1 import load_po1
+    >>> corpus = SchemaCorpus(":memory:")
+    >>> corpus.add(load_po1())
+    1
+    >>> len(corpus), corpus.names()
+    (1, ('PO1',))
+    >>> corpus.close()
+    """
+
+    #: Bound on the loaded-schema cache (documents are re-parsed on demand).
+    MAX_LOADED_SCHEMAS = 2048
+
+    def __init__(self, path: str, tokenizer: Optional[NameTokenizer] = None):
+        self._path = path
+        self._tokenizer = tokenizer if tokenizer is not None else NameTokenizer()
+        self._tokenizer_digest = tokenizer_digest(self._tokenizer)
+        self._lock = threading.RLock()
+        self._loaded: Dict[int, Tuple[str, Schema]] = {}
+        try:
+            self._connection = sqlite3.connect(
+                path, check_same_thread=False, timeout=30.0
+            )
+            self._connection.execute("PRAGMA busy_timeout = 30000")
+            if path != ":memory:":
+                with contextlib.suppress(sqlite3.Error):
+                    self._connection.execute("PRAGMA journal_mode = WAL")
+                    self._connection.execute("PRAGMA synchronous = NORMAL")
+            self._connection.executescript(_CORPUS_DDL)
+            self._connection.commit()
+        except sqlite3.Error as error:
+            raise SearchError(
+                f"cannot open schema corpus {path!r}: {error}"
+            ) from error
+        pinned = self._meta("tokenizer_digest")
+        if pinned is None:
+            self._set_meta("tokenizer_digest", self._tokenizer_digest)
+        elif pinned != self._tokenizer_digest:
+            self._connection.close()
+            raise SearchError(
+                f"schema corpus {path!r} was built with a differently "
+                f"configured tokenizer; query and index vocabularies would "
+                f"not line up (expected digest {pinned[:12]}..., got "
+                f"{self._tokenizer_digest[:12]}...)"
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """The database path."""
+        return self._path
+
+    @property
+    def tokenizer(self) -> NameTokenizer:
+        """The tokenizer vocabulary extraction goes through."""
+        return self._tokenizer
+
+    @property
+    def tokenizer_digest(self) -> str:
+        """The pinned tokenizer-configuration digest of this corpus."""
+        return self._tokenizer_digest
+
+    def close(self) -> None:
+        """Close the database.  Idempotent."""
+        with self._lock:
+            with contextlib.suppress(sqlite3.Error):
+                self._connection.close()
+
+    def __enter__(self) -> "SchemaCorpus":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _meta(self, key: str) -> Optional[str]:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT value FROM corpus_meta WHERE key = ?", (key,)
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def _set_meta(self, key: str, value: str) -> None:
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO corpus_meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+            self._connection.commit()
+
+    # -- registration ----------------------------------------------------------
+
+    def add(
+        self,
+        schema: Schema,
+        replace: bool = True,
+        profile: Optional[PathSetProfile] = None,
+    ) -> int:
+        """Register a schema: index its vocabulary and intervals, store its document.
+
+        Parameters
+        ----------
+        schema:
+            The schema to register (keyed by its name).
+        replace:
+            Replace an existing registration of the same name (default);
+            with ``False`` a name collision raises
+            :class:`~repro.exceptions.SearchError`.
+        profile:
+            An existing :class:`~repro.engine.profiles.PathSetProfile` of the
+            schema's paths (e.g. the session-cached one); built on the spot
+            when omitted.
+
+        Returns
+        -------
+        int
+            The corpus-internal schema id.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1
+        >>> corpus = SchemaCorpus(":memory:")
+        >>> corpus.add(load_po1()) > 0
+        True
+        >>> corpus.add(load_po1(), replace=False)
+        Traceback (most recent call last):
+          ...
+        repro.exceptions.SearchError: schema 'PO1' is already registered...
+        """
+        if profile is None:
+            profile = PathSetProfile(schema.paths(), self._tokenizer)
+        vocabulary = schema_vocabulary(profile)
+        norm = vocabulary_norm(vocabulary)
+        nodes = interval_encode(schema)
+        document = schema_to_json(schema)
+        digest = schema_content_digest(schema)
+        with self._lock:
+            existing = self._connection.execute(
+                "SELECT schema_id FROM corpus_schemas WHERE name = ?",
+                (schema.name,),
+            ).fetchone()
+            if existing is not None:
+                if not replace:
+                    raise SearchError(
+                        f"schema {schema.name!r} is already registered in "
+                        f"corpus {self._path!r}; pass replace=True to update it"
+                    )
+                self._remove_locked(int(existing[0]))
+            cursor = self._connection.execute(
+                "INSERT INTO corpus_schemas (name, digest, path_count, norm, "
+                "document) VALUES (?, ?, ?, ?, ?)",
+                (schema.name, digest, len(schema.paths()), norm, document),
+            )
+            schema_id = int(cursor.lastrowid)
+            self._index_terms_locked(schema_id, vocabulary)
+            self._connection.executemany(
+                "INSERT INTO corpus_nodes (schema_id, pre, post, depth, size, "
+                "label, dotted) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        schema_id,
+                        node.pre,
+                        node.post,
+                        node.depth,
+                        node.size,
+                        node.name.lower(),
+                        node.dotted,
+                    )
+                    for node in nodes
+                ],
+            )
+            self._connection.commit()
+        return schema_id
+
+    def add_many(self, schemas: Iterable[Schema], replace: bool = True) -> List[int]:
+        """Register many schemas; returns their ids in input order."""
+        return [self.add(schema, replace=replace) for schema in schemas]
+
+    def _index_terms_locked(
+        self, schema_id: int, vocabulary: Mapping[Tuple[str, str], int]
+    ) -> None:
+        entries = sorted(vocabulary.items())  # deterministic insert order
+        self._connection.executemany(
+            "INSERT OR IGNORE INTO corpus_terms (kind, term, df) VALUES (?, ?, 0)",
+            [(kind, term) for (kind, term), _ in entries],
+        )
+        term_ids: List[int] = []
+        for chunk in _chunks(entries):
+            placeholders = ",".join("(?,?)" for _ in chunk)
+            parameters: List[str] = []
+            for (kind, term), _ in chunk:
+                parameters.extend((kind, term))
+            rows = self._connection.execute(
+                f"SELECT kind, term, term_id FROM corpus_terms "
+                f"WHERE (kind, term) IN (VALUES {placeholders})",
+                parameters,
+            ).fetchall()
+            by_key = {(kind, term): term_id for kind, term, term_id in rows}
+            term_ids.extend(by_key[key] for key, _ in chunk)
+        self._connection.executemany(
+            "INSERT INTO corpus_postings (term_id, schema_id, count) "
+            "VALUES (?, ?, ?)",
+            [
+                (term_id, schema_id, count)
+                for term_id, (_, count) in zip(term_ids, entries)
+            ],
+        )
+        self._connection.executemany(
+            "UPDATE corpus_terms SET df = df + 1 WHERE term_id = ?",
+            [(term_id,) for term_id in term_ids],
+        )
+
+    def _remove_locked(self, schema_id: int) -> None:
+        self._connection.execute(
+            "UPDATE corpus_terms SET df = df - 1 WHERE term_id IN "
+            "(SELECT term_id FROM corpus_postings WHERE schema_id = ?)",
+            (schema_id,),
+        )
+        self._connection.execute(
+            "DELETE FROM corpus_postings WHERE schema_id = ?", (schema_id,)
+        )
+        self._connection.execute("DELETE FROM corpus_terms WHERE df <= 0")
+        self._connection.execute(
+            "DELETE FROM corpus_nodes WHERE schema_id = ?", (schema_id,)
+        )
+        self._connection.execute(
+            "DELETE FROM corpus_schemas WHERE schema_id = ?", (schema_id,)
+        )
+        self._loaded.pop(schema_id, None)
+
+    def remove(self, name: str) -> bool:
+        """Deregister a schema by name; True when something was removed.
+
+        Removal is fully incremental: postings disappear, document
+        frequencies are decremented and orphaned vocabulary rows are dropped,
+        so subsequent rankings behave as if the schema had never been
+        registered.
+        """
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT schema_id FROM corpus_schemas WHERE name = ?", (name,)
+            ).fetchone()
+            if row is None:
+                return False
+            self._remove_locked(int(row[0]))
+            self._connection.commit()
+        return True
+
+    # -- accessors -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM corpus_schemas"
+            ).fetchone()
+        return int(row[0])
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered schema names, sorted."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT name FROM corpus_schemas ORDER BY name"
+            ).fetchall()
+        return tuple(name for (name,) in rows)
+
+    def has(self, name: str) -> bool:
+        """True if a schema of that name is registered."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM corpus_schemas WHERE name = ?", (name,)
+            ).fetchone()
+        return row is not None
+
+    def load(self, name: str) -> Schema:
+        """The registered schema, rebuilt from its stored document (cached).
+
+        Raises
+        ------
+        SearchError
+            If no schema of that name is registered.
+        """
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT schema_id, digest, document FROM corpus_schemas "
+                "WHERE name = ?",
+                (name,),
+            ).fetchone()
+            if row is None:
+                raise SearchError(
+                    f"no schema named {name!r} in corpus {self._path!r}"
+                )
+            schema_id, digest = int(row[0]), row[1]
+            cached = self._loaded.get(schema_id)
+            if cached is not None and cached[0] == digest:
+                return cached[1]
+        schema = schema_from_json(row[2])
+        with self._lock:
+            self._loaded[schema_id] = (digest, schema)
+            while len(self._loaded) > self.MAX_LOADED_SCHEMAS:
+                self._loaded.pop(next(iter(self._loaded)))
+        return schema
+
+    def info(self) -> Dict[str, object]:
+        """Occupancy statistics of the corpus."""
+        with self._lock:
+            schemas, paths = self._connection.execute(
+                "SELECT COUNT(*), COALESCE(SUM(path_count), 0) FROM corpus_schemas"
+            ).fetchone()
+            terms = self._connection.execute(
+                "SELECT COUNT(*) FROM corpus_terms"
+            ).fetchone()[0]
+            postings = self._connection.execute(
+                "SELECT COUNT(*) FROM corpus_postings"
+            ).fetchone()[0]
+            nodes = self._connection.execute(
+                "SELECT COUNT(*) FROM corpus_nodes"
+            ).fetchone()[0]
+        return {
+            "path": self._path,
+            "schemas": int(schemas),
+            "paths": int(paths),
+            "terms": int(terms),
+            "postings": int(postings),
+            "nodes": int(nodes),
+            "tokenizer_digest": self._tokenizer_digest,
+        }
+
+    # -- candidate ranking -----------------------------------------------------
+
+    def rank(
+        self,
+        vocabulary: Mapping[Tuple[str, str], int],
+        limit: Optional[int] = None,
+        exclude_digests: Sequence[str] = (),
+        exclude_names: Sequence[str] = (),
+    ) -> List[CandidateScore]:
+        """Rank registered schemas against a query vocabulary -- no matchers run.
+
+        The score of candidate ``c`` is the idf-weighted set overlap
+
+        .. math::
+
+            \\frac{\\sum_{t \\in Q \\cap C} w_{kind(t)} \\cdot
+                   \\log(1 + N / df_t)}{\\|Q\\| \\cdot \\|C\\|}
+
+        computed with numpy over the concatenated posting lists of the
+        query's terms: one ``np.add.at`` scatter accumulates every posting's
+        contribution into its candidate's score.  Ties break by name, so the
+        ranking is fully deterministic for a given corpus file.
+
+        Parameters
+        ----------
+        vocabulary:
+            The query's (kind, term) -> count vocabulary
+            (:func:`schema_vocabulary` of its profile).
+        limit:
+            Return at most this many candidates (default: all with a
+            positive score).
+        exclude_digests / exclude_names:
+            Registered schemas to leave out (typically the query itself,
+            when it is part of the corpus).
+        """
+        query_norm = vocabulary_norm(vocabulary)
+        by_kind: Dict[str, List[str]] = {}
+        for kind, term in vocabulary:
+            by_kind.setdefault(kind, []).append(term)
+        schema_ids: List[int] = []
+        contributions: List[float] = []
+        with self._lock:
+            total = len(self)
+            if total == 0:
+                return []
+            for kind in TERM_KINDS:
+                terms = sorted(by_kind.get(kind, ()))
+                weight = KIND_WEIGHTS[kind]
+                for chunk in _chunks(terms):
+                    placeholders = ",".join("?" for _ in chunk)
+                    rows = self._connection.execute(
+                        f"SELECT t.df, p.schema_id FROM corpus_terms t "
+                        f"JOIN corpus_postings p ON p.term_id = t.term_id "
+                        f"WHERE t.kind = ? AND t.term IN ({placeholders}) "
+                        f"ORDER BY t.term_id, p.schema_id",
+                        (kind, *chunk),
+                    ).fetchall()
+                    for df, schema_id in rows:
+                        schema_ids.append(schema_id)
+                        contributions.append(
+                            weight * float(np.log1p(total / max(int(df), 1)))
+                        )
+            if not schema_ids:
+                return []
+            ids = np.asarray(schema_ids, dtype=np.int64)
+            values = np.asarray(contributions, dtype=np.float64)
+            unique_ids, inverse = np.unique(ids, return_inverse=True)
+            scores = np.zeros(len(unique_ids), dtype=np.float64)
+            np.add.at(scores, inverse, values)
+            details: Dict[int, Tuple[str, str, int, float]] = {}
+            for chunk in _chunks([int(i) for i in unique_ids]):
+                placeholders = ",".join("?" for _ in chunk)
+                for schema_id, name, digest, paths, norm in self._connection.execute(
+                    f"SELECT schema_id, name, digest, path_count, norm "
+                    f"FROM corpus_schemas WHERE schema_id IN ({placeholders})",
+                    chunk,
+                ).fetchall():
+                    details[int(schema_id)] = (name, digest, int(paths), float(norm))
+        excluded_digests = frozenset(exclude_digests)
+        excluded_names = frozenset(exclude_names)
+        candidates: List[CandidateScore] = []
+        for index, schema_id in enumerate(unique_ids):
+            name, digest, paths, norm = details[int(schema_id)]
+            if digest in excluded_digests or name in excluded_names:
+                continue
+            candidates.append(
+                CandidateScore(
+                    name=name,
+                    score=float(scores[index]) / (query_norm * norm),
+                    schema_id=int(schema_id),
+                    digest=digest,
+                    path_count=paths,
+                )
+            )
+        candidates.sort(key=lambda c: (-c.score, c.name))
+        if limit is not None:
+            return candidates[: max(int(limit), 0)]
+        return candidates
+
+    def rank_schema(
+        self,
+        schema: Schema,
+        limit: Optional[int] = None,
+        profile: Optional[PathSetProfile] = None,
+        exclude_self: bool = True,
+    ) -> List[CandidateScore]:
+        """Rank registered schemas against a query *schema* (convenience).
+
+        ``exclude_self`` drops registered schemas whose content digest equals
+        the query's -- searching a corpus that contains the query schema
+        itself should surface its best *other* matches, not the identity.
+        """
+        if profile is None:
+            profile = PathSetProfile(schema.paths(), self._tokenizer)
+        exclude = (schema_content_digest(schema),) if exclude_self else ()
+        return self.rank(
+            schema_vocabulary(profile), limit=limit, exclude_digests=exclude
+        )
+
+    # -- structural filtering --------------------------------------------------
+
+    def find_subtrees(
+        self,
+        label: str,
+        min_size: int = 1,
+        max_size: Optional[int] = None,
+        limit: int = 100,
+    ) -> List[SubtreeHit]:
+        """Schemas containing a subtree with this (lower-cased) root label.
+
+        This is the XPath-accelerator payoff: the pre/post interval encoding
+        materialises each node's subtree ``size``, so "a subtree labelled
+        ``address`` with 3..12 descendants" is one indexed range scan over
+        ``(label, size)`` -- no schema graph is loaded, let alone walked.
+
+        Parameters
+        ----------
+        label:
+            The element name of the subtree root (matched lower-cased).
+        min_size / max_size:
+            Bounds on the subtree's node count (including the root).
+        limit:
+            Maximum hits returned (ordered by size descending, then schema
+            name and document order).
+        """
+        if min_size < 1:
+            raise SearchError(f"min_size must be >= 1, got {min_size}")
+        statement = (
+            "SELECT s.name, n.dotted, n.size, n.depth "
+            "FROM corpus_nodes n JOIN corpus_schemas s "
+            "ON s.schema_id = n.schema_id "
+            "WHERE n.label = ? AND n.size >= ?"
+        )
+        parameters: List[object] = [label.lower(), int(min_size)]
+        if max_size is not None:
+            statement += " AND n.size <= ?"
+            parameters.append(int(max_size))
+        statement += " ORDER BY n.size DESC, s.name, n.pre LIMIT ?"
+        parameters.append(int(limit))
+        with self._lock:
+            rows = self._connection.execute(statement, parameters).fetchall()
+        return [
+            SubtreeHit(schema_name=name, dotted=dotted, size=int(size), depth=int(depth))
+            for name, dotted, size, depth in rows
+        ]
+
+    def schemas_with_subtree(
+        self, label: str, min_size: int = 1, max_size: Optional[int] = None
+    ) -> Tuple[str, ...]:
+        """Distinct names of schemas containing a matching subtree (sorted)."""
+        hits = self.find_subtrees(
+            label, min_size=min_size, max_size=max_size, limit=1_000_000
+        )
+        return tuple(sorted({hit.schema_name for hit in hits}))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SchemaCorpus(path={self._path!r}, schemas={len(self)})"

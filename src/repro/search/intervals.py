@@ -1,0 +1,140 @@
+"""Pre/post-order interval encoding of a schema's path tree.
+
+Structural candidate filtering at corpus scale ("which schemas contain a
+subtree shaped like X?") must not walk schema graphs one by one -- at ten
+thousand schemas that is exactly the kind of work the inverted index exists
+to avoid.  The XPath-accelerator encoding (Grust's pre/post plane) turns the
+containment structure of a tree into plain integers a relational index can
+range-scan:
+
+* every node occurrence gets a **preorder rank** ``pre`` (document order) and
+  a **postorder rank** ``post``;
+* node ``d`` is a descendant of node ``a`` *iff* ``pre(d) > pre(a)`` and
+  ``post(d) < post(a)`` -- an ancestor's interval strictly contains every
+  descendant's;
+* because preorder ranks of a subtree are contiguous, the subtree of ``a``
+  occupies the window ``pre(a) .. pre(a) + size(a) - 1``.
+
+COMA's match granularity is the *path*: a shared fragment (the paper's
+``Address`` type) occurs once per containment context, so the encoded tree is
+the path tree -- the DFS unfolding of the schema DAG whose nodes are exactly
+``schema.paths()``.  Each :class:`IntervalNode` therefore corresponds 1:1 to
+one ``SchemaPath`` (plus one artificial root node), and the (pre, post, size,
+depth) columns the :class:`~repro.search.corpus.SchemaCorpus` stores per node
+make "schemas sharing a subtree with this label and roughly this many
+descendants" an indexed B-tree range query instead of a graph traversal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.path import SchemaPath
+from repro.model.schema import Schema
+
+
+@dataclasses.dataclass(frozen=True)
+class IntervalNode:
+    """One node occurrence of a schema's path tree in the pre/post plane.
+
+    ``pre`` and ``post`` are 0-based preorder/postorder ranks over the whole
+    path tree (including the artificial schema root, which always has
+    ``pre == 0``).  ``size`` counts the nodes of the subtree rooted here
+    (including the node itself), so the subtree occupies the contiguous
+    preorder window ``[pre, pre + size - 1]``.
+    """
+
+    pre: int
+    post: int
+    depth: int
+    size: int
+    name: str
+    dotted: str
+    path: Optional[SchemaPath]
+
+    @property
+    def is_root(self) -> bool:
+        """True for the artificial schema-root node (``pre == 0``)."""
+        return self.path is None
+
+    @property
+    def leaf_window(self) -> Tuple[int, int]:
+        """The closed preorder window ``(pre, pre + size - 1)`` of the subtree."""
+        return (self.pre, self.pre + self.size - 1)
+
+    def contains(self, other: "IntervalNode") -> bool:
+        """True if ``other`` lies strictly inside this node's subtree.
+
+        This is the XPath-accelerator containment test: a descendant's
+        interval is strictly nested inside every ancestor's.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1
+        >>> nodes = interval_encode(load_po1())
+        >>> root, first = nodes[0], nodes[1]
+        >>> root.contains(first), first.contains(root)
+        (True, False)
+        """
+        return self.pre < other.pre and other.post < self.post
+
+
+def interval_encode(schema: Schema) -> Tuple[IntervalNode, ...]:
+    """Encode a schema's path tree into pre/post-order interval nodes.
+
+    The result is ordered by ``pre`` (document order) and starts with the
+    artificial root node.  ``schema.paths()`` already enumerates the path
+    tree in DFS preorder, so the encoding is a single linear pass: a stack of
+    open nodes assigns postorder ranks and subtree sizes as soon as the walk
+    leaves each subtree.
+
+    Examples
+    --------
+    >>> from repro.datasets.figure1 import load_po1
+    >>> nodes = interval_encode(load_po1())
+    >>> len(nodes) == len(load_po1().paths()) + 1
+    True
+    >>> nodes[0].size == len(nodes)   # the root subtree spans the whole tree
+    True
+    >>> sorted(n.pre for n in nodes) == list(range(len(nodes)))
+    True
+    >>> sorted(n.post for n in nodes) == list(range(len(nodes)))
+    True
+    """
+    paths = schema.paths(include_root=True)
+    pre_of_depth: List[int] = []  # stack: pre ranks of the currently open chain
+    depths: List[int] = []
+    records: Dict[int, Tuple[int, int, int]] = {}  # pre -> (post, depth, size)
+    post_counter = 0
+
+    def close(upto_depth: int, next_pre: int) -> None:
+        nonlocal post_counter
+        while depths and depths[-1] >= upto_depth:
+            open_pre = pre_of_depth.pop()
+            open_depth = depths.pop()
+            records[open_pre] = (post_counter, open_depth, next_pre - open_pre)
+            post_counter += 1
+
+    for pre, path in enumerate(paths):
+        depth = len(path) - 1  # root occurrence has depth 0
+        close(depth, pre)
+        pre_of_depth.append(pre)
+        depths.append(depth)
+    close(0, len(paths))
+
+    nodes: List[IntervalNode] = []
+    for pre, path in enumerate(paths):
+        post, depth, size = records[pre]
+        nodes.append(
+            IntervalNode(
+                pre=pre,
+                post=post,
+                depth=depth,
+                size=size,
+                name=path.name,
+                dotted=path.dotted(),
+                path=None if depth == 0 else path,
+            )
+        )
+    return tuple(nodes)

@@ -279,6 +279,34 @@ class ServiceClient:
             payload["min_similarity"] = min_similarity
         return self.request("POST", "/match/batch", payload)["results"]
 
+    def search(
+        self,
+        source: str,
+        k: int = 10,
+        strategy: Optional[str] = None,
+        candidates: Optional[int] = None,
+        min_similarity: Optional[float] = None,
+    ) -> dict:
+        """Top-K corpus search for an uploaded schema (``POST /search``).
+
+        Requires the service to run with a schema corpus
+        (``coma serve --corpus``).  ``source`` is the name of an uploaded or
+        corpus-registered schema; the response carries ranked results with
+        per-candidate schema similarity, index score and correspondences.
+        """
+        payload: dict = {"source": source, "k": int(k)}
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if candidates is not None:
+            payload["candidates"] = int(candidates)
+        if min_similarity is not None:
+            payload["min_similarity"] = min_similarity
+        return self.request("POST", "/search", payload)
+
+    def corpus_info(self) -> dict:
+        """Schema-corpus occupancy and registered names (``GET /corpus``)."""
+        return self.request("GET", "/corpus")
+
     def save_strategy(self, name: str, spec: str) -> dict:
         """Store a named strategy spec (``POST /strategies``)."""
         return self.request("POST", "/strategies", {"name": name, "spec": spec})

@@ -22,6 +22,8 @@ GET      ``/schemas/{name}``   statistics of one uploaded schema
 DELETE   ``/schemas/{name}``   remove one uploaded schema
 POST     ``/match``            match two uploaded schemas
 POST     ``/match/batch``      match many pairs in one session acquisition
+POST     ``/search``           top-K corpus search for an uploaded schema
+GET      ``/corpus``           schema-corpus occupancy and registered names
 GET      ``/strategies``       list the stored named strategies
 POST     ``/strategies``       store a named strategy spec
 GET      ``/strategies/{name}``  one stored strategy (spec + dict form)
@@ -100,6 +102,14 @@ class MatchService:
         Applies to the service's own store handle and, on the process
         backend, to every worker's store connection.  Requires
         ``store_path``; see ``docs/service.md`` for the selection guide.
+    corpus_path:
+        Optional schema corpus (:class:`~repro.search.corpus.SchemaCorpus`
+        SQLite file, or ``":memory:"``) enabling the ``POST /search`` /
+        ``GET /corpus`` endpoints.  Uploaded schemas are registered into the
+        corpus automatically (and deregistered on delete), so a service
+        fed schemas over ``POST /schemas`` builds its search index as it
+        goes; survivor matching fans out over the configured backend.  See
+        ``docs/search.md``.
     importers:
         The importer registry resolving upload formats (default: the
         built-in relational / xsd / dict importers).
@@ -126,6 +136,7 @@ class MatchService:
         repository_path: Optional[str] = None,
         store_path: Optional[str] = None,
         store_dtype: Optional[str] = None,
+        corpus_path: Optional[str] = None,
         importers: Optional[ImporterRegistry] = None,
         session_factory: Optional[SessionFactory] = None,
         default_strategy: Optional[str] = None,
@@ -188,6 +199,22 @@ class MatchService:
 
             self._pool = SessionPool(pool_size, session_factory)
             self._library = self._pool.sessions[0].library
+        self._corpus = None
+        self._search_session = None
+        if corpus_path:
+            from repro.search.corpus import SchemaCorpus
+            from repro.search.searcher import CorpusSearcher
+
+            # The search session only *ranks* (profile cache + index); the
+            # expensive survivor matching is routed through the worker pool
+            # via the searcher's match_many override, so both backends fan
+            # out identically and results stay byte-identical to the
+            # in-process MatchSession.search path.
+            self._search_session = MatchSession()
+            self._corpus = SchemaCorpus(
+                corpus_path, tokenizer=self._search_session.tokenizer
+            )
+            self._searcher = CorpusSearcher(self._search_session, self._corpus)
         self._importers = importers if importers is not None else DEFAULT_IMPORTERS
         self._schemas: Dict[str, Schema] = {}
         self._strategies: Dict[str, MatchStrategy] = {}
@@ -226,10 +253,20 @@ class MatchService:
         return schema
 
     def register_schema(self, schema: Schema) -> bool:
-        """Register a schema under its own name; True when it replaced one."""
+        """Register a schema under its own name; True when it replaced one.
+
+        With a corpus attached, the schema is also indexed for
+        ``POST /search`` (replacing any previous registration of the name).
+        """
         with self._state_lock:
             replaced = schema.name in self._schemas
             self._schemas[schema.name] = schema
+        if self._corpus is not None:
+            self._corpus.add(
+                schema,
+                replace=True,
+                profile=self._search_session.profile_for(schema),
+            )
         return replaced
 
     def resolve_strategy(self, reference: StrategyLike) -> Optional[MatchStrategy]:
@@ -311,7 +348,8 @@ class MatchService:
     #: else (unknown probes, arbitrary names) collapses into fixed templates
     #: so the counter dict stays bounded on a long-lived server.
     _COUNTED_ROUTES = frozenset(
-        {"schemas", "match", "strategies", "health", "stats", "shutdown"}
+        {"schemas", "match", "strategies", "health", "stats", "shutdown",
+         "search", "corpus"}
     )
 
     def _count_request(self, segments: List[str]) -> None:
@@ -345,6 +383,10 @@ class MatchService:
             return 200, self._match(payload)
         if route == ("POST", "match", "batch"):
             return 200, self._match_batch(payload)
+        if route == ("POST", "search"):
+            return 200, self._search(payload)
+        if route == ("GET", "corpus"):
+            return 200, self._corpus_info()
         if route == ("GET", "strategies"):
             return 200, self._list_strategies()
         if route == ("POST", "strategies"):
@@ -371,6 +413,7 @@ class MatchService:
             "strategies": len(self.strategy_names()),
             "repository": self._repository.path if self._repository else None,
             "store": self._store.path if self._store else None,
+            "corpus": self._corpus.path if self._corpus else None,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
         }
 
@@ -389,6 +432,7 @@ class MatchService:
             "pool": self._pool.cache_info(),
             "kernel_memo": DEFAULT_MEMO_POOL.info(),
             "store": self._store.info() if self._store is not None else None,
+            "corpus": self._corpus.info() if self._corpus is not None else None,
         }
 
     def close(self) -> None:
@@ -403,6 +447,8 @@ class MatchService:
             self._pool.close()
         if self._store is not None:
             self._store.close()
+        if self._corpus is not None:
+            self._corpus.close()
 
     def _list_schemas(self) -> dict:
         with self._state_lock:
@@ -464,6 +510,8 @@ class MatchService:
             removed = self._schemas.pop(name, None)
         if removed is None:
             raise ServiceError(f"no schema named {name!r}", status=404)
+        if self._corpus is not None:
+            self._corpus.remove(name)
         return 200, {"deleted": name}
 
     def _match_request(
@@ -543,6 +591,79 @@ class MatchService:
                 for outcome, threshold in zip(outcomes, thresholds)
             ],
             "count": len(outcomes),
+        }
+
+    def _require_corpus(self):
+        if self._corpus is None:
+            raise ServiceError(
+                "this service has no schema corpus; start it with "
+                "--corpus <path> (corpus_path=) to enable search", status=400,
+            )
+        return self._corpus
+
+    def _corpus_info(self) -> dict:
+        corpus = self._require_corpus()
+        info = corpus.info()
+        info["names"] = list(corpus.names())
+        return info
+
+    def _search(self, payload: dict) -> dict:
+        """``POST /search``: top-K pruned corpus search for an uploaded schema.
+
+        The cheap index ranking runs on the service's search session; the
+        full pipeline on the survivors fans out through the worker pool
+        (thread or process backend alike), so the ranked results are
+        byte-identical to an in-process ``MatchSession.search`` over the
+        same corpus.
+        """
+        corpus = self._require_corpus()
+        if not isinstance(payload, dict) or not isinstance(payload.get("source"), str):
+            raise ServiceError(
+                "search requests need a 'source' schema name "
+                "(an uploaded or corpus-registered schema)", status=400,
+            )
+        name = payload["source"]
+        with self._state_lock:
+            schema = self._schemas.get(name)
+        if schema is None:
+            if not corpus.has(name):
+                raise ServiceError(
+                    f"no schema named {name!r} uploaded or registered in the "
+                    f"corpus", status=404,
+                )
+            schema = corpus.load(name)
+        strategy = self.resolve_strategy(payload.get("strategy"))
+        try:
+            k = int(payload.get("k", 10))
+            candidates = payload.get("candidates")
+            candidates = None if candidates is None else int(candidates)
+            min_similarity = float(payload.get("min_similarity", 0.0))
+        except (TypeError, ValueError):
+            raise ServiceError(
+                "'k' and 'candidates' must be integers and 'min_similarity' "
+                "a number", status=400,
+            )
+        results = self._searcher.search(
+            schema,
+            k=k,
+            strategy=strategy,
+            candidates=candidates,
+            match_many=self._pool.match_many,
+        )
+        return {
+            "query": name,
+            "k": k,
+            "corpus_size": len(corpus),
+            "results": [
+                {
+                    "rank": rank,
+                    "name": result.name,
+                    "candidate_score": result.candidate_score,
+                    **self._outcome_payload(result.outcome, min_similarity),
+                }
+                for rank, result in enumerate(results, start=1)
+            ],
+            "count": len(results),
         }
 
     def _list_strategies(self) -> dict:

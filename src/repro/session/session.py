@@ -80,6 +80,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parallel.pool import ProcessSessionPool
     from repro.repository.repository import Repository
     from repro.repository.store import SimilarityStore
+    from repro.search.corpus import SchemaCorpus
+    from repro.search.searcher import CorpusSearcher, MatchManyFn, SearchResult
 
 #: How callers may reference a strategy: an object, a spec / stored name, or
 #: ``None`` for the session default.
@@ -237,6 +239,7 @@ class MatchSession:
         repository: Optional["Repository"] = None,
         store: "SimilarityStore | str | None" = None,
         store_dtype: Optional[str] = None,
+        corpus: "SchemaCorpus | str | None" = None,
         cache_cubes: bool = True,
         max_cached_cubes: Optional[int] = DEFAULT_MAX_CACHED_CUBES,
         max_cached_profiles: Optional[int] = DEFAULT_MAX_CACHED_PROFILES,
@@ -316,6 +319,16 @@ class MatchSession:
                     f"unknown store_dtype {store_dtype!r}, "
                     f"expected one of {CUBE_DTYPES}"
                 )
+        self._corpus: Optional["SchemaCorpus"] = None
+        self._owns_corpus = False
+        self._searcher: Optional["CorpusSearcher"] = None
+        if corpus is not None:
+            if isinstance(corpus, str):
+                from repro.search.corpus import SchemaCorpus
+
+                corpus = SchemaCorpus(corpus, tokenizer=self._tokenizer)
+                self._owns_corpus = True
+            self._corpus = corpus
         self._named_strategies: Dict[str, MatchStrategy] = {}
         # resolve_strategy needs library / repository / named registry in place,
         # and accepts the same references (object, spec or stored name) here as
@@ -348,6 +361,17 @@ class MatchSession:
         True
         """
         return self._engine
+
+    @property
+    def tokenizer(self) -> NameTokenizer:
+        """The tokenizer every profile of this session is built with.
+
+        Examples
+        --------
+        >>> MatchSession().tokenizer.tokenize("ShipTo")
+        ('ship', 'to')
+        """
+        return self._tokenizer
 
     @property
     def repository(self) -> Optional["Repository"]:
@@ -852,6 +876,112 @@ class MatchSession:
             for source, target, item_strategy in items
         ]
 
+    # -- corpus search ---------------------------------------------------------
+
+    @property
+    def corpus(self) -> Optional["SchemaCorpus"]:
+        """The attached schema corpus (``None`` when search is not configured).
+
+        Pass ``corpus=`` at construction -- either an opened
+        :class:`~repro.search.corpus.SchemaCorpus` or a path string the
+        session opens (and then owns: :meth:`close` closes it).
+        """
+        return self._corpus
+
+    def register(self, schema: Schema, replace: bool = True) -> int:
+        """Register a schema into the session's corpus (see ``SchemaCorpus.add``).
+
+        The registration reuses the session-cached profile of the schema, so
+        registering and then matching never tokenizes twice.
+
+        Raises
+        ------
+        SessionError
+            If the session has no corpus attached.
+        """
+        if self._corpus is None:
+            raise SessionError(
+                "this session has no schema corpus; construct it with "
+                "corpus=<path or SchemaCorpus> to enable search"
+            )
+        return self._corpus.add(
+            schema, replace=replace, profile=self.profile_for(schema)
+        )
+
+    def searcher(self) -> "CorpusSearcher":
+        """The session's :class:`~repro.search.searcher.CorpusSearcher` (lazy).
+
+        Raises
+        ------
+        SessionError
+            If the session has no corpus attached.
+        """
+        if self._corpus is None:
+            raise SessionError(
+                "this session has no schema corpus; construct it with "
+                "corpus=<path or SchemaCorpus> to enable search"
+            )
+        if self._searcher is None or self._searcher.corpus is not self._corpus:
+            from repro.search.searcher import CorpusSearcher
+
+            self._searcher = CorpusSearcher(self, self._corpus)
+        return self._searcher
+
+    def search(
+        self,
+        schema: Schema,
+        k: int = 10,
+        strategy: StrategyLike = None,
+        candidates: Optional[int] = None,
+        exclude_self: bool = True,
+        processes: Optional[int] = None,
+        process_pool: Optional["ProcessSessionPool"] = None,
+        match_many: Optional["MatchManyFn"] = None,
+    ) -> List["SearchResult"]:
+        """Find the best match targets for ``schema`` in the attached corpus.
+
+        Two stages: the corpus' inverted index ranks all registered schemas
+        by idf-weighted vocabulary overlap (no matchers run), then the full
+        session pipeline matches the query against the top
+        ``candidates`` (default ``max(4 * k, 16)``) survivors and re-ranks
+        them by real schema similarity.  See
+        :class:`~repro.search.searcher.CorpusSearcher` for parameter
+        details; ``processes`` / ``process_pool`` / ``match_many`` control
+        survivor fan-out exactly as in :meth:`match_many`.
+
+        Returns
+        -------
+        list of SearchResult
+            At most ``k`` results, best first; each carries the full
+            :class:`~repro.core.match_operation.MatchOutcome` (and thus the
+            selected per-path mapping) of its candidate.
+
+        Raises
+        ------
+        SessionError
+            If the session has no corpus attached.
+        SearchError
+            For invalid ``k`` / ``candidates``.
+
+        Examples
+        --------
+        >>> from repro.datasets.figure1 import load_po1, load_po2
+        >>> session = MatchSession(corpus=":memory:")
+        >>> _ = session.register(load_po2())
+        >>> [hit.name for hit in session.search(load_po1(), k=1)]
+        ['PO2']
+        """
+        return self.searcher().search(
+            schema,
+            k=k,
+            strategy=strategy,
+            candidates=candidates,
+            exclude_self=exclude_self,
+            processes=processes,
+            process_pool=process_pool,
+            match_many=match_many,
+        )
+
     def _process_spec(self, strategy: MatchStrategy) -> Optional[str]:
         """The wire spec of a strategy, or ``None`` when it cannot fan out.
 
@@ -1279,9 +1409,10 @@ class MatchSession:
 
         A store the session opened from a path string is flushed and closed
         (persisting its lifetime hit/miss counters for ``coma stats
-        --store``); a store object handed in by the caller -- typically
-        shared with other sessions -- is left running.  The session remains
-        usable for in-memory work afterwards.  Idempotent.
+        --store``); the same applies to a corpus opened from a path string.
+        Store or corpus objects handed in by the caller -- typically shared
+        with other sessions -- are left running.  The session remains usable
+        for in-memory work afterwards.  Idempotent.
 
         Examples
         --------
@@ -1296,10 +1427,17 @@ class MatchSession:
             if store is not None:
                 self._store = None
                 self._owns_store = False
+            corpus = self._corpus if self._owns_corpus else None
+            if corpus is not None:
+                self._corpus = None
+                self._owns_corpus = False
+                self._searcher = None
         if store is not None:
             # In-flight executions hold their own snapshot of the reference;
             # their post-close async writes are dropped by the store itself.
             store.close()
+        if corpus is not None:
+            corpus.close()
 
     def __enter__(self) -> "MatchSession":
         return self
