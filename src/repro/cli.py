@@ -174,6 +174,20 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="schema corpus file enabling POST /search and "
                                    "GET /corpus; uploaded schemas are indexed "
                                    "automatically (see docs/search.md)")
+    serve_parser.add_argument("--frontend", default="sync",
+                              help="HTTP front-end: 'sync' (thread per "
+                                   "connection; default) or 'async' (one asyncio "
+                                   "event loop multiplexing every connection, "
+                                   "with keep-alive, pipelining and bounded "
+                                   "backpressure)")
+    serve_parser.add_argument("--max-queue", type=int, default=None,
+                              help="async front-end only: admit at most this many "
+                                   "in-flight requests before answering 429 "
+                                   "(default 64)")
+    serve_parser.add_argument("--read-timeout", type=float, default=None,
+                              help="async front-end only: seconds a client may "
+                                   "take to deliver a request before a 408 "
+                                   "(default 30)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="do not log request lines to stderr")
     return parser
@@ -478,6 +492,23 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         )
     if arguments.store_dtype is not None and not arguments.store:
         raise ComaError("--store-dtype requires --store <file>")
+    if arguments.frontend not in ("sync", "async"):
+        raise ComaError(
+            f"unknown --frontend {arguments.frontend!r}: choose 'sync' "
+            f"(thread per connection) or 'async' (asyncio event loop)"
+        )
+    if arguments.max_queue is not None:
+        if arguments.frontend != "async":
+            raise ComaError("--max-queue requires --frontend async")
+        if arguments.max_queue < 1:
+            raise ComaError(f"--max-queue must be >= 1, got {arguments.max_queue}")
+    if arguments.read_timeout is not None:
+        if arguments.frontend != "async":
+            raise ComaError("--read-timeout requires --frontend async")
+        if arguments.read_timeout <= 0:
+            raise ComaError(
+                f"--read-timeout must be positive, got {arguments.read_timeout}"
+            )
 
     from repro.service.server import serve
 
@@ -491,6 +522,9 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         store_path=arguments.store,
         store_dtype=arguments.store_dtype,
         corpus_path=arguments.corpus,
+        frontend=arguments.frontend,
+        max_queue=arguments.max_queue,
+        read_timeout=arguments.read_timeout,
     )
     return 0
 

@@ -7,6 +7,8 @@ model, importers, matchers, combination machinery, repository and evaluation.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ComaError(Exception):
     """Base class for every error raised by the library."""
@@ -63,12 +65,17 @@ class ServiceError(ComaError):
     """Raised by the match service and its client for failed service requests.
 
     Carries the HTTP ``status`` of the failed request (0 when the failure
-    happened before a response was received, e.g. a connection error).
+    happened before a response was received, e.g. a connection error) and an
+    optional structured ``details`` dict.  Server-side, ``details`` is merged
+    into the JSON error payload next to ``"error"`` (e.g. the per-index
+    ``"invalid"`` list of a batch validation failure); client-side it carries
+    the decoded error payload of the failed response.
     """
 
-    def __init__(self, message: str, status: int = 0):
+    def __init__(self, message: str, status: int = 0, details: "Optional[dict]" = None):
         super().__init__(message)
         self.status = int(status)
+        self.details = dict(details) if details else {}
 
 
 class EvaluationError(ComaError):

@@ -220,6 +220,17 @@ class ProcessSessionPool:
         return len(self._workers)
 
     @property
+    def idle(self) -> int:
+        """How many workers are free right now (``size`` when fully idle).
+
+        Mirrors :attr:`SessionPool.idle
+        <repro.service.pool.SessionPool.idle>` so ``/stats`` and leak checks
+        read either backend the same way.
+        """
+        with self._condition:
+            return len(self._free)
+
+    @property
     def config_digest(self) -> str:
         """The workers' match-configuration content digest.
 

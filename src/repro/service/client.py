@@ -24,8 +24,9 @@ import http.client
 import json
 import socket
 import threading
+import time
 import urllib.parse
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.exceptions import ServiceError
 
@@ -159,7 +160,15 @@ class ServiceClient:
             try:
                 connection.request(method.upper(), target, body=body, headers=headers)
                 response = connection.getresponse()
+                # read() handles every framing the server may use: fixed
+                # Content-Length, chunked transfer coding, and close-delimited
+                # bodies -- no fixed-length assumption here.
                 raw = response.read()
+                if response.will_close:
+                    # The server ended this connection (Connection: close);
+                    # drop it so the next request opens a fresh one instead
+                    # of tripping over a half-dead keep-alive socket.
+                    self.close()
                 break
             except TimeoutError as error:
                 self.close()
@@ -187,11 +196,87 @@ class ServiceClient:
             ) from error
         if response.status >= 400:
             message = decoded.get("error") if isinstance(decoded, dict) else None
+            details = (
+                {key: value for key, value in decoded.items() if key != "error"}
+                if isinstance(decoded, dict) else None
+            )
             raise ServiceError(
                 message or f"{method} {path} failed with status {response.status}",
-                status=response.status,
+                status=response.status, details=details,
             )
         return decoded
+
+    def stream(
+        self, method: str, path: str, payload: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[dict]:
+        """Issue one request and yield its NDJSON body line by line.
+
+        Streaming responses (``GET /jobs/<id>/events``) have no
+        ``Content-Length`` -- they arrive as chunked transfer coding and end
+        when the server closes the stream.  Each decoded JSON line is yielded
+        as it arrives.  The request rides a *dedicated* connection (never the
+        pooled keep-alive one), so abandoning the generator mid-stream --
+        ``break`` out of the loop, or let it be garbage collected -- simply
+        closes that connection and cannot desynchronise later requests.
+
+        Raises
+        ------
+        ServiceError
+            For non-2xx responses and transport failures; a ``timeout``
+            (defaults to the client timeout) elapsing between lines raises
+            too, since a silent stream usually means a dead server.
+        """
+        target = f"{self._prefix}/{path.lstrip('/')}"
+        body = None
+        headers = {"Accept": "application/x-ndjson"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = _NoDelayHTTPConnection(
+            self._host, self._port,
+            timeout=timeout if timeout is not None else self._timeout,
+        )
+        try:
+            try:
+                connection.request(method.upper(), target, body=body, headers=headers)
+                response = connection.getresponse()
+            except (http.client.HTTPException, OSError) as error:
+                raise ServiceError(
+                    f"cannot reach the match service at {self._base_url}: {error}"
+                ) from error
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = {}
+                raise ServiceError(
+                    decoded.get("error")
+                    or f"{method} {path} failed with status {response.status}",
+                    status=response.status,
+                    details={k: v for k, v in decoded.items() if k != "error"},
+                )
+            while True:
+                try:
+                    line = response.readline()
+                except (http.client.HTTPException, OSError) as error:
+                    raise ServiceError(
+                        f"{method} {path} stream broke mid-read: {error}"
+                    ) from error
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                    raise ServiceError(
+                        f"{method} {path} streamed a non-JSON line: {error}"
+                    ) from error
+        finally:
+            connection.close()
 
     # -- service endpoints -----------------------------------------------------
 
@@ -306,6 +391,96 @@ class ServiceClient:
     def corpus_info(self) -> dict:
         """Schema-corpus occupancy and registered names (``GET /corpus``)."""
         return self.request("GET", "/corpus")
+
+    # -- background jobs -------------------------------------------------------
+
+    def submit_job(
+        self,
+        requests: Optional[Sequence[BatchRequest]] = None,
+        kind: str = "batch",
+        source: Optional[str] = None,
+        k: Optional[int] = None,
+        candidates: Optional[int] = None,
+        strategy: Optional[str] = None,
+        min_similarity: Optional[float] = None,
+        chunk_size: Optional[int] = None,
+        cancel_on_disconnect: Optional[bool] = None,
+    ) -> dict:
+        """Start a background campaign (``POST /jobs``); returns the 202 payload.
+
+        ``kind="batch"`` takes the same ``requests`` list as
+        :meth:`match_batch` but returns immediately with a job id -- follow
+        it with :meth:`stream_job` (live NDJSON events) or :meth:`wait_job`
+        (poll until terminal).  ``kind="search"`` takes ``source`` (and
+        optionally ``k`` / ``candidates``) like :meth:`search`.
+        ``cancel_on_disconnect=True`` asks the server to cancel the job when
+        its event-stream consumer drops the connection.
+        """
+        payload: dict = {"kind": kind}
+        if requests is not None:
+            payload["requests"] = list(requests)
+        if source is not None:
+            payload["source"] = source
+        if k is not None:
+            payload["k"] = int(k)
+        if candidates is not None:
+            payload["candidates"] = int(candidates)
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if min_similarity is not None:
+            payload["min_similarity"] = min_similarity
+        if chunk_size is not None:
+            payload["chunk_size"] = int(chunk_size)
+        if cancel_on_disconnect is not None:
+            payload["cancel_on_disconnect"] = bool(cancel_on_disconnect)
+        return self.request("POST", "/jobs", payload)
+
+    def jobs(self) -> dict:
+        """The jobs table: per-state counts plus snapshots (``GET /jobs``)."""
+        return self.request("GET", "/jobs")
+
+    def job(self, job_id: str) -> dict:
+        """One job's progress/result snapshot (``GET /jobs/{id}``)."""
+        return self.request("GET", f"/jobs/{_quoted(job_id)}")
+
+    def cancel_job(self, job_id: str) -> dict:
+        """Cancel a running job (``DELETE /jobs/{id}``)."""
+        return self.request("DELETE", f"/jobs/{_quoted(job_id)}")
+
+    def stream_job(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[dict]:
+        """Tail a job's events as they happen (``GET /jobs/{id}/events``).
+
+        Yields each event dict (``accepted`` -> ``progress`` per chunk ->
+        ``result`` | ``error`` | ``cancelled``); the stream ends after the
+        terminal event.  Events published before the call are replayed
+        first, so a late subscriber still sees the full history.
+        """
+        return self.stream(
+            "GET", f"/jobs/{_quoted(job_id)}/events", timeout=timeout
+        )
+
+    def wait_job(
+        self, job_id: str, poll_seconds: float = 0.2, timeout: float = 600.0
+    ) -> dict:
+        """Poll ``GET /jobs/{id}`` until the job reaches a terminal state.
+
+        Returns the final snapshot (with ``result`` for completed jobs);
+        raises :class:`~repro.exceptions.ServiceError` when ``timeout``
+        elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] != "running":
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id!r} still running after {timeout}s "
+                    f"({snapshot['done']}/{snapshot['total']} done)"
+                )
+            time.sleep(poll_seconds)
 
     def save_strategy(self, name: str, spec: str) -> dict:
         """Store a named strategy spec (``POST /strategies``)."""

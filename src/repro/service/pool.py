@@ -79,6 +79,17 @@ class SessionPool:
         return len(self._sessions)
 
     @property
+    def idle(self) -> int:
+        """How many shards are free right now (``size`` when fully idle).
+
+        A point-in-time reading for ``/stats`` and leak checks: after every
+        request has finished -- including ones whose handlers raised -- this
+        must equal :attr:`size` again.
+        """
+        with self._condition:
+            return len(self._free)
+
+    @property
     def sessions(self) -> List[MatchSession]:
         """The worker sessions (for configuration fan-out and statistics)."""
         return list(self._sessions)

@@ -24,6 +24,11 @@ POST     ``/match``            match two uploaded schemas
 POST     ``/match/batch``      match many pairs in one session acquisition
 POST     ``/search``           top-K corpus search for an uploaded schema
 GET      ``/corpus``           schema-corpus occupancy and registered names
+POST     ``/jobs``             start a background batch/search campaign (202)
+GET      ``/jobs``             the jobs table (per-state counts + snapshots)
+GET      ``/jobs/{id}``        one job's progress/result snapshot
+DELETE   ``/jobs/{id}``        cancel a running job
+GET      ``/jobs/{id}/events`` NDJSON stream of the job's progress events
 GET      ``/strategies``       list the stored named strategies
 POST     ``/strategies``       store a named strategy spec
 GET      ``/strategies/{name}``  one stored strategy (spec + dict form)
@@ -45,12 +50,13 @@ import threading
 import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.strategy import MatchStrategy
 from repro.exceptions import ComaError, ServiceError
 from repro.importers.registry import DEFAULT_IMPORTERS, ImporterRegistry
 from repro.model.schema import Schema
+from repro.service.jobs import JobEventStream, JobManager
 from repro.service.pool import SessionFactory, SessionPool
 from repro.session.session import MatchSession, StrategyLike
 
@@ -221,6 +227,11 @@ class MatchService:
         self._state_lock = threading.RLock()
         self._request_counts: Dict[str, int] = {}
         self._started = time.monotonic()
+        self._jobs = JobManager(self)
+        #: The serving front-end ("sync" | "async"); the async server flips
+        #: this and installs a live :attr:`frontend_stats` provider.
+        self.frontend_name = "sync"
+        self.frontend_stats: Optional[Callable[[], dict]] = None
 
     # -- registries ------------------------------------------------------------
 
@@ -234,6 +245,11 @@ class MatchService:
     def backend(self) -> str:
         """The execution backend: ``"thread"`` or ``"process"``."""
         return self._backend
+
+    @property
+    def jobs(self) -> JobManager:
+        """The background-jobs table (:class:`~repro.service.jobs.JobManager`)."""
+        return self._jobs
 
     def schema(self, name: str) -> Schema:
         """The uploaded schema registered under ``name``.
@@ -323,12 +339,16 @@ class MatchService:
 
     def handle_request(
         self, method: str, path: str, payload: Optional[dict]
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, Union[dict, JobEventStream]]:
         """Map one request to a ``(status, response payload)`` pair.
 
         Unknown routes yield 404, method mismatches 405, all
         :class:`~repro.exceptions.ServiceError` raises their carried status
-        and any other :class:`~repro.exceptions.ComaError` a 400.
+        (plus any structured ``details`` merged into the error payload) and
+        any other :class:`~repro.exceptions.ComaError` a 400.  One route
+        (``GET /jobs/<id>/events``) answers with a
+        :class:`~repro.service.jobs.JobEventStream` instead of a JSON dict;
+        the front-ends render it as a chunked NDJSON response.
         """
         segments = [
             urllib.parse.unquote(part)
@@ -340,7 +360,7 @@ class MatchService:
         try:
             return self._dispatch(route, payload if payload is not None else {})
         except ServiceError as error:
-            return (error.status or 400, {"error": str(error)})
+            return (error.status or 400, {"error": str(error), **error.details})
         except ComaError as error:
             return (400, {"error": str(error)})
 
@@ -349,7 +369,7 @@ class MatchService:
     #: so the counter dict stays bounded on a long-lived server.
     _COUNTED_ROUTES = frozenset(
         {"schemas", "match", "strategies", "health", "stats", "shutdown",
-         "search", "corpus"}
+         "search", "corpus", "jobs"}
     )
 
     def _count_request(self, segments: List[str]) -> None:
@@ -387,6 +407,17 @@ class MatchService:
             return 200, self._search(payload)
         if route == ("GET", "corpus"):
             return 200, self._corpus_info()
+        if route == ("GET", "jobs"):
+            return 200, self._jobs.info()
+        if route == ("POST", "jobs"):
+            return self._jobs.submit(payload)
+        if len(route) == 3 and route[0] == "GET" and route[1] == "jobs":
+            return 200, self._jobs.get(route[2]).status()
+        if len(route) == 3 and route[0] == "DELETE" and route[1] == "jobs":
+            return self._cancel_job(route[2])
+        if len(route) == 4 and route[0] == "GET" and route[1] == "jobs" \
+                and route[3] == "events":
+            return 200, JobEventStream(self._jobs, self._jobs.get(route[2]))
         if route == ("GET", "strategies"):
             return 200, self._list_strategies()
         if route == ("POST", "strategies"):
@@ -404,11 +435,14 @@ class MatchService:
     def _health(self) -> dict:
         with self._state_lock:
             schema_count = len(self._schemas)
+        jobs = self._jobs.info()["by_state"]
         return {
             "status": "ok",
             "service": f"coma-match-service/{__version__}",
             "backend": self._backend,
+            "frontend": self.frontend_name,
             "pool_size": self._pool.size,
+            "jobs_running": jobs["running"],
             "schemas": schema_count,
             "strategies": len(self.strategy_names()),
             "repository": self._repository.path if self._repository else None,
@@ -423,13 +457,24 @@ class MatchService:
         with self._state_lock:
             requests = dict(sorted(self._request_counts.items()))
             schema_count = len(self._schemas)
+        frontend = (
+            self.frontend_stats()
+            if self.frontend_stats is not None
+            else {"kind": self.frontend_name}
+        )
         return {
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "backend": self._backend,
+            "frontend": frontend,
             "schemas": schema_count,
             "strategies": len(self.strategy_names()),
             "requests": {"total": sum(requests.values()), "by_route": requests},
-            "pool": self._pool.cache_info(),
+            "pool": {
+                "size": self._pool.size,
+                "idle": self._pool.idle,
+                **self._pool.cache_info(),
+            },
+            "jobs": self._jobs.info(),
             "kernel_memo": DEFAULT_MEMO_POOL.info(),
             "store": self._store.info() if self._store is not None else None,
             "corpus": self._corpus.info() if self._corpus is not None else None,
@@ -441,8 +486,11 @@ class MatchService:
         Process-backend workers are shut down (each flushes its own store
         connection); closing the parent store folds its process-local
         hit/miss counters into the on-disk lifetime totals, which is what
-        ``coma stats --store`` reads.
+        ``coma stats --store`` reads.  Running background jobs are cancelled
+        first, so no job thread is still holding a pool shard when the pool
+        goes down.
         """
+        self._jobs.close()
         if self._backend == "process":
             self._pool.close()
         if self._store is not None:
@@ -536,7 +584,14 @@ class MatchService:
         return source, target, strategy, min_similarity
 
     @staticmethod
-    def _outcome_payload(outcome, min_similarity: float) -> dict:
+    def outcome_payload(outcome, min_similarity: float) -> dict:
+        """The JSON form of one match outcome (thresholded correspondences).
+
+        Shared by ``/match``, ``/match/batch``, ``/search`` and the jobs
+        runner, so every execution path serialises outcomes identically (the
+        differential suite hashes these payloads across front-ends and
+        backends).
+        """
         correspondences = [
             {
                 "source": c.source.dotted(),
@@ -560,9 +615,20 @@ class MatchService:
         # Both pool flavours expose the same match interface: the thread pool
         # acquires one warm shard, the process pool one worker process.
         outcome = self._pool.match(source, target, strategy=strategy)
-        return self._outcome_payload(outcome, min_similarity)
+        return self.outcome_payload(outcome, min_similarity)
 
-    def _match_batch(self, payload: dict) -> dict:
+    def resolve_batch(
+        self, payload: dict
+    ) -> Tuple[List[Tuple[Schema, Schema, Optional[MatchStrategy]]], List[float]]:
+        """Resolve a batch payload into ``(items, thresholds)``, exhaustively.
+
+        A bad entry fails the whole batch before any match work is spent, and
+        *every* invalid entry is reported -- the raised
+        :class:`~repro.exceptions.ServiceError` carries an ``"invalid"``
+        details list of ``{"index", "error"}`` objects, one per bad request,
+        so one round trip surfaces all the fixes a client needs to make.
+        Shared by ``POST /match/batch`` and batch job submission.
+        """
         if not isinstance(payload, dict) or not isinstance(payload.get("requests"), list):
             raise ServiceError(
                 "batch matches need a 'requests' list of "
@@ -575,23 +641,41 @@ class MatchService:
             raise ServiceError("'min_similarity' must be a number", status=400)
         items: List[Tuple[Schema, Schema, Optional[MatchStrategy]]] = []
         thresholds: List[float] = []
-        # Resolve everything up front: a bad entry fails the whole batch
-        # before any work is spent.
-        for entry in payload["requests"]:
-            source, target, strategy, min_similarity = self._match_request(
-                entry if isinstance(entry, dict) else {},
-                default_min_similarity=default_threshold,
-            )
+        invalid: List[dict] = []
+        for index, entry in enumerate(payload["requests"]):
+            try:
+                source, target, strategy, min_similarity = self._match_request(
+                    entry if isinstance(entry, dict) else {},
+                    default_min_similarity=default_threshold,
+                )
+            except ServiceError as error:
+                invalid.append({"index": index, "error": str(error)})
+                continue
             items.append((source, target, strategy if strategy is not None else default))
             thresholds.append(min_similarity)
+        if invalid:
+            raise ServiceError(
+                f"{len(invalid)} of {len(payload['requests'])} batch requests "
+                f"are invalid (see 'invalid' for each index)",
+                status=400, details={"invalid": invalid},
+            )
+        return items, thresholds
+
+    def _match_batch(self, payload: dict) -> dict:
+        items, thresholds = self.resolve_batch(payload)
         outcomes = self._pool.match_many(items)
         return {
             "results": [
-                self._outcome_payload(outcome, threshold)
+                self.outcome_payload(outcome, threshold)
                 for outcome, threshold in zip(outcomes, thresholds)
             ],
             "count": len(outcomes),
         }
+
+    def _cancel_job(self, job_id: str) -> Tuple[int, dict]:
+        job = self._jobs.get(job_id)
+        cancelled = job.cancel()
+        return 200, {"job": job_id, "cancelled": cancelled}
 
     def _require_corpus(self):
         if self._corpus is None:
@@ -607,14 +691,13 @@ class MatchService:
         info["names"] = list(corpus.names())
         return info
 
-    def _search(self, payload: dict) -> dict:
-        """``POST /search``: top-K pruned corpus search for an uploaded schema.
+    def validate_search(self, payload: dict) -> dict:
+        """Resolve a search payload into a validated, executable request.
 
-        The cheap index ranking runs on the service's search session; the
-        full pipeline on the survivors fans out through the worker pool
-        (thread or process backend alike), so the ranked results are
-        byte-identical to an in-process ``MatchSession.search`` over the
-        same corpus.
+        Fails fast (schema existence, strategy resolution, numeric fields)
+        without running any search work -- ``POST /jobs`` submissions call
+        this so an invalid search campaign is rejected at submit time, then
+        hand the returned dict to :meth:`run_search` on the job thread.
         """
         corpus = self._require_corpus()
         if not isinstance(payload, dict) or not isinstance(payload.get("source"), str):
@@ -643,11 +726,28 @@ class MatchService:
                 "'k' and 'candidates' must be integers and 'min_similarity' "
                 "a number", status=400,
             )
+        return {
+            "name": name, "schema": schema, "strategy": strategy, "k": k,
+            "candidates": candidates, "min_similarity": min_similarity,
+        }
+
+    def run_search(self, validated: dict) -> dict:
+        """Execute a :meth:`validate_search`-resolved request.
+
+        The cheap index ranking runs on the service's search session; the
+        full pipeline on the survivors fans out through the worker pool
+        (thread or process backend alike), so the ranked results are
+        byte-identical to an in-process ``MatchSession.search`` over the
+        same corpus.
+        """
+        corpus = self._require_corpus()
+        name, k = validated["name"], validated["k"]
+        min_similarity = validated["min_similarity"]
         results = self._searcher.search(
-            schema,
+            validated["schema"],
             k=k,
-            strategy=strategy,
-            candidates=candidates,
+            strategy=validated["strategy"],
+            candidates=validated["candidates"],
             match_many=self._pool.match_many,
         )
         return {
@@ -659,12 +759,16 @@ class MatchService:
                     "rank": rank,
                     "name": result.name,
                     "candidate_score": result.candidate_score,
-                    **self._outcome_payload(result.outcome, min_similarity),
+                    **self.outcome_payload(result.outcome, min_similarity),
                 }
                 for rank, result in enumerate(results, start=1)
             ],
             "count": len(results),
         }
+
+    def _search(self, payload: dict) -> dict:
+        """``POST /search``: top-K pruned corpus search for an uploaded schema."""
+        return self.run_search(self.validate_search(payload))
 
     def _list_strategies(self) -> dict:
         entries = []
@@ -784,6 +888,35 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _stream_events(self, stream: JobEventStream) -> None:
+        """Render a job event stream as a chunked NDJSON response.
+
+        The handler thread blocks on the job's condition variable between
+        events (no polling); a consumer that drops the connection mid-stream
+        surfaces as a write error, which is reported to the job manager so
+        ``cancel_on_disconnect`` jobs are cancelled and their next chunk
+        never runs.  Event streams always close the connection when done --
+        tailing responses have no meaningful keep-alive.
+        """
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", stream.content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            while True:
+                lines, finished = stream.tail(timeout=0.5)
+                for line in lines:
+                    self.wfile.write(b"%x\r\n" % len(line) + line + b"\r\n")
+                if lines:
+                    self.wfile.flush()
+                if finished and stream.drained:
+                    break
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            stream.disconnected()
+
     def _handle(self, method: str) -> None:
         try:
             payload = self._read_payload()
@@ -795,9 +928,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 method, self.path, payload
             )
         except ServiceError as error:
-            status, response = (error.status or 400, {"error": str(error)})
+            status, response = (error.status or 400, {"error": str(error), **error.details})
         except Exception as error:  # pragma: no cover - defensive 500 path
             status, response = (500, {"error": f"internal error: {error}"})
+        if isinstance(response, JobEventStream):
+            self._stream_events(response)
+            return
         self._respond(status, response)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
@@ -890,12 +1026,44 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8765,
     verbose: bool = True,
+    frontend: str = "sync",
+    max_queue: Optional[int] = None,
+    read_timeout: Optional[float] = None,
     **service_kwargs,
 ) -> None:
-    """Run the match service until interrupted (the ``coma serve`` entry point)."""
+    """Run the match service until interrupted (the ``coma serve`` entry point).
+
+    ``frontend`` selects the HTTP shell: ``"sync"`` (default) is the
+    threading server in this module, ``"async"`` the single-threaded
+    ``asyncio`` front-end (:mod:`repro.service.aserver`) with keep-alive +
+    pipelining, bounded-queue backpressure (``max_queue`` admitted requests,
+    429 beyond) and slow-client read timeouts (``read_timeout`` seconds).
+    Matching semantics are identical either way -- both shells dispatch into
+    the same :class:`MatchService`.
+    """
+    if frontend == "async":
+        from repro.service.aserver import serve_async
+
+        async_options = {}
+        if max_queue is not None:
+            async_options["max_queue"] = max_queue
+        if read_timeout is not None:
+            async_options["read_timeout"] = read_timeout
+        serve_async(host=host, port=port, verbose=verbose,
+                    **async_options, **service_kwargs)
+        return
+    if frontend != "sync":
+        raise ServiceError(
+            f"unknown service frontend {frontend!r}: choose 'sync' or 'async'"
+        )
+    if max_queue is not None or read_timeout is not None:
+        raise ServiceError(
+            "max_queue / read_timeout apply to the async front-end only "
+            "(frontend='async')"
+        )
     server = create_server(host=host, port=port, verbose=verbose, **service_kwargs)
     print(f"coma match service listening on {server.url} "
-          f"(backend={server.service.backend}, "
+          f"(frontend=sync, backend={server.service.backend}, "
           f"workers={server.service.pool.size}); Ctrl-C to stop")
     try:
         server.serve_forever()

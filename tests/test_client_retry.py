@@ -31,6 +31,11 @@ def _free_port() -> int:
         return listener.getsockname()[1]
 
 
+class _ServerDied(RuntimeError):
+    """The child exited before coming healthy (e.g. the picked port was
+    re-bound by another process between ``_free_port`` and the spawn)."""
+
+
 def _spawn_server(port: int) -> subprocess.Popen:
     """Run ``coma serve`` in a real child process (a killable server).
 
@@ -54,6 +59,11 @@ def _spawn_server(port: int) -> subprocess.Popen:
     probe = ServiceClient(f"http://127.0.0.1:{port}", timeout=5.0)
     deadline = time.monotonic() + 30.0
     while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise _ServerDied(
+                f"coma serve exited with {process.returncode} before "
+                f"serving on port {port} (port race?)"
+            )
         try:
             if probe.health()["status"] == "ok":
                 probe.close()
@@ -64,6 +74,24 @@ def _spawn_server(port: int) -> subprocess.Popen:
     raise RuntimeError(f"coma serve did not come up on port {port}")
 
 
+def _spawn_server_on_a_free_port() -> "tuple[subprocess.Popen, int]":
+    """Pick a port with ``bind(0)`` and spawn on it; retry once on a race.
+
+    The pick-then-bind window is small but real under parallel test runs:
+    another process can grab the port between ``_free_port`` releasing it and
+    the child binding it.  One retry with a freshly picked port removes that
+    flake without masking genuine startup failures.
+    """
+    for attempt in (1, 2):
+        port = _free_port()
+        try:
+            return _spawn_server(port), port
+        except _ServerDied:
+            if attempt == 2:
+                raise
+    raise AssertionError("unreachable")
+
+
 def _kill(process: subprocess.Popen) -> None:
     process.kill()
     process.wait(timeout=10)
@@ -71,8 +99,7 @@ def _kill(process: subprocess.Popen) -> None:
 
 class TestRestartMidClientLifetime:
     def test_idempotent_gets_survive_a_server_restart(self):
-        port = _free_port()
-        first = _spawn_server(port)
+        first, port = _spawn_server_on_a_free_port()
         client = ServiceClient(f"http://127.0.0.1:{port}")
         try:
             assert client.health()["status"] == "ok"  # keep-alive established
@@ -94,8 +121,7 @@ class TestRestartMidClientLifetime:
             _kill(second)
 
     def test_requests_fail_cleanly_when_the_server_stays_down(self):
-        port = _free_port()
-        server = _spawn_server(port)
+        server, port = _spawn_server_on_a_free_port()
         client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
         assert client.health()["status"] == "ok"
         _kill(server)

@@ -204,6 +204,33 @@ class TestMatchEndpoints:
             service_client.request("POST", "/match/batch", {"requests": "nope"})
         assert error.value.status == 400
 
+    def test_batch_validation_reports_every_invalid_entry_with_its_index(
+        self, service_client
+    ):
+        """The 400 payload pins ALL invalid pairs, not just the first.
+
+        Contract: ``{"error": <summary>, "invalid": [{"index": i, "error":
+        <reason>}, ...]}`` with one entry per bad request, in index order --
+        a client fixing a large campaign must not need one round trip per
+        mistake.
+        """
+        with pytest.raises(ServiceError) as error:
+            service_client.match_batch([
+                {"source": "PO1", "target": "PO2"},          # 0: valid
+                {"source": "PO1", "target": "MISSING"},      # 1: unknown schema
+                {"target": "PO2"},                           # 2: no source
+                {"source": "PO1", "target": "PO2",
+                 "strategy": "Bogus("},                      # 3: bad strategy
+                "not-even-an-object",                        # 4: wrong type
+            ])
+        assert error.value.status == 400
+        assert "4 of 5 batch requests are invalid" in str(error.value)
+        invalid = error.value.details["invalid"]
+        assert [entry["index"] for entry in invalid] == [1, 2, 3, 4]
+        assert all(entry["error"] for entry in invalid)
+        assert "MISSING" in invalid[0]["error"]
+        assert "source" in invalid[1]["error"]
+
 
 class TestStrategyEndpoints:
     def test_crud_round_trip(self, service_client):
