@@ -190,6 +190,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "(default 30)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="do not log request lines to stderr")
+    serve_parser.add_argument("--fault-plan", default=None,
+                              help="JSON fault plan armed for the whole service "
+                                   "(chaos runs; see docs/robustness.md). "
+                                   "Refused unless COMA_ENABLE_FAULTS=1 is set "
+                                   "in the environment")
     return parser
 
 
@@ -353,6 +358,8 @@ def _print_reuse_stats(store_path: str) -> None:
         "lifetime_hits": info["lifetime_hits"],
         "lifetime_misses": info["lifetime_misses"],
         "hit_rate": round(hit_rate, 3),
+        "corrupt": info["lifetime_corrupt"],
+        "quarantined": info["lifetime_quarantined"],
     }]
     print(format_table(store_rows, title=f"Persistent similarity store ({info['path']})"))
     dtype_rows = [
@@ -509,6 +516,23 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             raise ComaError(
                 f"--read-timeout must be positive, got {arguments.read_timeout}"
             )
+    fault_plan = None
+    if arguments.fault_plan is not None:
+        import os
+
+        # Fault injection wedges workers, corrupts store reads and kills
+        # processes by design -- never something a copy-pasted command line
+        # should switch on silently.  The environment gate is the operator's
+        # explicit second signature on a chaos run.
+        if os.environ.get("COMA_ENABLE_FAULTS") != "1":
+            raise ComaError(
+                "--fault-plan injects faults into a live service and is "
+                "refused unless the environment sets COMA_ENABLE_FAULTS=1 "
+                "(see docs/robustness.md)"
+            )
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(arguments.fault_plan).to_dict()
 
     from repro.service.server import serve
 
@@ -525,6 +549,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         frontend=arguments.frontend,
         max_queue=arguments.max_queue,
         read_timeout=arguments.read_timeout,
+        fault_plan=fault_plan,
     )
     return 0
 

@@ -78,8 +78,28 @@ class ServiceError(ComaError):
         self.details = dict(details) if details else {}
 
 
+class PoolTimeoutError(ServiceError):
+    """Raised when a pooled ``match_many(timeout=...)`` deadline expires.
+
+    The wedged worker has already been SIGKILLed and a respawn scheduled by
+    the time this propagates, so callers may safely retry; ``status`` is 504
+    so the service layer can forward it as a gateway timeout unchanged.
+    """
+
+    def __init__(self, message: str, details: "Optional[dict]" = None):
+        super().__init__(message, status=504, details=details)
+
+
 class EvaluationError(ComaError):
     """Raised by the evaluation harness (missing gold standard, empty task list, ...)."""
+
+
+class FaultInjected(ComaError):
+    """Raised by an armed fault-injection rule (:mod:`repro.faults`).
+
+    Also used for fault-plan validation errors, so a malformed
+    ``--fault-plan`` file surfaces as a clean, typed failure.
+    """
 
 
 class SearchError(ComaError):

@@ -1,0 +1,46 @@
+"""Deterministic fault injection (:mod:`repro.faults`).
+
+Public surface:
+
+* :class:`FaultRule` / :class:`FaultPlan` -- declare *where* (named seam),
+  *when* (deterministic trigger) and *what* (raise / corrupt / delay / kill);
+* :func:`arm` / :func:`disarm` / :func:`armed` / :func:`active_plan` --
+  process-wide installation;
+* :func:`fault_point` / :func:`fault_bytes` -- the seams production code
+  compiles in (zero-cost while nothing is armed);
+* :data:`CATALOG` / :func:`catalog_plan` -- the named fault catalog the
+  resilience suite and the CI chaos lane replay.
+"""
+
+from repro.faults.catalog import CATALOG, catalog_plan
+from repro.faults.plan import (
+    ACTIONS,
+    CORRUPT_MODES,
+    ERROR_TYPES,
+    KILL_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    arm,
+    armed,
+    disarm,
+    fault_bytes,
+    fault_point,
+)
+
+__all__ = [
+    "ACTIONS",
+    "CATALOG",
+    "CORRUPT_MODES",
+    "ERROR_TYPES",
+    "KILL_EXIT_CODE",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "arm",
+    "armed",
+    "catalog_plan",
+    "disarm",
+    "fault_bytes",
+    "fault_point",
+]

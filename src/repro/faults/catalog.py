@@ -1,0 +1,147 @@
+"""The named, deterministic fault catalog.
+
+Each entry is a complete :class:`~repro.faults.plan.FaultPlan` targeting one
+failure mode the stack must survive.  The resilience suite
+(``tests/test_resilience_e2e.py``) and the CI chaos lane replay every entry
+and assert the system either returns **byte-identical** results to the
+fault-free run or fails with a **typed error** -- never a hang, never a
+silently wrong answer.
+
+Plans carry runtime counters, so :func:`catalog_plan` builds a *fresh* plan
+per call; :data:`CATALOG` maps names to builder callables.
+
+Seam names instrumented across the stack (the fault-point catalog):
+
+====================  ===========================================================
+seam                  where / what flows through
+====================  ===========================================================
+``store.load``        top of ``SimilarityStore.load_cube`` (visit; key = cube key)
+``store.blob.read``   inline blob payload bytes after the header (byte seam)
+``store.side.read``   side-file bytes during integrity verification (byte seam)
+``store.write``       ``SimilarityStore.store_cube`` before the row lands (visit)
+``store.blob.write``  encoded payload bytes on their way to disk (byte seam)
+``worker.match``      pool worker, before executing a match frame (visit)
+``pool.roundtrip``    parent side, before a frame is sent to a worker (visit)
+``corpus.rank``       ``SchemaCorpus.rank`` candidate generation (visit)
+``corpus.load``       ``SchemaCorpus.load`` schema materialisation (visit)
+====================  ===========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+def _store_corruption() -> FaultPlan:
+    """Flip seeded bytes in every cube blob read for the first four reads.
+
+    Exercises the crc32 detection path: each corrupt read must be counted,
+    quarantined, and served as a miss that recomputes -- results stay
+    byte-identical to a fault-free run.
+    """
+    return FaultPlan(
+        [
+            FaultRule(point="store.blob.read", action="corrupt",
+                      mode="flip", seed=901, flips=3, count=4),
+            FaultRule(point="store.side.read", action="corrupt",
+                      mode="flip", seed=902, flips=3, count=4),
+        ],
+        name="store-corruption",
+    )
+
+
+def _store_truncation() -> FaultPlan:
+    """Serve torn (half-length) blob payloads for the first three reads."""
+    return FaultPlan(
+        [
+            FaultRule(point="store.blob.read", action="corrupt",
+                      mode="truncate", count=3),
+        ],
+        name="store-truncation",
+    )
+
+
+def _worker_hang() -> FaultPlan:
+    """Wedge the first match frame a worker sees for two minutes.
+
+    Without a deadline this hangs ``match_many`` forever; with
+    ``timeout=`` the watchdog must SIGKILL the worker and surface a typed
+    :class:`~repro.exceptions.PoolTimeoutError` within deadline + grace.
+    """
+    return FaultPlan(
+        [FaultRule(point="worker.match", action="delay", delay=120.0, nth=1)],
+        name="worker-hang",
+    )
+
+
+def _worker_crash_loop() -> FaultPlan:
+    """Kill the worker process on each of the first three match frames.
+
+    One death is absorbed by replay-once; three consecutive deaths must trip
+    the circuit breaker, which routes chunks to in-process execution (same
+    results, byte-identical) until a probe finds workers healthy again.
+    """
+    return FaultPlan(
+        [FaultRule(point="worker.match", action="kill", count=3)],
+        name="worker-crash-loop",
+    )
+
+
+def _corpus_index_loss() -> FaultPlan:
+    """Fail corpus candidate generation as if the index file vanished.
+
+    Search must come back as a typed 503 carrying
+    ``details.component == "corpus"`` and ``/health`` must show the corpus
+    component degraded; plain pair matching keeps working.
+    """
+    return FaultPlan(
+        [
+            FaultRule(point="corpus.rank", action="raise",
+                      error="sqlite3.OperationalError",
+                      message="no such table: schemas (injected index loss)"),
+        ],
+        name="corpus-index-loss",
+    )
+
+
+def _mid_write_kill() -> FaultPlan:
+    """Kill the process in the middle of its second store write.
+
+    Replayed inside a sacrificial subprocess: after the kill, the store
+    opened by the parent must hold only complete, crc-clean blobs (the
+    tmp+rename and WAL discipline make torn writes invisible).
+    """
+    return FaultPlan(
+        [FaultRule(point="store.write", action="kill", nth=2)],
+        name="mid-write-kill",
+    )
+
+
+CATALOG: Dict[str, Callable[[], FaultPlan]] = {
+    "store-corruption": _store_corruption,
+    "store-truncation": _store_truncation,
+    "worker-hang": _worker_hang,
+    "worker-crash-loop": _worker_crash_loop,
+    "corpus-index-loss": _corpus_index_loss,
+    "mid-write-kill": _mid_write_kill,
+}
+
+
+def catalog_plan(name: str) -> FaultPlan:
+    """A fresh (zero-counter) plan for catalog entry ``name``.
+
+    >>> catalog_plan("worker-hang").rules[0].action
+    'delay'
+    """
+    try:
+        builder = CATALOG[name]
+    except KeyError:
+        raise_from = sorted(CATALOG)
+        from repro.exceptions import FaultInjected
+
+        raise FaultInjected(
+            f"unknown catalog plan {name!r}, expected one of {raise_from}"
+        ) from None
+    return builder()

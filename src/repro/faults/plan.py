@@ -1,0 +1,461 @@
+"""Deterministic, seed-driven fault injection for the resilience harness.
+
+A production matcher must *degrade* under partial failure -- a flipped byte
+in a store blob, a wedged worker process, a lost corpus index -- rather than
+hang or return a silently wrong answer.  That behaviour is only trustworthy
+when it is exercised by a **repeatable** fault model: ad-hoc ``kill -9`` and
+hand-corrupted files reproduce a failure once, while a reviewer (or the CI
+chaos lane) needs the *same* failure on every run.  This module provides that
+model:
+
+* a :class:`FaultPoint` is a **named seam** compiled into production code
+  (``"store.blob"``, ``"worker.match"``, ``"corpus.rank"``, ...).  Seams are
+  free when nothing is armed: :func:`fault_point` is one module-global read
+  and a ``None`` check;
+* a :class:`FaultRule` matches a seam (exact name or ``fnmatch`` glob, plus
+  an optional key substring) with a **deterministic trigger** -- the nth
+  matching call, every nth call, all calls after the first n -- and an
+  **action**: ``raise`` a configurable exception, ``corrupt`` the bytes
+  flowing through the seam (seeded, reproducible), ``delay`` the call (a
+  wedged dependency), or ``kill`` the process (a crash);
+* a :class:`FaultPlan` bundles rules, round-trips through JSON (so plans
+  ship to spawned pool workers inside the handshake options and load from a
+  file for ``coma serve --fault-plan``), and counts every visit and firing
+  for assertions.
+
+Nothing here is imported by production code paths beyond the tiny hook
+functions at the bottom; arming is always explicit (:func:`arm`, the
+:func:`armed` context manager, or the ``COMA_ENABLE_FAULTS``-gated CLI
+flag).
+
+Examples
+--------
+>>> plan = FaultPlan([FaultRule(point="demo.seam", action="raise", nth=2)])
+>>> with armed(plan):
+...     fault_point("demo.seam")          # first call: no trigger
+...     try:
+...         fault_point("demo.seam")      # second call: boom
+...     except FaultInjected as error:
+...         print("injected")
+injected
+>>> plan.stats()[0]["fired"]
+1
+"""
+
+from __future__ import annotations
+
+import contextlib
+import fnmatch
+import json
+import os
+import sqlite3
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import FaultInjected, RepositoryError, SearchError, ServiceError
+
+#: Actions a rule may take when it fires.
+ACTIONS = ("raise", "corrupt", "delay", "kill")
+
+#: Corruption modes of the ``corrupt`` action.
+CORRUPT_MODES = ("flip", "truncate", "zero")
+
+#: The exception types a ``raise`` rule may name.  Deliberately a closed
+#: registry of *constructible-from-one-message* types: a plan loaded from an
+#: untrusted file can only raise errors the harness already handles.
+ERROR_TYPES = {
+    "FaultInjected": FaultInjected,
+    "OSError": OSError,
+    "IOError": OSError,
+    "sqlite3.OperationalError": sqlite3.OperationalError,
+    "sqlite3.DatabaseError": sqlite3.DatabaseError,
+    "RepositoryError": RepositoryError,
+    "SearchError": SearchError,
+    "ServiceError": ServiceError,
+}
+
+#: Exit code of the ``kill`` action -- distinctive enough that a test seeing
+#: a worker die with it knows the harness (not the code under test) did it.
+KILL_EXIT_CODE = 86
+
+
+@dataclass
+class FaultRule:
+    """One deterministic fault: *where* (seam), *when* (trigger), *what* (action).
+
+    Parameters
+    ----------
+    point:
+        The seam name to match -- exact, or an ``fnmatch`` glob
+        (``"store.*"``).
+    action:
+        ``"raise"`` | ``"corrupt"`` | ``"delay"`` | ``"kill"``.
+    nth:
+        Fire on exactly the nth matching call (1-based).
+    every:
+        Fire on every ``every``-th matching call (1 = every call).
+    after:
+        Fire on every matching call *after* the first ``after``.
+    count:
+        Fire at most this many times (``None`` = unlimited).  The default
+        for ``nth`` rules is effectively one firing.
+    key:
+        Only calls whose key contains this substring match (seams pass a
+        content key -- a store digest, a schema-pair digest -- when they
+        have one).
+    error:
+        For ``raise``: a name from :data:`ERROR_TYPES`.
+    message:
+        The injected exception's message (a default names the seam).
+    delay:
+        For ``delay``: seconds the seam blocks (simulating a wedged
+        dependency; pair with a deadline on the caller's side).
+    mode / seed / flips:
+        For ``corrupt``: ``"flip"`` XOR-flips ``flips`` seeded byte
+        positions, ``"truncate"`` drops the second half, ``"zero"`` zeroes
+        the payload.  The same ``(seed, firing index)`` always corrupts the
+        same positions -- byte-level chaos, exactly reproducible.
+    """
+
+    point: str
+    action: str
+    nth: Optional[int] = None
+    every: Optional[int] = None
+    after: Optional[int] = None
+    count: Optional[int] = None
+    key: Optional[str] = None
+    error: str = "FaultInjected"
+    message: Optional[str] = None
+    delay: float = 0.0
+    mode: str = "flip"
+    seed: int = 0
+    flips: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise FaultInjected(
+                f"unknown fault action {self.action!r}, expected one of {ACTIONS}"
+            )
+        if self.action == "raise" and self.error not in ERROR_TYPES:
+            raise FaultInjected(
+                f"unknown fault error type {self.error!r}, expected one of "
+                f"{sorted(ERROR_TYPES)}"
+            )
+        if self.action == "corrupt" and self.mode not in CORRUPT_MODES:
+            raise FaultInjected(
+                f"unknown corruption mode {self.mode!r}, expected one of "
+                f"{CORRUPT_MODES}"
+            )
+        triggers = [value for value in (self.nth, self.every, self.after)
+                    if value is not None]
+        if len(triggers) > 1:
+            raise FaultInjected(
+                "a fault rule takes at most one of nth= / every= / after="
+            )
+        for label, value in (("nth", self.nth), ("every", self.every)):
+            if value is not None and value < 1:
+                raise FaultInjected(f"{label}= must be >= 1, got {value}")
+
+    # -- matching and firing ---------------------------------------------------
+
+    def matches(self, point: str, key: Optional[str]) -> bool:
+        """Whether this rule applies to one seam visit (before trigger logic)."""
+        if point != self.point and not fnmatch.fnmatchcase(point, self.point):
+            return False
+        if self.key is not None and (key is None or self.key not in key):
+            return False
+        return True
+
+    def should_fire(self, calls: int, fired: int) -> bool:
+        """The trigger decision for the ``calls``-th matching call (1-based)."""
+        if self.count is not None and fired >= self.count:
+            return False
+        if self.nth is not None:
+            return calls == self.nth
+        if self.every is not None:
+            return calls % self.every == 0
+        if self.after is not None:
+            return calls > self.after
+        return True  # no trigger given: every matching call fires
+
+    def build_error(self) -> Exception:
+        """The exception instance a ``raise`` firing throws."""
+        message = self.message or f"injected fault at {self.point!r}"
+        return ERROR_TYPES[self.error](message)
+
+    def corrupt(self, data: bytes, firing: int) -> bytes:
+        """Deterministically corrupt ``data`` for the ``firing``-th firing."""
+        if not data:
+            return data
+        if self.mode == "truncate":
+            return data[: len(data) // 2]
+        if self.mode == "zero":
+            return bytes(len(data))
+        mutated = bytearray(data)
+        for flip in range(max(1, self.flips)):
+            # A fixed multiplicative hash over (seed, firing, flip): the same
+            # plan corrupts the same byte positions on every run.
+            position = (
+                zlib.crc32(f"{self.seed}:{firing}:{flip}".encode("ascii"))
+                % len(mutated)
+            )
+            mutated[position] ^= 0xFF
+        return bytes(mutated)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-serialisable form (defaults omitted for readability)."""
+        document: Dict[str, object] = {"point": self.point, "action": self.action}
+        for name in ("nth", "every", "after", "count", "key", "message"):
+            value = getattr(self, name)
+            if value is not None:
+                document[name] = value
+        if self.action == "raise" and self.error != "FaultInjected":
+            document["error"] = self.error
+        if self.action == "delay" and self.delay:
+            document["delay"] = self.delay
+        if self.action == "corrupt":
+            document.update({"mode": self.mode, "seed": self.seed})
+            if self.flips != 1:
+                document["flips"] = self.flips
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "FaultRule":
+        """Rebuild a rule from :meth:`to_dict` output (unknown keys rejected)."""
+        if not isinstance(document, dict):
+            raise FaultInjected("a fault rule document must be a JSON object")
+        known = {
+            "point", "action", "nth", "every", "after", "count", "key",
+            "error", "message", "delay", "mode", "seed", "flips",
+        }
+        unknown = set(document) - known
+        if unknown:
+            raise FaultInjected(
+                f"unknown fault rule field(s): {', '.join(sorted(unknown))}"
+            )
+        if "point" not in document or "action" not in document:
+            raise FaultInjected("a fault rule needs at least 'point' and 'action'")
+        return cls(**document)  # type: ignore[arg-type]
+
+
+class FaultPlan:
+    """An armable bundle of :class:`FaultRule`\\ s with per-rule counters.
+
+    The plan carries all runtime state (visit and firing counts per rule)
+    behind one lock, so seams on any thread share the deterministic
+    counting.  Plans serialise to JSON (:meth:`to_dict` / :meth:`to_json` /
+    :meth:`save`) and back (:meth:`from_dict` / :meth:`load`), which is how
+    they travel to spawned pool workers and into ``coma serve
+    --fault-plan``.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], name: str = "fault-plan"):
+        self.name = str(name)
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self._lock = threading.Lock()
+        self._calls = [0] * len(self.rules)
+        self._fired = [0] * len(self.rules)
+
+    # -- the runtime -----------------------------------------------------------
+
+    def visit(self, point: str, key: Optional[str] = None) -> None:
+        """One seam visit: fire every matching rule's non-byte action.
+
+        ``delay`` sleeps, ``kill`` exits the process with
+        :data:`KILL_EXIT_CODE`, ``raise`` raises; ``corrupt`` rules are
+        ignored here (they only act in :meth:`transform`).
+        """
+        for rule, firing in self._due(point, key, byte_rules=False):
+            if rule.action == "delay":
+                time.sleep(rule.delay)
+            elif rule.action == "kill":
+                os._exit(KILL_EXIT_CODE)
+            else:  # raise
+                raise rule.build_error()
+
+    def transform(self, point: str, data: bytes, key: Optional[str] = None) -> bytes:
+        """One byte-carrying seam visit: apply due ``corrupt`` rules to ``data``.
+
+        Non-corrupt rules matching the same seam fire exactly as in
+        :meth:`visit` (a byte seam can also raise or delay).
+        """
+        for rule, firing in self._due(point, key, byte_rules=True):
+            if rule.action == "corrupt":
+                data = rule.corrupt(bytes(data), firing)
+            elif rule.action == "delay":
+                time.sleep(rule.delay)
+            elif rule.action == "kill":
+                os._exit(KILL_EXIT_CODE)
+            else:
+                raise rule.build_error()
+        return data
+
+    def _due(
+        self, point: str, key: Optional[str], byte_rules: bool
+    ) -> List[Tuple[FaultRule, int]]:
+        """Advance counters for one visit; the rules due to fire, in order.
+
+        ``corrupt`` rules only *count* visits on byte seams (transform), so
+        a plan mixing corrupt and raise rules keeps each rule's call
+        numbering aligned with the seam kind it acts on.
+        """
+        due: List[Tuple[FaultRule, int]] = []
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if rule.action == "corrupt" and not byte_rules:
+                    continue
+                if not rule.matches(point, key):
+                    continue
+                self._calls[index] += 1
+                if rule.should_fire(self._calls[index], self._fired[index]):
+                    self._fired[index] += 1
+                    due.append((rule, self._fired[index]))
+        return due
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Per-rule visit/firing counters (for test assertions and /stats)."""
+        with self._lock:
+            return [
+                {
+                    "point": rule.point,
+                    "action": rule.action,
+                    "calls": self._calls[index],
+                    "fired": self._fired[index],
+                }
+                for index, rule in enumerate(self.rules)
+            ]
+
+    def reset(self) -> None:
+        """Zero every rule's counters (a fresh deterministic run)."""
+        with self._lock:
+            self._calls = [0] * len(self.rules)
+            self._fired = [0] * len(self.rules)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-serialisable plan document."""
+        return {
+            "name": self.name,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        >>> plan = FaultPlan([FaultRule(point="a.b", action="delay", delay=0.5)])
+        >>> FaultPlan.from_dict(plan.to_dict()).to_dict() == plan.to_dict()
+        True
+        """
+        if not isinstance(document, dict) or not isinstance(
+            document.get("rules"), list
+        ):
+            raise FaultInjected(
+                "a fault plan document must be a JSON object with a 'rules' list"
+            )
+        return cls(
+            [FaultRule.from_dict(rule) for rule in document["rules"]],
+            name=str(document.get("name", "fault-plan")),
+        )
+
+    def to_json(self) -> str:
+        """The plan as a JSON string."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        """Write the plan to a JSON file (the ``--fault-plan`` input format)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON file; raises :class:`FaultInjected` cleanly."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise FaultInjected(f"cannot read fault plan {path!r}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise FaultInjected(
+                f"fault plan {path!r} is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(document)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(name={self.name!r}, rules={len(self.rules)})"
+
+
+# -- process-wide arming ----------------------------------------------------------
+
+#: The armed plan (or None).  Read unlocked on every seam visit: Python name
+#: reads are atomic, and a seam racing arm()/disarm() harmlessly sees either
+#: the old or the new plan -- determinism only requires that tests arm before
+#: they drive traffic, which they do.
+_ACTIVE: Optional[FaultPlan] = None
+_ARM_LOCK = threading.Lock()
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` process-wide (replacing any armed plan); returns it."""
+    global _ACTIVE
+    with _ARM_LOCK:
+        _ACTIVE = plan
+    return plan
+
+
+def disarm() -> None:
+    """Remove the armed plan; every seam returns to its zero-cost path."""
+    global _ACTIVE
+    with _ARM_LOCK:
+        _ACTIVE = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently armed plan, or ``None``."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def armed(plan: FaultPlan):
+    """Arm ``plan`` for the duration of a ``with`` block (always disarms)."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+# -- the seams (the only calls production code makes) ------------------------------
+
+
+def fault_point(point: str, key: Optional[str] = None) -> None:
+    """A named seam: no-op unless a plan is armed (one global read).
+
+    Production call sites name their seam and, when they have one, a content
+    key (a store digest, a schema-pair identifier) so plans can target
+    specific traffic.  May raise, sleep or kill the process, per the armed
+    plan's rules.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    plan.visit(point, key)
+
+
+def fault_bytes(point: str, data: bytes, key: Optional[str] = None) -> bytes:
+    """A byte-carrying seam: returns ``data`` (possibly corrupted) .
+
+    Used where payload bytes cross a trust boundary -- store blobs and side
+    files -- so corruption plans can flip exactly the bytes a torn write or
+    bad disk would.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return data
+    return plan.transform(point, data, key)

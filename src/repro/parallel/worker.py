@@ -38,6 +38,7 @@ import os
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
+from repro import faults
 from repro.exceptions import ComaError
 from repro.parallel import codec
 
@@ -76,6 +77,7 @@ def _handle_match(
     wire_dtype: str = "float64",
 ):
     """Execute one ``match`` request; returns ``(reply bytes, pairs matched)``."""
+    faults.fault_point("worker.match")
     pairs = header["pairs"]
     needed = {str(pair[side]) for pair in pairs for side in ("source", "target")}
     for entry in header.get("schemas", ()):
@@ -109,6 +111,15 @@ def _handle_match(
 
 def worker_main(connection, options: Dict[str, object]) -> None:
     """Run the worker request loop until ``shutdown`` or a closed pipe."""
+    plan_document = options.get("fault_plan")
+    if plan_document:
+        # The parent ships its fault plan with the spawn options, so chaos
+        # runs exercise the same fault model on both sides of the pipe.  A
+        # respawned worker re-arms from a fresh document (counters at zero):
+        # per-process triggers like "kill on the first match" stay active
+        # across the respawn, which is exactly what a crash-loop scenario
+        # needs.
+        faults.arm(faults.FaultPlan.from_dict(dict(plan_document)))
     session = _build_session(options)
     schemas: "OrderedDict[str, object]" = OrderedDict()
     bound = int(options.get("schema_cache_bound") or SCHEMA_CACHE_BOUND)

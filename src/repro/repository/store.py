@@ -50,9 +50,12 @@ import queue
 import sqlite3
 import struct
 import threading
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
+
+from repro import faults
 
 from repro.auxiliary.synonyms import SynonymDictionary, TermRelationship
 from repro.combination.cube import SimilarityCube
@@ -87,9 +90,14 @@ UINT16_MAX_ERROR = 1.0 / (2 * UINT16_SCALE)
 #: side-file tier (1 MiB by default).
 DEFAULT_MMAP_THRESHOLD = 1 << 20
 
-#: Versioned per-blob header: magic, dtype code, storage flag, 2 spare bytes.
-_BLOB_HEADER = struct.Struct(">4sBB2x")
-_BLOB_MAGIC = b"CBH2"
+#: Versioned per-blob header: magic, dtype code, storage flag, 2 spare bytes,
+#: crc32 of the payload (the inline bytes after the header, or the side
+#: file's full contents).  ``CBH3`` added the checksum; legacy ``CBH2`` blobs
+#: remain readable -- they simply skip verification.
+_BLOB_HEADER = struct.Struct(">4sBB2xI")
+_BLOB_MAGIC = b"CBH3"
+_LEGACY_HEADER = struct.Struct(">4sBB2x")
+_LEGACY_MAGIC = b"CBH2"
 _DTYPE_CODES = {"float64": 0, "float32": 1, "uint16": 2}
 _CODE_DTYPES = {code: name for name, code in _DTYPE_CODES.items()}
 _NUMPY_DTYPES = {
@@ -99,6 +107,20 @@ _NUMPY_DTYPES = {
 }
 _STORAGE_INLINE = 0
 _STORAGE_EXTERNAL = 1
+
+
+class _CorruptBlob(Exception):
+    """Internal: one stored blob failed integrity checks.
+
+    Distinguishes *corruption* (checksum mismatch, truncated payload, bad
+    header, vanished side file -- evidence of a torn write or bit rot, so the
+    row is quarantined and counted) from the ordinary miss path (key absent,
+    database briefly unavailable).  Never escapes :class:`SimilarityStore`.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
 
 _STORE_DDL = """
 CREATE TABLE IF NOT EXISTS cubes (
@@ -426,6 +448,8 @@ class SimilarityStore:
         self._hits = 0
         self._misses = 0
         self._writes = 0
+        self._corrupt = 0
+        self._quarantined = 0
         self._closed = False
         self._queue: "queue.Queue[Optional[Tuple]]" = queue.Queue()
         self._writer: Optional[threading.Thread] = None
@@ -498,11 +522,20 @@ class SimilarityStore:
         recomputation, never fail the match).  Returns ``None`` when nothing
         (usable) is stored.
 
+        Blobs written under the ``CBH3`` header additionally verify a crc32
+        checksum over the payload (inline bytes or side-file contents); a
+        mismatch -- bit rot, a torn write, a tampered file -- quarantines the
+        row (deleted, side file unlinked) and counts it in
+        ``info()["corrupt"]`` / ``["quarantined"]`` before degrading to the
+        same miss-and-recompute path.  Legacy ``CBH2`` blobs stay readable
+        without verification.
+
         The returned stack is decoded to float64 per the blob header's dtype
         and is always *writable*: inline payloads are copied out of the blob,
         external payloads are mapped copy-on-write.
         """
         try:
+            faults.fault_point("store.load", key=key)
             with self._lock:
                 row = self._connection.execute(
                     "SELECT matcher_names, shape, data FROM cubes WHERE key = ?", (key,)
@@ -517,6 +550,9 @@ class SimilarityStore:
                     stack = self._decode_blob(key, row[2], shape)
                     if stack is None:
                         row = None
+        except _CorruptBlob as corrupt:
+            self._quarantine(key, corrupt.reason)
+            row = None
         except (sqlite3.Error, OSError, ValueError, TypeError, json.JSONDecodeError):
             row = None
         if row is None:
@@ -534,26 +570,95 @@ class SimilarityStore:
     def _decode_blob(
         self, key: str, blob: bytes, shape: Tuple[int, ...]
     ) -> Optional[np.ndarray]:
-        """Decode one cube blob (header + inline payload, or side-file ref)."""
-        if len(blob) < _BLOB_HEADER.size:
-            return None
-        magic, dtype_code, storage = _BLOB_HEADER.unpack_from(blob)
-        if magic != _BLOB_MAGIC or dtype_code not in _CODE_DTYPES:
-            return None
+        """Decode one cube blob (header + inline payload, or side-file ref).
+
+        Raises :class:`_CorruptBlob` on integrity evidence -- a short or
+        unrecognised header, a crc32 mismatch, a missing / short / oversized
+        side file, a payload whose byte count cannot hold the recorded shape.
+        """
+        blob = faults.fault_bytes("store.blob.read", bytes(blob), key=key)
+        crc: Optional[int] = None
+        if len(blob) >= _BLOB_HEADER.size:
+            magic, dtype_code, storage, crc = _BLOB_HEADER.unpack_from(blob)
+            header_size = _BLOB_HEADER.size
+            if magic != _BLOB_MAGIC:
+                crc = None
+        if crc is None:
+            # Not a CBH3 blob: either a legacy CBH2 row (readable, no
+            # checksum) or garbage (quarantined).
+            if len(blob) < _LEGACY_HEADER.size:
+                raise _CorruptBlob("blob shorter than any known header")
+            magic, dtype_code, storage = _LEGACY_HEADER.unpack_from(blob)
+            header_size = _LEGACY_HEADER.size
+            if magic != _LEGACY_MAGIC:
+                raise _CorruptBlob(f"unknown blob magic {bytes(magic)!r}")
+        if dtype_code not in _CODE_DTYPES:
+            raise _CorruptBlob(f"unknown blob dtype code {dtype_code}")
         dtype = _CODE_DTYPES[dtype_code]
         if storage == _STORAGE_INLINE:
-            return decode_stack(blob[_BLOB_HEADER.size :], dtype, shape)
+            payload = blob[header_size:]
+            if crc is not None and zlib.crc32(payload) != crc:
+                raise _CorruptBlob("inline payload crc32 mismatch")
+            try:
+                return decode_stack(payload, dtype, shape)
+            except ValueError as error:
+                raise _CorruptBlob(f"inline payload undecodable: {error}") from error
         numpy_dtype = _NUMPY_DTYPES[dtype]
         side_path = self._side_path(key)
         expected_bytes = int(np.prod(shape)) * numpy_dtype.itemsize
-        if os.path.getsize(side_path) != expected_bytes:
-            return None
+        try:
+            actual_bytes = os.path.getsize(side_path)
+        except OSError as error:
+            raise _CorruptBlob(f"side file unreadable: {error}") from error
+        if actual_bytes != expected_bytes:
+            raise _CorruptBlob(
+                f"side file holds {actual_bytes} bytes, expected {expected_bytes}"
+            )
         # mode="c" (copy-on-write): pages fault in lazily and writes land in
         # private memory, so the mapped stack is writable like any other.
         mapped = np.memmap(side_path, dtype=numpy_dtype, mode="c")
+        if crc is not None:
+            # Verification necessarily pages the whole file in -- the
+            # integrity guarantee costs the mmap tier its laziness on first
+            # read (documented trade-off; pages stay resident for the reuse
+            # that follows).  The armed-plan branch materialises bytes only
+            # for injection; the production path checksums the mapping
+            # buffer directly, copy-free.
+            if faults.active_plan() is not None:
+                verified = faults.fault_bytes(
+                    "store.side.read", mapped.tobytes(), key=key
+                )
+            else:
+                verified = mapped
+            if zlib.crc32(verified) != crc:
+                raise _CorruptBlob("side file crc32 mismatch")
         if dtype == "float64":
             return mapped.reshape(shape)
         return decode_stack(mapped, dtype, shape)
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Remove one corrupt cube row (and side file) and count the event.
+
+        Read-only stores only count -- the evidence stays on disk for the
+        operator.  Quarantine failures (a locked database) are swallowed: the
+        corrupt row will simply be re-detected and re-quarantined on the next
+        read.
+        """
+        with self._lock:
+            self._corrupt += 1
+        if self._readonly:
+            return
+        removed = False
+        with contextlib.suppress(sqlite3.Error):
+            with self._lock:
+                self._connection.execute("DELETE FROM cubes WHERE key = ?", (key,))
+                self._connection.commit()
+                removed = True
+        with contextlib.suppress(OSError):
+            os.remove(self._side_path(key))
+        if removed:
+            with self._lock:
+                self._quarantined += 1
 
     def store_cube(
         self,
@@ -569,7 +674,11 @@ class SimilarityStore:
         The stack is encoded with the store's configured dtype; payloads at
         or above the mmap threshold land in a side file (written atomically
         via a temporary name), with only the header kept in the blob column.
+        The header records the payload's crc32 *before* the bytes travel to
+        disk, so anything that mangles them en route or at rest -- including
+        the ``store.blob.write`` fault seam -- is caught on the next read.
         """
+        faults.fault_point("store.write", key=key)
         stack = cube.as_array()  # k x m x n float64, C-order
         payload = encode_stack(stack, self._dtype)
         external = (
@@ -581,7 +690,9 @@ class SimilarityStore:
             _BLOB_MAGIC,
             _DTYPE_CODES[self._dtype],
             _STORAGE_EXTERNAL if external else _STORAGE_INLINE,
+            zlib.crc32(payload),
         )
+        payload = faults.fault_bytes("store.blob.write", payload, key=key)
         side_path = self._side_path(key)
         if external:
             os.makedirs(os.path.dirname(side_path), exist_ok=True)
@@ -744,6 +855,7 @@ class SimilarityStore:
                 self._connection.execute("SELECT name, value FROM counters").fetchall()
             )
             hits, misses, writes = self._hits, self._misses, self._writes
+            corrupt, quarantined = self._corrupt, self._quarantined
         return {
             "path": self._path,
             "dtype": self._dtype,
@@ -761,8 +873,12 @@ class SimilarityStore:
             "hits": hits,
             "misses": misses,
             "writes": writes,
+            "corrupt": corrupt,
+            "quarantined": quarantined,
             "lifetime_hits": int(persisted.get("hits", 0)) + hits,
             "lifetime_misses": int(persisted.get("misses", 0)) + misses,
+            "lifetime_corrupt": int(persisted.get("corrupt", 0)) + corrupt,
+            "lifetime_quarantined": int(persisted.get("quarantined", 0)) + quarantined,
         }
 
     def _persist_counters(self) -> None:
@@ -770,7 +886,12 @@ class SimilarityStore:
         if self._readonly:
             return
         with self._lock:
-            deltas = (("hits", self._hits), ("misses", self._misses))
+            deltas = (
+                ("hits", self._hits),
+                ("misses", self._misses),
+                ("corrupt", self._corrupt),
+                ("quarantined", self._quarantined),
+            )
             for name, value in deltas:
                 if value:
                     self._connection.execute(
@@ -781,6 +902,8 @@ class SimilarityStore:
             self._connection.commit()
             self._hits = 0
             self._misses = 0
+            self._corrupt = 0
+            self._quarantined = 0
 
     # -- background writer -----------------------------------------------------
 

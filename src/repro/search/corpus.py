@@ -44,6 +44,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.engine.profiles import PathSetProfile, TOKEN_MODE_NAME
 from repro.exceptions import SearchError
 from repro.linguistic.tokenizer import NameTokenizer
@@ -479,6 +480,7 @@ class SchemaCorpus:
         SearchError
             If no schema of that name is registered.
         """
+        faults.fault_point("corpus.load", key=name)
         with self._lock:
             row = self._connection.execute(
                 "SELECT schema_id, digest, document FROM corpus_schemas "
@@ -560,6 +562,7 @@ class SchemaCorpus:
             Registered schemas to leave out (typically the query itself,
             when it is part of the corpus).
         """
+        faults.fault_point("corpus.rank")
         query_norm = vocabulary_norm(vocabulary)
         by_kind: Dict[str, List[str]] = {}
         for kind, term in vocabulary:

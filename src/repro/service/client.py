@@ -33,6 +33,14 @@ from repro.exceptions import ServiceError
 #: One batch entry: ``{"source": ..., "target": ..., "strategy": ...}``.
 BatchRequest = Dict[str, Union[str, float, None]]
 
+#: Fallback backoff for a 429 without a usable ``Retry-After`` header: the
+#: first retry waits this many seconds, doubling per attempt.
+RETRY_BACKOFF_BASE = 0.1
+#: Upper bound on any single retry wait, whether from ``Retry-After`` or the
+#: doubling fallback -- a server asking for a five-minute pause should not
+#: silently stall a client call that long.
+RETRY_BACKOFF_CAP = 5.0
+
 
 def _quoted(name: str) -> str:
     """Percent-encode a name used as a path segment (the server unquotes)."""
@@ -66,6 +74,15 @@ class ServiceClient:
         is tolerated).
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        How many times a request answered ``429 Too Many Requests`` is
+        retried (default 0: fail fast).  A 429 means the async front-end's
+        bounded queue refused admission *before* any work started, so the
+        replay is safe for every method, not just GET.  Each wait honours
+        the server's ``Retry-After`` header, falling back to a deterministic
+        doubling backoff (``RETRY_BACKOFF_BASE`` seconds, doubling per
+        attempt); either way one wait never exceeds ``RETRY_BACKOFF_CAP``
+        seconds.
 
     Raises
     ------
@@ -79,9 +96,10 @@ class ServiceClient:
     'http://127.0.0.1:8765'
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    def __init__(self, base_url: str, timeout: float = 60.0, retries: int = 0):
         self._base_url = base_url.rstrip("/")
         self._timeout = timeout
+        self._retries = max(0, int(retries))
         parsed = urllib.parse.urlsplit(self._base_url)
         if parsed.scheme != "http" or not parsed.hostname:
             raise ServiceError(
@@ -141,12 +159,41 @@ class ServiceClient:
         such as ``/health`` and ``/stats``, whose replay cannot duplicate
         work.  Timeouts are never retried.
 
+        With ``retries > 0``, a ``429 Too Many Requests`` answer (the async
+        front-end's bounded queue refusing admission -- the request was
+        never started, so replay cannot duplicate work) is retried up to
+        that many times, sleeping the server's ``Retry-After`` when it sent
+        one and a deterministic doubling backoff otherwise, both capped at
+        ``RETRY_BACKOFF_CAP`` seconds per wait.
+
         Raises
         ------
         ServiceError
             For non-2xx responses (with the server's error message and the
             HTTP status) and for transport-level failures (status 0).
         """
+        for attempt in range(self._retries + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as error:
+                if error.status != 429 or attempt >= self._retries:
+                    raise
+                time.sleep(self._retry_delay(error, attempt))
+        raise AssertionError("unreachable: the loop returns or raises")
+
+    def _retry_delay(self, error: ServiceError, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt + 1`` of a 429'd request."""
+        header = (error.details or {}).get("retry_after")
+        if header is not None:
+            try:
+                return min(RETRY_BACKOFF_CAP, max(0.0, float(header)))
+            except (TypeError, ValueError):
+                pass  # an unparsable Retry-After falls back to the doubling
+        return min(RETRY_BACKOFF_CAP, RETRY_BACKOFF_BASE * (2 ** attempt))
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
         target = f"{self._prefix}/{path.lstrip('/')}"
         body = None
         headers = {"Accept": "application/json"}
@@ -198,11 +245,14 @@ class ServiceClient:
             message = decoded.get("error") if isinstance(decoded, dict) else None
             details = (
                 {key: value for key, value in decoded.items() if key != "error"}
-                if isinstance(decoded, dict) else None
+                if isinstance(decoded, dict) else {}
             )
+            retry_after = response.getheader("Retry-After")
+            if retry_after is not None and "retry_after" not in details:
+                details["retry_after"] = retry_after
             raise ServiceError(
                 message or f"{method} {path} failed with status {response.status}",
-                status=response.status, details=details,
+                status=response.status, details=details or None,
             )
         return decoded
 

@@ -45,7 +45,9 @@ See ``docs/service.md`` for the full endpoint reference and deployment guide.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import sqlite3
 import threading
 import time
 import urllib.parse
@@ -53,7 +55,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.strategy import MatchStrategy
-from repro.exceptions import ComaError, ServiceError
+from repro.exceptions import ComaError, FaultInjected, ServiceError
 from repro.importers.registry import DEFAULT_IMPORTERS, ImporterRegistry
 from repro.model.schema import Schema
 from repro.service.jobs import JobEventStream, JobManager
@@ -126,6 +128,13 @@ class MatchService:
     default_strategy:
         The strategy spec worker sessions fall back to when a match request
         names none (default: the paper's default operation).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` (or its ``to_dict()``
+        document) armed process-wide for chaos runs.  Process-backend
+        workers receive the same plan through their spawn options, so one
+        plan exercises both sides of the pipe.  ``coma serve`` only accepts
+        ``--fault-plan`` when ``COMA_ENABLE_FAULTS=1`` is set; see
+        ``docs/robustness.md``.
 
     Examples
     --------
@@ -146,6 +155,7 @@ class MatchService:
         importers: Optional[ImporterRegistry] = None,
         session_factory: Optional[SessionFactory] = None,
         default_strategy: Optional[str] = None,
+        fault_plan: Optional[object] = None,
     ):
         if backend not in ("thread", "process"):
             raise ServiceError(
@@ -158,6 +168,24 @@ class MatchService:
                 "own interpreter)"
             )
         self._backend = backend
+        self._fault_plan = None
+        if fault_plan is not None:
+            from repro import faults
+
+            # Armed before the pool spawns so process workers inherit the
+            # plan document through their spawn options (fresh counters per
+            # process, which is what crash-loop scenarios need).
+            plan = (
+                fault_plan
+                if isinstance(fault_plan, faults.FaultPlan)
+                else faults.FaultPlan.from_dict(dict(fault_plan))
+            )
+            faults.arm(plan)
+            self._fault_plan = plan
+        #: Event-driven degradation marks: component name -> failure detail.
+        #: Store degradation is derived from its corruption counters instead
+        #: (the failures happen inside worker processes, not here).
+        self._degraded: Dict[str, str] = {}
         self._repository = None
         if repository_path:
             from repro.repository.repository import Repository
@@ -432,12 +460,71 @@ class MatchService:
 
     # -- endpoint implementations ----------------------------------------------
 
+    def component_health(self) -> dict:
+        """Per-component health: ``pool`` / ``store`` / ``corpus`` states.
+
+        Each entry carries ``status`` (``"ok"`` or ``"degraded"``) plus the
+        evidence: the pool reports its circuit-breaker / watchdog counters
+        (process backend), the store its corruption and quarantine counters,
+        the corpus the last infrastructure failure that forced a typed 503.
+        A degraded component keeps serving -- matching recomputes around
+        quarantined blobs and breaker-routed chunks run in-process -- so
+        this block is an operator signal, not an availability bit.
+        """
+        components: Dict[str, dict] = {}
+        pool_entry: Dict[str, object] = {
+            "status": "ok",
+            "size": self._pool.size,
+            "idle": self._pool.idle,
+        }
+        resilience_info = getattr(self._pool, "resilience_info", None)
+        if resilience_info is not None:
+            resilience = resilience_info()
+            if resilience["breaker"]["state"] == "open":
+                pool_entry["status"] = "degraded"
+                pool_entry["detail"] = (
+                    "circuit breaker open: match chunks run in-process "
+                    "until a worker probe succeeds"
+                )
+            pool_entry.update(resilience)
+        components["pool"] = pool_entry
+        if self._store is not None:
+            info = self._store.info()
+            corrupt = int(info.get("corrupt", 0))
+            quarantined = int(info.get("quarantined", 0))
+            store_entry: Dict[str, object] = {
+                "status": "degraded" if corrupt else "ok",
+                "corrupt": corrupt,
+                "quarantined": quarantined,
+            }
+            if corrupt:
+                store_entry["detail"] = (
+                    f"{corrupt} corrupt blob(s) detected this process "
+                    f"({quarantined} quarantined); affected keys recompute"
+                )
+            components["store"] = store_entry
+        if self._corpus is not None:
+            with self._state_lock:
+                detail = self._degraded.get("corpus")
+            corpus_entry: Dict[str, object] = {
+                "status": "degraded" if detail else "ok",
+            }
+            if detail:
+                corpus_entry["detail"] = detail
+            components["corpus"] = corpus_entry
+        return components
+
     def _health(self) -> dict:
         with self._state_lock:
             schema_count = len(self._schemas)
         jobs = self._jobs.info()["by_state"]
+        components = self.component_health()
+        degraded = any(
+            entry["status"] != "ok" for entry in components.values()
+        )
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
+            "components": components,
             "service": f"coma-match-service/{__version__}",
             "backend": self._backend,
             "frontend": self.frontend_name,
@@ -473,6 +560,11 @@ class MatchService:
                 "size": self._pool.size,
                 "idle": self._pool.idle,
                 **self._pool.cache_info(),
+                **(
+                    {"resilience": self._pool.resilience_info()}
+                    if hasattr(self._pool, "resilience_info")
+                    else {}
+                ),
             },
             "jobs": self._jobs.info(),
             "kernel_memo": DEFAULT_MEMO_POOL.info(),
@@ -497,6 +589,12 @@ class MatchService:
             self._store.close()
         if self._corpus is not None:
             self._corpus.close()
+        if self._fault_plan is not None:
+            from repro import faults
+
+            if faults.active_plan() is self._fault_plan:
+                faults.disarm()
+            self._fault_plan = None
 
     def _list_schemas(self) -> dict:
         with self._state_lock:
@@ -685,10 +783,34 @@ class MatchService:
             )
         return self._corpus
 
+    @contextlib.contextmanager
+    def _corpus_guard(self):
+        """Convert corpus infrastructure failures into a typed 503.
+
+        Bad *requests* (unknown schema, invalid strategy) keep their 4xx
+        semantics; this guard only catches the failure classes that mean the
+        corpus itself is unhealthy -- sqlite errors (index loss, locked or
+        torn database), OS errors (unreadable file) and injected faults.
+        The component is marked degraded for ``GET /health``; the next
+        successful search clears the mark.
+        """
+        try:
+            yield
+        except (sqlite3.Error, OSError, FaultInjected) as error:
+            detail = f"{type(error).__name__}: {error}"
+            with self._state_lock:
+                self._degraded["corpus"] = detail
+            raise ServiceError(
+                f"corpus search unavailable: {error}",
+                status=503,
+                details={"component": "corpus"},
+            )
+
     def _corpus_info(self) -> dict:
         corpus = self._require_corpus()
-        info = corpus.info()
-        info["names"] = list(corpus.names())
+        with self._corpus_guard():
+            info = corpus.info()
+            info["names"] = list(corpus.names())
         return info
 
     def validate_search(self, payload: dict) -> dict:
@@ -714,7 +836,8 @@ class MatchService:
                     f"no schema named {name!r} uploaded or registered in the "
                     f"corpus", status=404,
                 )
-            schema = corpus.load(name)
+            with self._corpus_guard():
+                schema = corpus.load(name)
         strategy = self.resolve_strategy(payload.get("strategy"))
         try:
             k = int(payload.get("k", 10))
@@ -743,13 +866,18 @@ class MatchService:
         corpus = self._require_corpus()
         name, k = validated["name"], validated["k"]
         min_similarity = validated["min_similarity"]
-        results = self._searcher.search(
-            validated["schema"],
-            k=k,
-            strategy=validated["strategy"],
-            candidates=validated["candidates"],
-            match_many=self._pool.match_many,
-        )
+        with self._corpus_guard():
+            results = self._searcher.search(
+                validated["schema"],
+                k=k,
+                strategy=validated["strategy"],
+                candidates=validated["candidates"],
+                match_many=self._pool.match_many,
+            )
+        # A full search round trip is the recovery probe: the corpus served
+        # its index again, so the degradation mark comes off.
+        with self._state_lock:
+            self._degraded.pop("corpus", None)
         return {
             "query": name,
             "k": k,

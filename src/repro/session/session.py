@@ -790,6 +790,7 @@ class MatchSession:
         strategy: StrategyLike = None,
         processes: Optional[int] = None,
         process_pool: Optional["ProcessSessionPool"] = None,
+        timeout: Optional[float] = None,
     ) -> List[MatchOutcome]:
         """Run a batch of match operations, amortising the session caches.
 
@@ -823,6 +824,11 @@ class MatchSession:
         process_pool:
             An existing :class:`~repro.parallel.pool.ProcessSessionPool` to
             dispatch on (kept open afterwards).
+        timeout:
+            Deadline in seconds over the process-pool dispatch: a wedged
+            worker is SIGKILLed by the pool's watchdog and the call raises
+            :class:`~repro.exceptions.PoolTimeoutError` within deadline plus
+            grace.  Ignored on the serial path (no pool involved).
 
         Returns
         -------
@@ -864,7 +870,7 @@ class MatchSession:
                     f"got a tuple of length {len(request)}"
                 )
         if processes is not None or process_pool is not None:
-            return self._match_many_processes(items, processes, process_pool)
+            return self._match_many_processes(items, processes, process_pool, timeout)
         seen_schemas: set = set()
         for source, target, _ in items:
             for schema in (source, target):
@@ -1014,6 +1020,7 @@ class MatchSession:
         items: List[Tuple[Schema, Schema, StrategyLike]],
         processes: Optional[int],
         process_pool: Optional["ProcessSessionPool"],
+        timeout: Optional[float] = None,
     ) -> List[MatchOutcome]:
         """Fan a normalised batch out across worker processes (see match_many)."""
         from repro.parallel.pool import ProcessSessionPool
@@ -1059,6 +1066,7 @@ class MatchSession:
             remote_outcomes = process_pool.match_many(
                 [(items[i][0], items[i][1], resolved[i]) for i in remote],
                 context_factory=self.context_for,
+                timeout=timeout,
             )
             for index, outcome in zip(remote, remote_outcomes):
                 key = self._cube_key(items[index][0], items[index][1], resolved[index])

@@ -46,3 +46,27 @@ def test_unwritable_store_path_exits_nonzero_cleanly(tmp_path, capsys):
 def test_zero_pool_size_alias_is_validated_too(capsys):
     assert console_main(["serve", "--pool-size", "0", "--port", "0"]) == 1
     assert "--workers must be >= 1" in capsys.readouterr().err
+
+def test_fault_plan_is_refused_without_the_environment_gate(
+    tmp_path, capsys, monkeypatch
+):
+    from repro.faults import catalog_plan
+
+    monkeypatch.delenv("COMA_ENABLE_FAULTS", raising=False)
+    plan_path = tmp_path / "plan.json"
+    catalog_plan("corpus-index-loss").save(str(plan_path))
+    code = console_main(["serve", "--fault-plan", str(plan_path), "--port", "0"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "COMA_ENABLE_FAULTS=1" in captured.err
+
+
+def test_fault_plan_file_is_validated_before_any_socket(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.setenv("COMA_ENABLE_FAULTS", "1")
+    bad_plan = tmp_path / "bad.json"
+    bad_plan.write_text('{"rules": [{"point": "x", "action": "explode"}]}')
+    code = console_main(["serve", "--fault-plan", str(bad_plan), "--port", "0"])
+    assert code == 1
+    assert "unknown fault action" in capsys.readouterr().err

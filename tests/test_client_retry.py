@@ -21,7 +21,7 @@ import pytest
 
 from repro.datasets.figure1 import PO1_DDL, PO2_XSD
 from repro.exceptions import ServiceError
-from repro.service import ServiceClient, create_server
+from repro.service import ServiceClient, create_async_server, create_server
 
 SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
 
@@ -197,6 +197,106 @@ def real_server():
     server.shutdown()
     thread.join(timeout=10)
     server.server_close()
+
+
+class _SaturatedAsyncServer:
+    """A real async front-end wedged at capacity (every slot parked).
+
+    ``max_queue`` raw requests are parked on a patched ``/block`` route, so
+    the *next* request of any client is answered with a genuine
+    ``429 Too Many Requests`` + ``Retry-After`` by the production admission
+    path -- no mocked responses anywhere.  ``release()`` un-parks them,
+    draining the queue so retried requests are admitted.
+    """
+
+    def __init__(self, max_queue: int = 2):
+        self.server = create_async_server(port=0, pool_size=1, max_queue=max_queue)
+        self.thread = self.server.run_in_thread()
+        self.max_queue = max_queue
+        self._release = threading.Event()
+        self._original = self.server.service.handle_request
+        self._parked: "list[socket.socket]" = []
+
+        def blocking(method, path, payload=None):
+            if path.rstrip("/") == "/block":
+                self._release.wait(timeout=30)
+                return 200, {"blocked": True}
+            return self._original(method, path, payload)
+
+        self.server.service.handle_request = blocking
+
+    def saturate(self) -> None:
+        for _ in range(self.max_queue):
+            sock = socket.create_connection(("127.0.0.1", self.server.port), timeout=10)
+            sock.sendall(b"GET /block HTTP/1.1\r\n\r\n")
+            self._parked.append(sock)
+        deadline = time.monotonic() + 10
+        while self.server._in_flight < self.max_queue:
+            assert time.monotonic() < deadline, "parked requests never admitted"
+            time.sleep(0.01)
+
+    def release(self) -> None:
+        self._release.set()
+
+    def release_after(self, seconds: float) -> None:
+        threading.Timer(seconds, self.release).start()
+
+    def close(self) -> None:
+        self.release()
+        for sock in self._parked:
+            sock.close()
+        self.server.service.handle_request = self._original
+        self.server.request_shutdown()
+        self.thread.join(timeout=10)
+
+
+class TestRetryAfterBackoff:
+    def test_default_client_fails_fast_with_the_retry_hint(self):
+        wedged = _SaturatedAsyncServer()
+        try:
+            wedged.saturate()
+            client = ServiceClient(f"http://127.0.0.1:{wedged.server.port}")
+            with pytest.raises(ServiceError) as excinfo:
+                client.health()
+            assert excinfo.value.status == 429
+            # The server's Retry-After header rides along for callers that
+            # want to implement their own policy.
+            assert excinfo.value.details["retry_after"] == "1"
+        finally:
+            wedged.close()
+
+    def test_opted_in_client_honours_retry_after_and_succeeds(self):
+        wedged = _SaturatedAsyncServer()
+        try:
+            wedged.saturate()
+            client = ServiceClient(
+                f"http://127.0.0.1:{wedged.server.port}", retries=5
+            )
+            # The queue drains while the client sleeps the advertised
+            # Retry-After; the retried request is then admitted for real.
+            wedged.release_after(0.5)
+            start = time.monotonic()
+            assert client.health()["status"] == "ok"
+            elapsed = time.monotonic() - start
+            assert elapsed >= 0.5  # it genuinely waited for capacity
+            assert wedged.server._rejected_429 >= 1  # the 429 was real
+        finally:
+            wedged.close()
+
+    def test_retries_exhaust_into_the_original_429(self):
+        wedged = _SaturatedAsyncServer()
+        try:
+            wedged.saturate()
+            # Never released: every retry meets the same full queue, and the
+            # caller gets the typed 429 (not a hang) once retries run out.
+            client = ServiceClient(
+                f"http://127.0.0.1:{wedged.server.port}", retries=1
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                client.health()
+            assert excinfo.value.status == 429
+        finally:
+            wedged.close()
 
 
 class TestFreshConnectionSemantics:

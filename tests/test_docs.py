@@ -76,7 +76,7 @@ class TestMarkdownLinks:
 
     def test_docs_suite_is_complete(self):
         """The three documentation pages exist and README links all of them."""
-        expected = {"architecture.md", "strategy-spec.md", "service.md"}
+        expected = {"architecture.md", "strategy-spec.md", "service.md", "robustness.md"}
         present = {path.name for path in (REPO_ROOT / "docs").glob("*.md")}
         assert expected <= present
         readme_links = _links(REPO_ROOT / "README.md")
@@ -97,6 +97,8 @@ class TestDoctests:
             "repro.service.pool",
             "repro.service.server",
             "repro.service.client",
+            "repro.faults.plan",
+            "repro.faults.catalog",
         ],
     )
     def test_module_doctests_pass(self, module_name):
