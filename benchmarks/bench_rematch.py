@@ -1,0 +1,185 @@
+"""Incremental re-matching: MatchSession.rematch vs. a from-scratch match.
+
+The evolving-repository workload: a 200-path schema already matched against a
+similarly sized target gets one field renamed -- the canonical "schema
+version n+1" edit -- and needs a fresh mapping.  Two ways to get it:
+
+* the **full** path calls ``match()`` on the new pair in a cold session,
+  re-running every matcher over every (row, column) pair;
+* the **rematch** path hands the old version, the new version and the previous
+  outcome to :meth:`~repro.session.session.MatchSession.rematch`, which
+  re-runs the matchers only on the rows whose Merkle row signatures changed
+  (the renamed leaf and its section) and copies every other cell from the
+  previous cube.
+
+Both paths are byte-identical (asserted on the cube floats and the serialized
+result -- splicing is an execution shortcut, never an approximation).
+Results are recorded in ``BENCH_rematch.json`` at the repository root.
+
+Run directly::
+
+    python benchmarks/bench_rematch.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_rematch.py -q -s
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:  # script mode without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.generators import generate_schema  # noqa: E402
+from repro.model.digests import schema_delta  # noqa: E402
+from repro.model.schema import Schema  # noqa: E402
+from repro.session import MatchSession  # noqa: E402
+
+#: 40 sections x 4 leaves = 200 paths (sections + leaves + root excluded).
+SECTIONS = 40
+FIELDS_PER_SECTION = 4
+
+REPEATS = 3
+
+RESULT_PATH = REPO_ROOT / "BENCH_rematch.json"
+
+
+def _rename_one_leaf(schema: Schema, name: str) -> Schema:
+    """A rebuilt copy of ``schema`` with exactly one leaf renamed."""
+    victim = schema.leaf_paths()[len(schema.leaf_paths()) // 2]
+    victim_dotted = victim.dotted(skip_root=True)
+    copy = Schema(name)
+
+    def visit(element, parent, prefix):
+        for child in schema.children(element):
+            dotted = f"{prefix}.{child.name}" if prefix else child.name
+            label = "renamedVersionedField" if dotted == victim_dotted else child.name
+            made = copy.add_element(
+                label, parent=parent, kind=child.kind,
+                source_type=child.source_type, documentation=child.documentation,
+            )
+            visit(child, made, dotted)
+
+    visit(schema.root, None, "")
+    return copy
+
+
+def _result_sha256(outcome) -> str:
+    document = [
+        [source, target, float(similarity).hex()]
+        for source, target, similarity in outcome.result.as_tuples()
+    ]
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _best_of(callable_, repeats=REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def collect_results() -> dict:
+    old, _ = generate_schema(
+        "EvolvingV1", sections=SECTIONS, fields_per_section=FIELDS_PER_SECTION,
+        seed=31,
+    )
+    target, _ = generate_schema(
+        "FixedTarget", sections=SECTIONS, fields_per_section=FIELDS_PER_SECTION,
+        variant=1, seed=32,
+    )
+    new = _rename_one_leaf(old, "EvolvingV2")
+    delta = schema_delta(old, new)
+
+    def run_full():
+        return MatchSession().match(new, target)
+
+    full_seconds, full_outcome = _best_of(run_full)
+
+    # The previous result is the workload's given (it existed before the
+    # edit), so each repeat establishes it in a fresh session *outside* the
+    # timed region; only the splice itself is timed.  A fresh session per
+    # repeat keeps the cube cache from turning later repeats into pure
+    # cache hits, which would flatter the measurement.
+    rematch_seconds = float("inf")
+    rematch_outcome = None
+    warm = None
+    for _ in range(REPEATS):
+        warm = MatchSession()
+        previous = warm.match(old, target)
+        started = time.perf_counter()
+        rematch_outcome = warm.rematch(old, new, previous)
+        rematch_seconds = min(rematch_seconds, time.perf_counter() - started)
+
+    # Hard contract: the splice is byte-identical to the from-scratch match.
+    if rematch_outcome.cube.as_array().tobytes() != full_outcome.cube.as_array().tobytes():
+        raise AssertionError("spliced cube diverged from the from-scratch cube")
+    if _result_sha256(rematch_outcome) != _result_sha256(full_outcome):
+        raise AssertionError("spliced result diverged from the from-scratch result")
+    info = warm.cache_info()
+    if not info["rematch_spliced"]:
+        raise AssertionError("rematch fell back to a full match; nothing was spliced")
+
+    return {
+        "benchmark": "rematch",
+        "description": (
+            "One renamed field in a 200-path schema: MatchSession.rematch "
+            "(row-signature delta + cube splice) vs a from-scratch match of "
+            "the new pair"
+        ),
+        "python": platform.python_version(),
+        "repeats": REPEATS,
+        "paths": len(old.paths()),
+        "target_paths": len(target.paths()),
+        "rows_reused": delta.reused,
+        "rows_recomputed": delta.recomputed,
+        "full_seconds": round(full_seconds, 4),
+        "rematch_seconds": round(rematch_seconds, 4),
+        "speedup": round(full_seconds / rematch_seconds, 2),
+        "byte_identical": True,
+    }
+
+
+def write_results(results: dict, path: Path = RESULT_PATH) -> Path:
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def _print_results(results: dict) -> None:
+    print(
+        f"{results['paths']}-path schema, one field renamed "
+        f"({results['rows_reused']} rows reused, "
+        f"{results['rows_recomputed']} recomputed): "
+        f"full {results['full_seconds']:.3f}s, "
+        f"rematch {results['rematch_seconds']:.3f}s, "
+        f"speedup {results['speedup']:.2f}x"
+    )
+
+
+def test_rematch_speedup():
+    """Splicing a one-field edit is at least 5x faster than a full match."""
+    results = collect_results()
+    write_results(results)
+    _print_results(results)
+    assert results["byte_identical"]
+    assert results["speedup"] >= 5.0, (
+        f"expected >= 5x rematch speedup, got {results['speedup']}x"
+    )
+
+
+if __name__ == "__main__":
+    collected = collect_results()
+    destination = write_results(collected)
+    _print_results(collected)
+    print(f"\nresults written to {destination}")

@@ -6,6 +6,9 @@ Usage examples::
     coma match a.xsd b.xsd --strategy "All(Average,Both,Thr(0.5)+Delta(0.02),Average)"
     coma match a.xsd b.xsd --matchers NamePath Leaves --selection "Thr(0.5)+Delta(0.02)"
     coma match a.xsd b.xsd --repository coma.db --strategy tuned   # stored by name
+    coma rematch po1_v1.xsd po1_v2.xsd po2.xsd   # incremental re-match: splice
+                                                 # unchanged rows of the previous result
+    coma rematch old.xsd new.xsd b.xsd --store coma-store.db  # splice across restarts
     coma strategies                       # list the matcher library
     coma strategies --repository coma.db  # ... plus the stored named strategies
     coma strategies --repository coma.db --save tuned "All(Max,Both,Thr(0.6),Dice)"
@@ -75,6 +78,40 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="only print correspondences at or above this similarity")
     match_parser.add_argument("--repository", default=None,
                               help="SQLite repository file (stored strategies, reuse matchers)")
+
+    rematch_parser = subparsers.add_parser(
+        "rematch",
+        help="incrementally re-match an evolved schema against a fixed target, "
+             "splicing unchanged rows from the previous result",
+    )
+    rematch_parser.add_argument("old", help="previous schema version (.sql, .xsd, .json)")
+    rematch_parser.add_argument("new", help="evolved schema version (.sql, .xsd, .json)")
+    rematch_parser.add_argument("target", help="fixed target schema file (.sql, .xsd, .json)")
+    rematch_parser.add_argument(
+        "--strategy", default=None,
+        help='full strategy spec, e.g. "All(Average,Both,Thr(0.5)+Delta(0.02),Average)", '
+             "or the name of a strategy stored in the repository",
+    )
+    rematch_parser.add_argument(
+        "--matchers", nargs="+", default=None,
+        help="matcher names from the library (default: the five hybrid matchers)",
+    )
+    rematch_parser.add_argument("--aggregation", default=None,
+                                help="aggregation strategy: Max, Min or Average (default Average)")
+    rematch_parser.add_argument("--direction", default=None,
+                                help="direction strategy: Both, LargeSmall or SmallLarge (default Both)")
+    rematch_parser.add_argument("--selection", default=None,
+                                help='selection strategy, e.g. "MaxN(1)" '
+                                     '(default "Thr(0.5)+Delta(0.02)")')
+    rematch_parser.add_argument("--min-similarity", type=float, default=0.0,
+                                help="only print correspondences at or above this similarity")
+    rematch_parser.add_argument("--repository", default=None,
+                                help="SQLite repository file (stored strategies, reuse matchers)")
+    rematch_parser.add_argument("--store", default=None,
+                                help="persistent similarity store: the previous "
+                                     "(old, target) cube is loaded from here instead "
+                                     "of being recomputed, so a fresh process can "
+                                     "still splice")
 
     strategies_parser = subparsers.add_parser(
         "strategies", help="list the matcher library and the stored named strategies"
@@ -274,6 +311,63 @@ def _command_match(arguments: argparse.Namespace) -> int:
     print(f"\nstrategy:          {outcome.strategy.to_spec()}")
     print(f"schema similarity: {outcome.schema_similarity:.3f}")
     print(f"correspondences:   {len(rows)}")
+    return 0
+
+
+def _command_rematch(arguments: argparse.Namespace) -> int:
+    """Incremental re-match: splice the evolved schema against a previous result.
+
+    Without ``--store`` the previous (old, target) result is computed in the
+    same process, so the splice reads it from the session's cube cache.  With
+    ``--store`` the previous cube is recovered from the persistent store by
+    content digest -- the path a restarted process takes -- and the command
+    falls back to a full match (reported as such) when the store has no
+    matching artifact.
+    """
+    repository = None
+    if arguments.repository:
+        from repro.repository.repository import Repository
+
+        repository = Repository(arguments.repository)
+    with MatchSession(repository=repository, store=arguments.store) as session:
+        old = DEFAULT_IMPORTERS.import_file(arguments.old)
+        new = DEFAULT_IMPORTERS.import_file(arguments.new)
+        target = DEFAULT_IMPORTERS.import_file(arguments.target)
+        strategy = _resolve_cli_strategy(session, arguments)
+        previous = None
+        if not arguments.store:
+            # No persistent store: establish the previous result in-process so
+            # the splice has something to reuse (it lands in the cube cache).
+            previous = session.match(old, target, strategy=strategy)
+        before = session.cache_info()
+        outcome = session.rematch(
+            old, new, previous_result=previous, target=target, strategy=strategy
+        )
+        after = session.cache_info()
+        rows = [
+            {
+                "source": correspondence.source.dotted(),
+                "target": correspondence.target.dotted(),
+                "similarity": correspondence.similarity,
+            }
+            for correspondence in outcome.result
+            if correspondence.similarity >= arguments.min_similarity
+        ]
+        print(format_table(rows, title=f"Mapping {new.name} <-> {target.name}"))
+        from repro.model.digests import schema_delta
+
+        delta = schema_delta(old, new)
+        spliced = after["rematch_spliced"] > before["rematch_spliced"]
+        print(f"\nstrategy:          {outcome.strategy.to_spec()}")
+        print(f"schema similarity: {outcome.schema_similarity:.3f}")
+        print(f"correspondences:   {len(rows)}")
+        print(f"spliced:           {'yes' if spliced else 'no (full recompute)'}")
+        print(f"rows reused:       {delta.reused}")
+        print(f"rows recomputed:   {delta.recomputed}")
+        if delta.added:
+            print(f"paths added:       {', '.join(delta.added)}")
+        if delta.removed:
+            print(f"paths removed:     {', '.join(delta.removed)}")
     return 0
 
 
@@ -577,6 +671,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = parser.parse_args(list(argv) if argv is not None else None)
     if arguments.command == "match":
         return _command_match(arguments)
+    if arguments.command == "rematch":
+        return _command_rematch(arguments)
     if arguments.command == "strategies":
         return _command_strategies(arguments)
     if arguments.command == "stats":

@@ -8,6 +8,13 @@ from repro.model.datatypes import (
     map_source_type,
     normalise_source_type,
 )
+from repro.model.digests import (
+    SchemaDelta,
+    SchemaDigests,
+    path_signatures,
+    schema_delta,
+    schema_digests,
+)
 from repro.model.element import ElementKind, Link, LinkKind, SchemaElement
 from repro.model.mapping import Correspondence, MatchResult
 from repro.model.path import SchemaPath
@@ -22,6 +29,8 @@ __all__ = [
     "LinkKind",
     "MatchResult",
     "Schema",
+    "SchemaDelta",
+    "SchemaDigests",
     "SchemaBuilder",
     "SchemaElement",
     "SchemaPath",
@@ -29,5 +38,8 @@ __all__ = [
     "TypeCompatibilityTable",
     "map_source_type",
     "normalise_source_type",
+    "path_signatures",
+    "schema_delta",
+    "schema_digests",
     "schemas_by_size",
 ]

@@ -1,0 +1,275 @@
+"""Merkle-style content digests over a schema's path tree.
+
+Incremental re-matching (``MatchSession.rematch``) needs to answer one
+question per path of an evolved schema: *could any matcher produce a
+different similarity for this row than it did for the previous version?*
+Every matcher of the library derives a cell value from (a) the content of
+the elements along the path's root-to-leaf chain (names, kinds, source
+types, documentation -- the ``NamePath`` token modes consume the whole
+chain) and (b) the content of the path's subtree (the structural matchers
+compare children and leaves under the path).  Nothing else: no matcher
+consults global statistics, sibling sets or corpus frequencies.
+
+Both dependencies are captured by two digests per node of the path tree,
+computed in one linear pass over the pre/post interval encoding of
+:func:`repro.search.intervals.interval_encode`:
+
+* the **chain digest** folds the parent's chain digest with the node's own
+  content digest (a rename anywhere above a path changes its chain digest);
+  the schema-root occurrence itself is excluded, because no spliceable
+  matcher reads it and differently-named versions should still splice;
+* the **subtree digest** is the Merkle hash of the node's content digest and
+  its children's subtree digests in document order (an edit anywhere below a
+  path changes its subtree digest) -- the contiguous preorder windows of the
+  interval encoding make the children walk index arithmetic instead of a
+  graph traversal.
+
+A path's **row signature** is the hash of its chain and subtree digests.
+Two paths of two schema versions with equal row signatures have bitwise
+identical similarity rows against any fixed opposite schema, which is the
+invariant :func:`schema_delta` and the cube splicer build on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.model.element import SchemaElement
+from repro.model.schema import Schema
+
+#: Bump when the digest inputs change shape: persisted signature vectors of
+#: older versions must never compare equal to newer ones.
+DIGEST_VERSION = 1
+
+
+def _hash(document: object) -> str:
+    """The sha256 hex digest of a canonically serialised JSON document."""
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def element_content_digest(element: SchemaElement) -> str:
+    """The digest of everything matchers can read off one element.
+
+    Mirrors the per-element record of the repository serialisation (name,
+    kind, source type, documentation) minus the element id, which is an
+    in-memory identity and not content.
+
+    Examples
+    --------
+    >>> from repro.model.element import SchemaElement, ElementKind
+    >>> a = SchemaElement("City", kind=ElementKind.COLUMN, source_type="VARCHAR(40)")
+    >>> b = SchemaElement("City", kind=ElementKind.COLUMN, source_type="VARCHAR(40)")
+    >>> element_content_digest(a) == element_content_digest(b)
+    True
+    >>> c = SchemaElement("City", kind=ElementKind.COLUMN, source_type="INT")
+    >>> element_content_digest(a) == element_content_digest(c)
+    False
+    """
+    return _hash(
+        [
+            DIGEST_VERSION,
+            element.name,
+            element.kind.value,
+            element.source_type,
+            element.documentation,
+        ]
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemaDigests:
+    """All content digests of one schema's path tree.
+
+    ``chain`` and ``subtree`` are indexed by preorder rank and aligned with
+    :func:`repro.search.intervals.interval_encode` (rank 0 is the schema
+    root); ``signatures`` drops the root and is aligned with
+    ``schema.paths()`` -- entry ``i`` is the row signature of path ``i``.
+    """
+
+    chain: Tuple[str, ...]
+    subtree: Tuple[str, ...]
+    signatures: Tuple[str, ...]
+    references: str
+
+    @property
+    def root_subtree(self) -> str:
+        """The Merkle digest of the whole path tree."""
+        return self.subtree[0]
+
+
+def references_digest(schema: Schema) -> str:
+    """A content digest of the schema's referential links.
+
+    Referential links ride outside the containment tree the chain/subtree
+    digests cover, so the delta computer compares them wholesale: versions
+    whose reference sets differ are never spliced.
+    """
+    records = sorted(
+        _hash([element_content_digest(link.source), element_content_digest(link.target)])
+        for link in schema.references()
+    )
+    return _hash([DIGEST_VERSION, records])
+
+
+def schema_digests(schema: Schema) -> SchemaDigests:
+    """Chain, subtree and row-signature digests of one schema.
+
+    One linear pass over the interval encoding: subtree digests are folded
+    bottom-up in reverse preorder (every node's children occupy a contiguous
+    window, walked with index jumps by subtree size), chain digests top-down
+    in preorder with a parent stack.
+
+    Examples
+    --------
+    >>> from repro.datasets.figure1 import load_po1
+    >>> digests = schema_digests(load_po1())
+    >>> len(digests.signatures) == len(load_po1().paths())
+    True
+    >>> digests2 = schema_digests(load_po1())
+    >>> digests.signatures == digests2.signatures  # content-determined
+    True
+    """
+    from repro.search.intervals import interval_encode
+
+    nodes = interval_encode(schema)
+    paths = schema.paths(include_root=True)
+    content = [element_content_digest(path.leaf) for path in paths]
+
+    subtree: List[str] = [""] * len(nodes)
+    for rank in range(len(nodes) - 1, -1, -1):
+        children: List[str] = []
+        child = rank + 1
+        end = rank + nodes[rank].size
+        while child < end:
+            children.append(subtree[child])
+            child += nodes[child].size
+        subtree[rank] = _hash([content[rank], children])
+
+    # The root's own content is excluded from the chain fold: no cacheable
+    # matcher consumes the root occurrence (the registered ``NamePath`` drops
+    # it, and the with-root variant requires a matcher *instance*, which the
+    # session never splices), so two versions differing only in the schema
+    # name keep identical row signatures and splice fully -- the common case
+    # of re-uploading an evolved schema under a new name.
+    chain: List[str] = [""] * len(nodes)
+    chain[0] = _hash([DIGEST_VERSION, None])
+    stack: List[int] = [0]  # preorder ranks of the currently open chain
+    for rank, node in enumerate(nodes):
+        if rank == 0:
+            continue
+        while stack and nodes[stack[-1]].depth >= node.depth:
+            stack.pop()
+        parent = chain[stack[-1]] if stack else chain[0]
+        chain[rank] = _hash([parent, content[rank]])
+        stack.append(rank)
+
+    signatures = tuple(
+        _hash([chain[rank], subtree[rank]]) for rank in range(1, len(nodes))
+    )
+    return SchemaDigests(
+        chain=tuple(chain),
+        subtree=tuple(subtree),
+        signatures=signatures,
+        references=references_digest(schema),
+    )
+
+
+def path_signatures(schema: Schema) -> Tuple[str, ...]:
+    """The row signatures of ``schema.paths()``, in path order."""
+    return schema_digests(schema).signatures
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemaDelta:
+    """The difference between two versions of one schema, at path granularity.
+
+    ``matched`` pairs old and new path indices whose row signatures are
+    equal -- their similarity rows can be copied verbatim from a previous
+    result.  ``changed`` lists the new path indices that need recomputation
+    (paths that are new, edited, or sit on an edited chain/subtree).
+    ``added`` / ``removed`` classify the non-matched paths by dotted name
+    for reporting.  ``full`` marks deltas where splicing is unsafe (e.g.
+    differing reference links) and everything must be recomputed.
+    """
+
+    matched: Tuple[Tuple[int, int], ...]
+    changed: Tuple[int, ...]
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    full: bool = False
+
+    @property
+    def reused(self) -> int:
+        """Number of rows a splice copies from the previous result."""
+        return len(self.matched)
+
+    @property
+    def recomputed(self) -> int:
+        """Number of rows a splice must recompute."""
+        return len(self.changed)
+
+
+def schema_delta(
+    old: Schema,
+    new: Schema,
+    old_digests: Optional[SchemaDigests] = None,
+    new_digests: Optional[SchemaDigests] = None,
+) -> SchemaDelta:
+    """Diff two schema versions into matched / changed / added / removed paths.
+
+    Paths are aligned by row signature, not identity: re-parsing or
+    regenerating a schema yields fresh elements, but content-equal paths
+    still pair up.  Duplicate signatures (content-identical paths, e.g. a
+    shared ``Address`` fragment) are paired greedily in document order --
+    any pairing of identical rows splices identically.
+
+    ``old_digests`` / ``new_digests`` short-circuit the digest computation
+    when the caller already holds the :class:`SchemaDigests` (the session's
+    rematch path computes them once and reuses them for persistence).
+
+    Examples
+    --------
+    >>> from repro.datasets.generators import generate_schema
+    >>> base, _ = generate_schema("V1", sections=2, fields_per_section=3, seed=1)
+    >>> same = schema_delta(base, base)
+    >>> same.recomputed, same.reused == len(base.paths())
+    (0, True)
+    """
+    if old_digests is None:
+        old_digests = schema_digests(old)
+    if new_digests is None:
+        new_digests = schema_digests(new)
+    old_rows = old_digests.signatures
+    new_rows = new_digests.signatures
+
+    full = old_digests.references != new_digests.references
+    pool: Dict[str, Deque[int]] = {}
+    if not full:
+        for index, signature in enumerate(old_rows):
+            pool.setdefault(signature, deque()).append(index)
+
+    matched: List[Tuple[int, int]] = []
+    changed: List[int] = []
+    for index, signature in enumerate(new_rows):
+        bucket = pool.get(signature)
+        if bucket:
+            matched.append((bucket.popleft(), index))
+        else:
+            changed.append(index)
+
+    old_dotted = {path.dotted(skip_root=True) for path in old.paths()}
+    new_dotted = {path.dotted(skip_root=True) for path in new.paths()}
+    added = tuple(sorted(new_dotted - old_dotted))
+    removed = tuple(sorted(old_dotted - new_dotted))
+    return SchemaDelta(
+        matched=tuple(matched),
+        changed=tuple(changed),
+        added=added,
+        removed=removed,
+        full=full,
+    )

@@ -147,6 +147,12 @@ CREATE TABLE IF NOT EXISTS counters (
     name   TEXT PRIMARY KEY,
     value  INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS subtrees (
+    schema_digest   TEXT PRIMARY KEY,
+    digest_version  INTEGER NOT NULL,
+    signatures      TEXT NOT NULL,
+    created_at      REAL NOT NULL DEFAULT (julianday('now'))
+);
 """
 
 def encode_stack(stack: np.ndarray, dtype: str) -> bytes:
@@ -826,6 +832,71 @@ class SimilarityStore:
             row = self._connection.execute("SELECT COUNT(*) FROM tokens").fetchone()
         return int(row[0])
 
+    # -- subtree digest artifacts ----------------------------------------------
+
+    def load_path_signatures(self, schema_digest: str) -> Optional[Tuple[str, ...]]:
+        """The persisted per-path row signatures of one schema version.
+
+        Row signatures (see :mod:`repro.model.digests`) are stored alongside
+        the whole-schema digest that addresses the cubes, so a fresh process
+        can verify that the schema object it is asked to splice against is
+        the same version whose cube sits in the store.  Returns ``None`` for
+        unknown digests, signature vectors written by a different digest
+        format version, and stores created before the ``subtrees`` table
+        existed (older read-only files stay fully readable).
+        """
+        from repro.model.digests import DIGEST_VERSION
+
+        with self._lock:
+            try:
+                row = self._connection.execute(
+                    "SELECT signatures FROM subtrees "
+                    "WHERE schema_digest = ? AND digest_version = ?",
+                    (schema_digest, DIGEST_VERSION),
+                ).fetchone()
+            except sqlite3.OperationalError:
+                return None  # pre-subtrees store opened read-only
+        if row is None:
+            return None
+        try:
+            signatures = json.loads(row[0])
+        except (TypeError, ValueError):
+            return None
+        if not isinstance(signatures, list):
+            return None
+        return tuple(str(signature) for signature in signatures)
+
+    def store_path_signatures(
+        self, schema_digest: str, signatures: Sequence[str]
+    ) -> None:
+        """Persist the row signatures of one schema version (idempotent)."""
+        from repro.model.digests import DIGEST_VERSION
+
+        payload = json.dumps(list(signatures))
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO subtrees "
+                "(schema_digest, digest_version, signatures) VALUES (?, ?, ?)",
+                (schema_digest, DIGEST_VERSION, payload),
+            )
+            self._connection.commit()
+            self._writes += 1
+
+    def store_path_signatures_async(self, *args, **kwargs) -> None:
+        """Queue :meth:`store_path_signatures` onto the writer thread."""
+        self._submit(("subtrees", args, kwargs))
+
+    def subtree_count(self) -> int:
+        """The number of stored schema-version signature vectors."""
+        with self._lock:
+            try:
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM subtrees"
+                ).fetchone()
+            except sqlite3.OperationalError:
+                return 0  # pre-subtrees store opened read-only
+        return int(row[0])
+
     # -- counters and statistics -----------------------------------------------
 
     def info(self) -> Dict[str, object]:
@@ -851,6 +922,12 @@ class SimilarityStore:
             token_rows = self._connection.execute(
                 "SELECT COUNT(*) FROM tokens"
             ).fetchone()
+            try:
+                subtree_rows = self._connection.execute(
+                    "SELECT COUNT(*) FROM subtrees"
+                ).fetchone()
+            except sqlite3.OperationalError:
+                subtree_rows = (0,)  # pre-subtrees store opened read-only
             persisted = dict(
                 self._connection.execute("SELECT name, value FROM counters").fetchall()
             )
@@ -870,6 +947,7 @@ class SimilarityStore:
                 for name, count, total, external in dtype_rows
             },
             "tokens": int(token_rows[0]),
+            "subtrees": int(subtree_rows[0]),
             "hits": hits,
             "misses": misses,
             "writes": writes,
@@ -930,6 +1008,8 @@ class SimilarityStore:
             self.store_cube(*args, **kwargs)
         elif kind == "tokens":
             self.store_tokens(*args, **kwargs)
+        elif kind == "subtrees":
+            self.store_path_signatures(*args, **kwargs)
         else:  # pragma: no cover - internal invariant
             raise RepositoryError(f"unknown store write kind {kind!r}")
 

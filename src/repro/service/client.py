@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import socket
 import threading
 import time
@@ -36,10 +37,13 @@ BatchRequest = Dict[str, Union[str, float, None]]
 #: Fallback backoff for a 429 without a usable ``Retry-After`` header: the
 #: first retry waits this many seconds, doubling per attempt.
 RETRY_BACKOFF_BASE = 0.1
-#: Upper bound on any single retry wait, whether from ``Retry-After`` or the
-#: doubling fallback -- a server asking for a five-minute pause should not
-#: silently stall a client call that long.
+#: Upper bound on the doubling fallback's single retry wait.
 RETRY_BACKOFF_CAP = 5.0
+#: Upper bound on a wait taken from the server's ``Retry-After`` header.  A
+#: header value is clamped into ``[0, MAX_RETRY_WAIT]``: negative values wait
+#: nothing, and a server asking for a five-minute (or misconfigured
+#: five-year) pause must not silently stall a client call that long.
+MAX_RETRY_WAIT = 30.0
 
 
 def _quoted(name: str) -> str:
@@ -182,13 +186,22 @@ class ServiceClient:
         raise AssertionError("unreachable: the loop returns or raises")
 
     def _retry_delay(self, error: ServiceError, attempt: int) -> float:
-        """Seconds to wait before retry ``attempt + 1`` of a 429'd request."""
+        """Seconds to wait before retry ``attempt + 1`` of a 429'd request.
+
+        A parsable ``Retry-After`` is honoured but clamped into
+        ``[0, MAX_RETRY_WAIT]`` -- a negative header waits nothing and an
+        absurdly large (or infinite) one waits the cap at most.  Garbage
+        (unparsable or NaN) headers fall back to the capped doubling
+        backoff.
+        """
         header = (error.details or {}).get("retry_after")
         if header is not None:
             try:
-                return min(RETRY_BACKOFF_CAP, max(0.0, float(header)))
+                advertised = float(header)
             except (TypeError, ValueError):
-                pass  # an unparsable Retry-After falls back to the doubling
+                advertised = None  # an unparsable Retry-After -> doubling
+            if advertised is not None and not math.isnan(advertised):
+                return min(MAX_RETRY_WAIT, max(0.0, advertised))
         return min(RETRY_BACKOFF_CAP, RETRY_BACKOFF_BASE * (2 ** attempt))
 
     def _request_once(
@@ -394,6 +407,30 @@ class ServiceClient:
         if min_similarity is not None:
             payload["min_similarity"] = min_similarity
         return self.request("POST", "/match", payload)
+
+    def rematch(
+        self,
+        old: str,
+        new: str,
+        target: str,
+        strategy: Optional[str] = None,
+        min_similarity: Optional[float] = None,
+    ) -> dict:
+        """Incrementally re-match an evolved schema (``POST /rematch``).
+
+        ``old`` and ``new`` name two uploaded versions of the evolving
+        schema, ``target`` the unchanged opposite schema.  The server splices
+        the previous similarity cube where it can (the response's
+        ``"rematch"`` block reports reused vs recomputed rows); the match
+        payload itself is byte-identical to ``POST /match`` on
+        ``(new, target)``.
+        """
+        payload: dict = {"old": old, "new": new, "target": target}
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if min_similarity is not None:
+            payload["min_similarity"] = min_similarity
+        return self.request("POST", "/rematch", payload)
 
     def match_batch(
         self,

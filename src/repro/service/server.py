@@ -396,8 +396,8 @@ class MatchService:
     #: else (unknown probes, arbitrary names) collapses into fixed templates
     #: so the counter dict stays bounded on a long-lived server.
     _COUNTED_ROUTES = frozenset(
-        {"schemas", "match", "strategies", "health", "stats", "shutdown",
-         "search", "corpus", "jobs"}
+        {"schemas", "match", "rematch", "strategies", "health", "stats",
+         "shutdown", "search", "corpus", "jobs"}
     )
 
     def _count_request(self, segments: List[str]) -> None:
@@ -431,6 +431,8 @@ class MatchService:
             return 200, self._match(payload)
         if route == ("POST", "match", "batch"):
             return 200, self._match_batch(payload)
+        if route == ("POST", "rematch"):
+            return 200, self._rematch(payload)
         if route == ("POST", "search"):
             return 200, self._search(payload)
         if route == ("GET", "corpus"):
@@ -714,6 +716,57 @@ class MatchService:
         # acquires one warm shard, the process pool one worker process.
         outcome = self._pool.match(source, target, strategy=strategy)
         return self.outcome_payload(outcome, min_similarity)
+
+    def _rematch(self, payload: dict) -> dict:
+        """``POST /rematch``: incrementally re-match an evolved schema.
+
+        The payload names three uploaded schemas: ``old`` and ``new`` are
+        two versions of the evolving schema, ``target`` the unchanged
+        opposite side.  On the thread backend one warm session splices the
+        previous cube (``MatchSession.rematch``); the process backend falls
+        back to a full match -- either way the match payload is
+        byte-identical to ``POST /match`` on ``(new, target)``, and the
+        ``"rematch"`` block reports the delta and whether splicing happened.
+        """
+        from repro.model.digests import schema_delta
+
+        if not isinstance(payload, dict):
+            raise ServiceError("the rematch payload must be a JSON object", status=400)
+        for field in ("old", "new", "target"):
+            if not isinstance(payload.get(field), str):
+                raise ServiceError(
+                    f"rematch requests need an {field!r} schema name", status=400
+                )
+        old = self.schema(payload["old"])
+        new = self.schema(payload["new"])
+        target = self.schema(payload["target"])
+        strategy = self.resolve_strategy(payload.get("strategy"))
+        try:
+            min_similarity = float(payload.get("min_similarity", 0.0))
+        except (TypeError, ValueError):
+            raise ServiceError("'min_similarity' must be a number", status=400)
+
+        delta = schema_delta(old, new)
+        spliced = False
+        if hasattr(self._pool, "session"):
+            with self._pool.session() as session:
+                before = session.cache_info()["rematch_spliced"]
+                outcome = session.rematch(old, new, target=target, strategy=strategy)
+                spliced = session.cache_info()["rematch_spliced"] > before
+        else:
+            # Process workers hold their own sessions behind a match-shaped
+            # wire protocol; the full match is still byte-identical, only the
+            # splice shortcut is unavailable.
+            outcome = self._pool.match(new, target, strategy=strategy)
+        body = self.outcome_payload(outcome, min_similarity)
+        body["rematch"] = {
+            "spliced": spliced,
+            "reused_rows": delta.reused,
+            "recomputed_rows": delta.recomputed,
+            "added": list(delta.added),
+            "removed": list(delta.removed),
+        }
+        return body
 
     def resolve_batch(
         self, payload: dict

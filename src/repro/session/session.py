@@ -59,8 +59,11 @@ import threading
 import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
 
+import numpy as np
+
 from repro.auxiliary.synonyms import SynonymDictionary, default_purchase_order_synonyms
 from repro.combination.cube import SimilarityCube
+from repro.combination.matrix import SimilarityMatrix
 from repro.core.match_operation import MatchOutcome, combine_cube
 from repro.core.processor import MatchProcessor
 from repro.core.strategy import MatchStrategy, default_strategy
@@ -275,6 +278,10 @@ class MatchSession:
         self._cube_misses = 0
         self._store_hits = 0
         self._store_misses = 0
+        self._rematch_spliced = 0
+        self._rematch_fallbacks = 0
+        self._rematch_reused_rows = 0
+        self._rematch_recomputed_rows = 0
         #: Session-wide name -> token-tuple memo shared by every profile the
         #: session builds (and seeded from the persistent store when one is
         #: attached).  Inserts are idempotent, so the dict needs no lock.
@@ -284,11 +291,13 @@ class MatchSession:
         self._owns_store = False
         self._store_config: Optional[str] = None
         self._tokenizer_digest: Optional[str] = None
-        #: Per-session schema-digest memo (dropped by clear_caches, so the
-        #: documented remedy after in-place mutation re-addresses schemas).
-        self._schema_digest_cache: "weakref.WeakKeyDictionary[Schema, str]" = (
-            weakref.WeakKeyDictionary()
-        )
+        #: Per-session schema-digest memo.  Each entry carries the cheap
+        #: structural fingerprint of the schema at memo time: a lookup whose
+        #: recomputed fingerprint disagrees drops the entry, so in-place
+        #: mutation re-addresses the schema even without clear_caches().
+        self._schema_digest_cache: (
+            "weakref.WeakKeyDictionary[Schema, Tuple[Tuple[int, int], str]]"
+        ) = weakref.WeakKeyDictionary()
         if store is not None:
             # Stored cubes are addressed by *matcher names*: that is only
             # sound when both the writing and the reading session resolve
@@ -783,6 +792,265 @@ class MatchSession:
             strategy=active,
             context=context,
         )
+
+    def rematch(
+        self,
+        old: Schema,
+        new: Schema,
+        previous_result: Optional[MatchOutcome] = None,
+        target: Optional[Schema] = None,
+        strategy: StrategyLike = None,
+        feedback: object = _UNSET,
+    ) -> MatchOutcome:
+        """Re-match an evolved schema, reusing every unaffected similarity row.
+
+        ``new`` is a later version of ``old``; the row signatures of
+        :mod:`repro.model.digests` identify the paths an edit touched, the
+        matchers re-run only on those rows (or columns, when ``old`` was the
+        target side of the previous operation), and every other cell is
+        copied verbatim from the previous cube.  The outcome is byte-identical
+        to a from-scratch :meth:`match` of the new pair -- splicing is purely
+        an execution shortcut, never an approximation.
+
+        Parameters
+        ----------
+        old / new:
+            The previous and the evolved version of the changing schema.
+        previous_result:
+            The outcome of a previous :meth:`match` involving ``old`` on
+            either side.  ``None`` is allowed when a persistent store is
+            attached (or the session's cube cache still holds the old pair):
+            the previous cube is then recovered by content address, which is
+            how a restarted process splices without re-running the old match.
+        target:
+            The unchanged opposite schema.  Required without
+            ``previous_result``; otherwise inferred from it.
+        strategy:
+            Any reference accepted by :meth:`resolve_strategy`; defaults to
+            the previous result's strategy (or the session default).
+        feedback:
+            Overrides the session-wide feedback store for this operation.
+
+        Returns
+        -------
+        MatchOutcome
+            The complete outcome of matching the new pair, byte-identical to
+            a cold :meth:`match`.
+
+        Raises
+        ------
+        SessionError
+            If ``previous_result`` does not involve ``old``, or neither
+            ``previous_result`` nor ``target`` identifies the opposite
+            schema.
+
+        Examples
+        --------
+        >>> from repro.datasets.generators import generate_pair, mutate_schema
+        >>> pair = generate_pair(sections=2, fields_per_section=3, seed=5)
+        >>> session = MatchSession()
+        >>> previous = session.match(pair.source, pair.target)
+        >>> evolved = mutate_schema(pair.source, pair.source.name, seed=11,
+        ...                         rename_rate=0.1, graft_sections=0, drift_rate=0.0)
+        >>> spliced = session.rematch(pair.source, evolved, previous)
+        >>> cold = MatchSession().match(evolved, pair.target)
+        >>> spliced.result.as_tuples() == cold.result.as_tuples()
+        True
+        """
+        from repro.model.digests import schema_delta, schema_digests
+
+        # -- orientation: which side of the previous pair is evolving? -------
+        if previous_result is not None:
+            prev_source = previous_result.result.source_schema
+            prev_target = previous_result.result.target_schema
+            if prev_source is old or prev_source.paths() == old.paths():
+                side, fixed = "source", prev_target
+            elif prev_target is old or prev_target.paths() == old.paths():
+                side, fixed = "target", prev_source
+            else:
+                raise SessionError(
+                    "previous_result does not involve the old schema on either side"
+                )
+            if (
+                target is not None
+                and target is not fixed
+                and target.paths() != fixed.paths()
+            ):
+                raise SessionError(
+                    "target disagrees with the previous result's unchanged side"
+                )
+            prev_cube: Optional[SimilarityCube] = previous_result.cube
+            if strategy is None:
+                strategy = previous_result.strategy
+        else:
+            if target is None:
+                raise SessionError(
+                    "rematch without previous_result needs the unchanged "
+                    "target schema"
+                )
+            side, fixed = "source", target
+            prev_cube = None
+
+        active = self.resolve_strategy(strategy)
+        if side == "source":
+            new_source, new_target = new, fixed
+            old_source, old_target = old, fixed
+        else:
+            new_source, new_target = fixed, new
+            old_source, old_target = fixed, old
+
+        key = self._cube_key(new_source, new_target, active)
+        if key is None:
+            # Non-cacheable usages (matcher instances, reuse matchers,
+            # UserFeedback) depend on state outside the cube, where copied
+            # rows have no identity guarantee -- recompute from scratch.
+            return self._rematch_fallback(new_source, new_target, active, feedback)
+        if self._cube_cache.get(key) is not None:
+            # The new pair's cube is already cached: the full match path is
+            # a pure cache hit, nothing to splice.
+            with self._lock:
+                self._rematch_spliced += 1
+                self._rematch_reused_rows += len(new.paths())
+            return self.match(new_source, new_target, strategy=active, feedback=feedback)
+
+        matchers = active.resolve_matchers(self._library)
+        expected_layers = tuple(matcher.name for matcher in matchers)
+        store = self._store
+        old_digest: Optional[str] = None
+
+        # -- recover the previous cube (cache, then store by content address) --
+        if prev_cube is None:
+            old_key = self._cube_key(old_source, old_target, active)
+            if old_key is not None:
+                prev_cube = self._cube_cache.get(old_key)
+                if prev_cube is None and store is not None:
+                    from repro.repository.store import cube_store_key
+
+                    old_digest = self._schema_digest(old)
+                    source_digest = (
+                        old_digest if side == "source" else self._schema_digest(fixed)
+                    )
+                    target_digest = (
+                        old_digest if side == "target" else self._schema_digest(fixed)
+                    )
+                    prev_cube = store.load_cube(
+                        cube_store_key(
+                            source_digest, target_digest, old_key[2], self._store_config
+                        ),
+                        old_key[0],
+                        old_key[1],
+                    )
+        if (
+            prev_cube is None
+            or prev_cube.matcher_names != expected_layers
+            or prev_cube.source_paths != old_source.paths()
+            or prev_cube.target_paths != old_target.paths()
+        ):
+            return self._rematch_fallback(new_source, new_target, active, feedback)
+
+        # -- delta: align old and new paths by row signature ------------------
+        old_digests = schema_digests(old)
+        new_digests = schema_digests(new)
+        if store is not None:
+            # Restart guard: signatures persisted next to the whole-schema
+            # digest record what the stored cube was computed from.  If the
+            # caller's ``old`` object disagrees, the cube cannot be spliced.
+            if old_digest is None:
+                old_digest = self._schema_digest(old)
+            persisted = store.load_path_signatures(old_digest)
+            if persisted is not None and persisted != old_digests.signatures:
+                return self._rematch_fallback(new_source, new_target, active, feedback)
+        delta = schema_delta(old, new, old_digests, new_digests)
+        if delta.full or not delta.matched:
+            return self._rematch_fallback(new_source, new_target, active, feedback)
+
+        # -- partial execution on the affected rows / columns ------------------
+        context = self.context_for(new_source, new_target, feedback=feedback)
+        new_axis = new.paths()
+        partial: Optional[SimilarityCube] = None
+        if delta.changed:
+            affected = [new_axis[index] for index in delta.changed]
+            if side == "source":
+                partial = self._engine.execute_partial(
+                    matchers, context, source_rows=affected
+                )
+            else:
+                partial = self._engine.execute_partial(
+                    matchers, context, target_columns=affected
+                )
+
+        # -- splice: copy untouched cells, scatter the recomputed slice -------
+        reused_old = np.fromiter(
+            (i for i, _ in delta.matched), dtype=np.intp, count=len(delta.matched)
+        )
+        reused_new = np.fromiter(
+            (j for _, j in delta.matched), dtype=np.intp, count=len(delta.matched)
+        )
+        changed = np.fromiter(
+            delta.changed, dtype=np.intp, count=len(delta.changed)
+        )
+        source_axis, target_axis = new_source.paths(), new_target.paths()
+        layers = []
+        for name in expected_layers:
+            previous_values = prev_cube.layer(name).values
+            values = np.empty((len(source_axis), len(target_axis)), dtype=float)
+            if side == "source":
+                values[reused_new] = previous_values[reused_old]
+                if partial is not None:
+                    values[changed] = partial.layer(name).values
+            else:
+                values[:, reused_new] = previous_values[:, reused_old]
+                if partial is not None:
+                    values[:, changed] = partial.layer(name).values
+            layers.append((name, SimilarityMatrix(source_axis, target_axis, values)))
+        cube = SimilarityCube.from_layers(source_axis, target_axis, layers)
+
+        # -- publish exactly like a computed cube ------------------------------
+        with self._lock:
+            cube = self._cube_cache.setdefault(key, cube)
+            self._rematch_spliced += 1
+            self._rematch_reused_rows += delta.reused
+            self._rematch_recomputed_rows += delta.recomputed
+        if store is not None:
+            store_key = self._store_key_for(context, key[2])
+            store.store_cube_async(
+                store_key[0], cube, store_key[1], store_key[2], key[2], self._store_config
+            )
+            self._flush_new_tokens(store)
+            if old_digest is None:
+                old_digest = self._schema_digest(old)
+            store.store_path_signatures_async(old_digest, list(old_digests.signatures))
+            store.store_path_signatures_async(
+                self._schema_digest(new), list(new_digests.signatures)
+            )
+        self._trim_caches()
+
+        result, aggregated, schema_similarity = combine_cube(
+            cube,
+            active.combination,
+            context,
+            apply_feedback_overrides=active.apply_feedback_overrides,
+        )
+        return MatchOutcome(
+            result=result,
+            cube=cube,
+            aggregated=aggregated,
+            schema_similarity=schema_similarity,
+            strategy=active,
+            context=context,
+        )
+
+    def _rematch_fallback(
+        self,
+        source: Schema,
+        target: Schema,
+        strategy: MatchStrategy,
+        feedback: object,
+    ) -> MatchOutcome:
+        """Full recomputation when splicing is unavailable or unsafe."""
+        with self._lock:
+            self._rematch_fallbacks += 1
+        return self.match(source, target, strategy=strategy, feedback=feedback)
 
     def match_many(
         self,
@@ -1289,21 +1557,45 @@ class MatchSession:
             target_digest,
         )
 
+    @staticmethod
+    def _schema_fingerprint(schema: Schema) -> Tuple[int, int]:
+        """A cheap structural fingerprint validating the digest memo.
+
+        The memo is keyed by object identity, so an in-place mutation (a
+        rename, a type drift, an added element) would otherwise keep serving
+        the digest of the *old* content -- and with it the old stored cube.
+        The fingerprint folds the path count with an xor over the root label
+        and every path's leaf content; it reads live element attributes (not
+        the lazily cached name tuples), so it is recomputable per lookup at
+        a fraction of the full serialisation digest's cost.
+        """
+        paths = schema.paths()
+        label = hash(schema.root.name)
+        for path in paths:
+            leaf = path.leaf
+            label ^= hash(
+                (leaf.name, leaf.kind.value, leaf.source_type, leaf.documentation)
+            )
+        return (len(paths), label)
+
     def _schema_digest(self, schema: Schema) -> str:
         """The (session-memoised) content digest of a schema.
 
-        The memo lives on the session so :meth:`clear_caches` drops it --
-        mutating a schema in place and clearing the caches re-addresses it,
-        exactly like the configuration digests.
+        Each memo entry is validated against the current structural
+        fingerprint of the schema and dropped on mismatch, so mutating a
+        schema in place re-addresses it on the next lookup without an
+        explicit :meth:`clear_caches`.
         """
         from repro.repository.store import schema_content_digest
 
+        fingerprint = self._schema_fingerprint(schema)
         with self._lock:
-            digest = self._schema_digest_cache.get(schema)
-        if digest is None:
-            digest = schema_content_digest(schema)
-            with self._lock:
-                self._schema_digest_cache[schema] = digest
+            entry = self._schema_digest_cache.get(schema)
+        if entry is not None and entry[0] == fingerprint:
+            return entry[1]
+        digest = schema_content_digest(schema)
+        with self._lock:
+            self._schema_digest_cache[schema] = (fingerprint, digest)
         return digest
 
     def _flush_new_tokens(self, store: "SimilarityStore") -> None:
@@ -1381,6 +1673,10 @@ class MatchSession:
                 "cube_misses": self._cube_misses,
                 "store_hits": self._store_hits,
                 "store_misses": self._store_misses,
+                "rematch_spliced": self._rematch_spliced,
+                "rematch_fallbacks": self._rematch_fallbacks,
+                "rematch_reused_rows": self._rematch_reused_rows,
+                "rematch_recomputed_rows": self._rematch_recomputed_rows,
             }
 
     def clear_caches(self) -> None:

@@ -299,6 +299,52 @@ class TestRetryAfterBackoff:
             wedged.close()
 
 
+class TestRetryDelayClamping:
+    """Unit tests for the Retry-After clamp: a hostile or buggy server header
+    must never stall the client (negative, huge, infinite) nor crash the
+    retry loop (garbage).  No server needed -- the delay computation is pure."""
+
+    @staticmethod
+    def _delay(header, attempt=0):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient("http://127.0.0.1:1", retries=1)
+        details = {} if header is None else {"retry_after": header}
+        error = ServiceError("throttled", status=429, details=details)
+        return client._retry_delay(error, attempt)
+
+    def test_negative_header_waits_nothing(self):
+        assert self._delay("-5") == 0.0
+        assert self._delay("-1e9") == 0.0
+        assert self._delay("-inf") == 0.0
+
+    def test_zero_header_waits_nothing(self):
+        assert self._delay("0") == 0.0
+
+    def test_ordinary_header_is_honoured_verbatim(self):
+        assert self._delay("1") == 1.0
+        assert self._delay("2.5") == 2.5
+
+    def test_huge_and_infinite_headers_wait_the_cap_at_most(self):
+        from repro.service.client import MAX_RETRY_WAIT
+
+        assert self._delay("1e9") == MAX_RETRY_WAIT
+        assert self._delay(str(10**12)) == MAX_RETRY_WAIT
+        assert self._delay("inf") == MAX_RETRY_WAIT
+
+    def test_garbage_headers_fall_back_to_doubling(self):
+        from repro.service.client import RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP
+
+        for garbage in ("soon", "", "nan", "1s", None):
+            expected = min(RETRY_BACKOFF_CAP, RETRY_BACKOFF_BASE * 2**3)
+            assert self._delay(garbage, attempt=3) == expected
+
+    def test_doubling_fallback_is_capped(self):
+        from repro.service.client import RETRY_BACKOFF_CAP
+
+        assert self._delay(None, attempt=50) == RETRY_BACKOFF_CAP
+
+
 class TestFreshConnectionSemantics:
     def test_fresh_get_is_retried_once_after_a_reset(self, real_server):
         proxy = _ResetFirstConnectionProxy(real_server.server_address[1])
